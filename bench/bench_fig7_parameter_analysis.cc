@@ -1,0 +1,114 @@
+// Regenerates paper Fig. 7: sensitivity of the key hyper-parameters —
+// (a) label smoothing η, (b) re-ranking segment length l (RetExpan and
+// GenExpan), (c) the number of mined contrastive entities |L_pos|=|L_neg|,
+// (d) the entity-selection top-p of GenExpan. Each series reports
+// PosMAP@K and NegMAP@K averages.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/evaluator.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void AddSeriesRow(TablePrinter& table, const std::string& setting,
+                  const EvalResult& result) {
+  table.AddRow({setting, FormatDouble(result.pos_map.at(10), 2),
+                FormatDouble(result.pos_map.at(100), 2),
+                FormatDouble(result.neg_map.at(10), 2),
+                FormatDouble(result.neg_map.at(100), 2),
+                FormatDouble(result.AvgCombMap(), 2)});
+}
+
+TablePrinter MakeSweepTable(const std::string& title) {
+  TablePrinter table(title);
+  table.SetHeader({"setting", "PosMAP@10", "PosMAP@100", "NegMAP@10",
+                   "NegMAP@100", "CombMAP avg"});
+  return table;
+}
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+
+  // (a) Label smoothing η: retrain the encoder per value.
+  {
+    TablePrinter table =
+        MakeSweepTable("Fig. 7a: label smoothing eta (RetExpan)");
+    for (float eta : {0.025f, 0.075f, 0.125f}) {
+      EntityPredictionTrainConfig train = pipeline.config().encoder_train;
+      train.label_smoothing = eta;
+      auto store = pipeline.BuildEncoderStore(train);
+      RetExpan method(store.get(), &pipeline.candidates());
+      AddSeriesRow(table, StrFormat("eta=%.3f", eta),
+                   EvaluateExpander(method, pipeline.dataset()));
+    }
+    table.Print(std::cout);
+  }
+
+  // (b) Segment length l for both frameworks.
+  {
+    TablePrinter table =
+        MakeSweepTable("\nFig. 7b: re-ranking segment length l (RetExpan)");
+    for (int l : {5, 20, 100}) {
+      RetExpanConfig config;
+      config.rerank_segment_length = l;
+      auto method = pipeline.MakeRetExpan(config);
+      AddSeriesRow(table, StrFormat("l=%d", l),
+                   EvaluateExpander(*method, pipeline.dataset()));
+    }
+    table.Print(std::cout);
+  }
+  {
+    TablePrinter table =
+        MakeSweepTable("\nFig. 7b': re-ranking segment length l (GenExpan)");
+    for (int l : {5, 20, 100}) {
+      GenExpanConfig config;
+      config.rerank_segment_length = l;
+      auto method = pipeline.MakeGenExpan(config);
+      AddSeriesRow(table, StrFormat("l=%d", l),
+                   EvaluateExpander(*method, pipeline.dataset()));
+    }
+    table.Print(std::cout);
+  }
+
+  // (c) Mined contrastive entities |L_pos| = |L_neg|.
+  {
+    TablePrinter table = MakeSweepTable(
+        "\nFig. 7c: mined entities |L_pos| = |L_neg| (RetExpan+Contrast)");
+    for (int l_size : {5, 10, 30}) {
+      MinerConfig miner = pipeline.config().miner;
+      miner.l_size = l_size;
+      miner.top_t = std::max(miner.top_t, 3 * l_size);
+      auto store =
+          pipeline.BuildContrastStore(pipeline.config().contrast, miner);
+      RetExpan method(store.get(), &pipeline.candidates());
+      AddSeriesRow(table, StrFormat("|L|=%d", l_size),
+                   EvaluateExpander(method, pipeline.dataset()));
+    }
+    table.Print(std::cout);
+  }
+
+  // (d) Entity-selection top-p (GenExpan).
+  {
+    TablePrinter table = MakeSweepTable("\nFig. 7d: top-p (GenExpan)");
+    for (double top_p : {0.5, 0.7, 0.9}) {
+      GenExpanConfig config;
+      config.top_p_fraction = top_p;
+      auto method = pipeline.MakeGenExpan(config);
+      AddSeriesRow(table, StrFormat("top-p=%.1f", top_p),
+                   EvaluateExpander(*method, pipeline.dataset()));
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Regenerates paper Fig. 9: case studies. For two queries (a china-cities
+// style class and a countries style class) the ranked lists of GenExpan,
+// GenExpan+RA and GenExpan+CoT are printed with the paper's markers:
+// +++ positive target, --- negative target, !!! irrelevant same-class
+// entity, and (hallucinated) for out-of-vocabulary generations.
+
+#include <iostream>
+#include <set>
+
+#include "common/string_util.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void PrintCase(Pipeline& pipeline, const Query& query, Expander& method) {
+  const UltraWikiDataset& dataset = pipeline.dataset();
+  const GeneratedWorld& world = pipeline.world();
+  const UltraClass& ultra = dataset.ClassOf(query);
+  const FineClassSpec& spec =
+      world.schema[static_cast<size_t>(ultra.fine_class)];
+  std::set<EntityId> pos(ultra.positive_targets.begin(),
+                         ultra.positive_targets.end());
+  std::set<EntityId> neg(ultra.negative_targets.begin(),
+                         ultra.negative_targets.end());
+
+  std::cout << "== " << method.name() << " on class '" << spec.name
+            << "' ==\n";
+  std::cout << "positive seeds:";
+  for (EntityId id : query.pos_seeds) {
+    std::cout << " [" << world.corpus.entity(id).name << "]";
+  }
+  std::cout << "\nnegative seeds:";
+  for (EntityId id : query.neg_seeds) {
+    std::cout << " [" << world.corpus.entity(id).name << "]";
+  }
+  std::cout << "\npositive attributes:";
+  for (size_t i = 0; i < ultra.pos_attrs.size(); ++i) {
+    const AttributeDef& attr =
+        spec.attributes[static_cast<size_t>(ultra.pos_attrs[i])];
+    std::cout << " " << attr.name << " = "
+              << attr.values[static_cast<size_t>(ultra.pos_values[i])];
+  }
+  std::cout << "\nnegative attributes:";
+  for (size_t i = 0; i < ultra.neg_attrs.size(); ++i) {
+    const AttributeDef& attr =
+        spec.attributes[static_cast<size_t>(ultra.neg_attrs[i])];
+    std::cout << " " << attr.name << " = "
+              << attr.values[static_cast<size_t>(ultra.neg_values[i])];
+  }
+  std::cout << "\n";
+
+  const std::vector<EntityId> ranked = method.Expand(query, 20);
+  for (size_t r = 0; r < ranked.size(); ++r) {
+    const EntityId id = ranked[r];
+    const char* marker = "   ";
+    std::string name = "(hallucinated entity)";
+    if (id != kHallucinatedEntityId) {
+      name = world.corpus.entity(id).name;
+      if (pos.contains(id)) {
+        marker = "+++";
+      } else if (neg.contains(id)) {
+        marker = "---";
+      } else if (world.corpus.entity(id).class_id == ultra.fine_class) {
+        marker = "!!!";
+      }
+    }
+    std::cout << StrFormat("  %2zu. %-28s %s\n", r + 1, name.c_str(),
+                           marker);
+  }
+  std::cout << "\n";
+}
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  const UltraWikiDataset& dataset = pipeline.dataset();
+
+  // Pick one china-cities query (class index 1) and one countries query
+  // (class index 2), mirroring the paper's two case-study columns.
+  const Query* city_query = nullptr;
+  const Query* country_query = nullptr;
+  for (const Query& query : dataset.queries) {
+    const ClassId fine = dataset.ClassOf(query).fine_class;
+    if (fine == 1 && city_query == nullptr) city_query = &query;
+    if (fine == 2 && country_query == nullptr) country_query = &query;
+    if (city_query != nullptr && country_query != nullptr) break;
+  }
+  UW_CHECK(city_query != nullptr && country_query != nullptr);
+
+  auto base = pipeline.MakeGenExpan();
+  GenExpanConfig ra_config;
+  ra_config.retrieval_augmentation = true;
+  auto with_ra = pipeline.MakeGenExpan(ra_config);
+  GenExpanConfig cot_config;
+  cot_config.cot = CotMode::kGenClassNameGenPos;
+  auto with_cot = pipeline.MakeGenExpan(cot_config);
+
+  std::cout << "Fig. 9 case studies (+++/---/!!! as in the paper)\n\n";
+  PrintCase(pipeline, *city_query, *base);
+  PrintCase(pipeline, *city_query, *with_ra);
+  PrintCase(pipeline, *country_query, *base);
+  PrintCase(pipeline, *country_query, *with_cot);
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

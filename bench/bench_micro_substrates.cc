@@ -1,0 +1,121 @@
+// google-benchmark micro-benchmarks for the hot substrates: BM25 scoring,
+// encoder forward pass, entity-representation extraction, constrained
+// beam search, LM probability lookups, and the ranking metrics.
+
+#include <benchmark/benchmark.h>
+
+#include "embedding/entity_store.h"
+#include "embedding/trainer.h"
+#include "eval/metrics.h"
+#include "expand/pipeline.h"
+#include "index/bm25.h"
+#include "lm/beam_search.h"
+
+namespace ultrawiki {
+namespace {
+
+/// Lazily built shared world (tiny scale) for all micro-benches.
+const Pipeline& SharedPipeline() {
+  static Pipeline* pipeline =
+      new Pipeline(Pipeline::Build(PipelineConfig::Tiny()));
+  return *pipeline;
+}
+
+void BM_Bm25ScoreAll(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  InvertedIndex index;
+  Rng rng(1);
+  for (int d = 0; d < 500; ++d) {
+    std::vector<TokenId> doc;
+    for (int t = 0; t < 40; ++t) {
+      doc.push_back(static_cast<TokenId>(rng.UniformUint64(
+          pipeline.world().corpus.tokens().size())));
+    }
+    index.AddDocument(doc);
+  }
+  Bm25Scorer scorer(&index);
+  std::vector<TokenId> query;
+  for (int t = 0; t < 12; ++t) {
+    query.push_back(static_cast<TokenId>(rng.UniformUint64(
+        pipeline.world().corpus.tokens().size())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.ScoreAll(query));
+  }
+}
+BENCHMARK(BM_Bm25ScoreAll);
+
+void BM_EncoderForward(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const Sentence& sentence = pipeline.world().corpus.sentence(0);
+  const std::vector<TokenId> context = MaskedContext(sentence, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.encoder().EncodeContext(context));
+  }
+}
+BENCHMARK(BM_EncoderForward);
+
+void BM_EntitySimilarity(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const auto& candidates = pipeline.candidates();
+  size_t i = 0;
+  for (auto _ : state) {
+    const EntityId a = candidates[i % candidates.size()];
+    const EntityId b = candidates[(i * 7 + 3) % candidates.size()];
+    benchmark::DoNotOptimize(pipeline.store().Similarity(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_EntitySimilarity);
+
+void BM_ConstrainedBeamSearch(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const Query& query = pipeline.dataset().queries.front();
+  std::vector<TokenId> prompt;
+  for (EntityId id : query.pos_seeds) {
+    for (const std::string& word :
+         pipeline.world().corpus.entity(id).name_tokens) {
+      const TokenId token = pipeline.world().corpus.tokens().Lookup(word);
+      if (token != kInvalidTokenId) prompt.push_back(token);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ConstrainedBeamSearch(pipeline.lm(), pipeline.trie(), prompt));
+  }
+}
+BENCHMARK(BM_ConstrainedBeamSearch);
+
+void BM_LmSequenceLogProb(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const auto& sentence = pipeline.world().corpus.sentence(0).tokens;
+  const std::span<const TokenId> context(sentence.data(),
+                                         sentence.size() / 2);
+  const std::span<const TokenId> target(
+      sentence.data() + sentence.size() / 2,
+      sentence.size() - sentence.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline.lm().SequenceLogProbability(context, target));
+  }
+}
+BENCHMARK(BM_LmSequenceLogProb);
+
+void BM_AveragePrecisionAtK(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<EntityId> ranking;
+  TargetSet targets;
+  for (int i = 0; i < 200; ++i) {
+    ranking.push_back(static_cast<EntityId>(rng.UniformUint64(1000)));
+    if (i % 3 == 0) targets.insert(ranking.back());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AveragePrecisionAtK(ranking, targets, 100));
+  }
+}
+BENCHMARK(BM_AveragePrecisionAtK);
+
+}  // namespace
+}  // namespace ultrawiki
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Regenerates paper Table 10: interaction between the retrieval-based and
+// generation-based paradigms. Model A recalls a high-recall subset of the
+// candidate vocabulary, model B re-expands restricted to it.
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  TablePrinter table = MakeResultTable(
+      "Table 10: interaction of RetExpan and GenExpan", /*map_only=*/true);
+
+  {
+    auto method = pipeline.MakeRetExpan();
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  {
+    auto method = pipeline.MakeInteraction(InteractionOrder::kRetThenGen);
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  {
+    auto method = pipeline.MakeGenExpan();
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  {
+    auto method = pipeline.MakeInteraction(InteractionOrder::kGenThenRet);
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

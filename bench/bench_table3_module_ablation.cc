@@ -1,0 +1,65 @@
+// Regenerates paper Table 3: module ablations. RetExpan without the
+// entity-prediction refinement (a pretrained-but-not-task-tuned encoder),
+// GenExpan without the prefix constraint, and GenExpan without further
+// pretraining of the LM on the corpus. Values are Comb MAP@K.
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  TablePrinter table("Table 3: module ablations (Comb MAP)");
+  table.SetHeader(
+      {"Method", "MAP@10", "MAP@20", "MAP@50", "MAP@100", "Avg"});
+
+  {
+    auto method = pipeline.MakeRetExpan();
+    AddCombMapRow(table, "RetExpan",
+                  EvaluateExpander(*method, pipeline.dataset()));
+  }
+  {
+    // "- Entity prediction": rank with the weakly trained encoder.
+    RetExpan method(&pipeline.weak_store(), &pipeline.candidates());
+    AddCombMapRow(table, "- Entity prediction",
+                  EvaluateExpander(method, pipeline.dataset()));
+  }
+  table.AddSeparator();
+  {
+    auto method = pipeline.MakeGenExpan();
+    AddCombMapRow(table, "GenExpan",
+                  EvaluateExpander(*method, pipeline.dataset()));
+  }
+  {
+    GenExpanConfig config;
+    config.use_prefix_constraint = false;
+    auto method = pipeline.MakeGenExpan(config);
+    AddCombMapRow(table, "- Prefix constrain",
+                  EvaluateExpander(*method, pipeline.dataset()));
+  }
+  {
+    // "- Further pretrain": the LM keeps only its residual (background)
+    // knowledge of the corpus.
+    auto lm = pipeline.BuildLmVariant(pipeline.config().lm,
+                                      /*pretrain_fraction=*/0.35);
+    LmEntitySimilarity similarity(pipeline.world().corpus, *lm);
+    GenExpan method(&pipeline.world(), lm.get(), &pipeline.trie(),
+                    &similarity, &pipeline.oracle(), GenExpanConfig{},
+                    "GenExpan - Further pretrain");
+    AddCombMapRow(table, "- Further pretrain",
+                  EvaluateExpander(method, pipeline.dataset()));
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

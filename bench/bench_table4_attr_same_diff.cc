@@ -1,0 +1,61 @@
+// Regenerates paper Table 4: RetExpan (+Contrast, +RA) on the two query
+// regimes — A_pos = A_neg (negative seeds emphasize the attribute of
+// interest) vs A_pos != A_neg (negative seeds express unwanted semantics).
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void RunBlock(Pipeline& pipeline, bool identical, TablePrinter& table) {
+  EvalConfig eval;
+  eval.query_filter = [identical](const Query&, const UltraClass& ultra) {
+    return ultra.attrs_identical == identical;
+  };
+  {
+    auto method = pipeline.MakeRetExpan();
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset(), eval),
+                  /*map_only=*/true);
+  }
+  {
+    auto method = pipeline.MakeRetExpanContrast();
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset(), eval),
+                  /*map_only=*/true);
+  }
+  {
+    auto method = pipeline.MakeRetExpanRa();
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset(), eval),
+                  /*map_only=*/true);
+  }
+}
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  {
+    TablePrinter table = MakeResultTable(
+        "Table 4 (top): A_pos = A_neg (emphasis regime)", /*map_only=*/true);
+    RunBlock(pipeline, /*identical=*/true, table);
+    table.Print(std::cout);
+  }
+  {
+    TablePrinter table = MakeResultTable(
+        "\nTable 4 (bottom): A_pos != A_neg (unwanted-semantics regime)",
+        /*map_only=*/true);
+    RunBlock(pipeline, /*identical=*/false, table);
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates paper Table 6: RetExpan on semantic classes with different
+// numbers of positive and negative attributes — (1,1), (1,2), (2,1).
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  TablePrinter table = MakeResultTable(
+      "Table 6: semantic classes by (|A_pos|, |A_neg|)", /*map_only=*/true);
+  auto method = pipeline.MakeRetExpan();
+  const std::pair<int, int> combos[] = {{1, 1}, {1, 2}, {2, 1}};
+  for (const auto& [pos_count, neg_count] : combos) {
+    EvalConfig eval;
+    eval.query_filter = [pos_count = pos_count, neg_count = neg_count](
+                            const Query&, const UltraClass& ultra) {
+      return static_cast<int>(ultra.pos_attrs.size()) == pos_count &&
+             static_cast<int>(ultra.neg_attrs.size()) == neg_count;
+    };
+    const EvalResult result =
+        EvaluateExpander(*method, pipeline.dataset(), eval);
+    if (result.query_count == 0) {
+      std::cout << "(no queries with |A_pos|=" << pos_count
+                << ", |A_neg|=" << neg_count
+                << " at this scale; increase ultra_class_scale)\n";
+      continue;
+    }
+    AddResultRows(table,
+                  "(" + std::to_string(pos_count) + ", " +
+                      std::to_string(neg_count) + ") [" +
+                      std::to_string(result.query_count) + " queries]",
+                  result, /*map_only=*/true);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates paper Table 8: retrieval augmentation with different
+// knowledge sources (entity introductions, Wikidata-style attribute dumps,
+// ground-truth attributes) for both RetExpan and GenExpan.
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  TablePrinter table = MakeResultTable(
+      "Table 8: retrieval augmentation knowledge sources",
+      /*map_only=*/true);
+
+  const RaSource sources[] = {RaSource::kIntroduction,
+                              RaSource::kWikidataAttributes,
+                              RaSource::kGroundTruthAttributes};
+  for (RaSource source : sources) {
+    auto method = pipeline.MakeRetExpanRa(source);
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  for (RaSource source : sources) {
+    GenExpanConfig config;
+    config.retrieval_augmentation = true;
+    config.ra_source = source;
+    auto method = pipeline.MakeGenExpan(config);
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates paper Table 9: chain-of-thought reasoning with varying
+// depth (class name only → + positive attributes → + negative attributes)
+// and precision (generated vs ground-truth reasoning results).
+
+#include <iostream>
+
+#include "eval/report.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+void Run() {
+  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  TablePrinter table = MakeResultTable(
+      "Table 9: chain-of-thought reasoning depth and precision",
+      /*map_only=*/true);
+
+  const CotMode modes[] = {
+      CotMode::kNone,
+      CotMode::kGtClassName,
+      CotMode::kGenClassName,
+      CotMode::kGenClassNameGenPos,
+      CotMode::kGenClassNameGtPos,
+      CotMode::kGenClassNameGenPosGenNeg,
+      CotMode::kGenClassNameGtPosGtNeg,
+  };
+  for (CotMode mode : modes) {
+    GenExpanConfig config;
+    config.cot = mode;
+    auto method = pipeline.MakeGenExpan(config);
+    AddResultRows(table, method->name(),
+                  EvaluateExpander(*method, pipeline.dataset()),
+                  /*map_only=*/true);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Side-by-side comparison of every implemented method on a shared reduced
+// dataset — the "which method should I use?" walkthrough. Prints the
+// Pos/Neg/Comb averages per method plus per-query latency.
+//
+//   $ ./example_compare_methods
+
+#include <chrono>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/evaluator.h"
+#include "expand/pipeline.h"
+
+int main() {
+  using namespace ultrawiki;
+
+  PipelineConfig config = PipelineConfig::Tiny();
+  config.generator.scale = 0.15;
+  std::cout << "building pipeline...\n";
+  Pipeline pipeline = Pipeline::Build(config);
+  std::cout << "evaluating " << pipeline.dataset().queries.size()
+            << " queries per method\n\n";
+
+  TablePrinter table("method comparison (reduced scale)");
+  table.SetHeader(
+      {"method", "Pos avg ^", "Neg avg v", "Comb avg ^", "ms/query"});
+
+  auto run = [&](Expander& method) {
+    const auto start = std::chrono::steady_clock::now();
+    const EvalResult result =
+        EvaluateExpander(method, pipeline.dataset());
+    const auto elapsed = std::chrono::duration_cast<
+                             std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    table.AddRow({method.name(), FormatDouble(result.AvgPos(), 2),
+                  FormatDouble(result.AvgNeg(), 2),
+                  FormatDouble(result.AvgComb(), 2),
+                  FormatDouble(static_cast<double>(elapsed) /
+                                   std::max(1, result.query_count),
+                               2)});
+  };
+
+  { auto m = pipeline.MakeSetExpan(); run(*m); }
+  { auto m = pipeline.MakeCaSE(); run(*m); }
+  { auto m = pipeline.MakeCgExpan(); run(*m); }
+  { auto m = pipeline.MakeProbExpan(); run(*m); }
+  { auto m = pipeline.MakeGpt4Baseline(); run(*m); }
+  { auto m = pipeline.MakeRetExpan(); run(*m); }
+  { auto m = pipeline.MakeGenExpan(); run(*m); }
+  {
+    auto m = pipeline.MakeInteraction(InteractionOrder::kGenThenRet);
+    run(*m);
+  }
+  table.Print(std::cout);
+  std::cout << "\n(Comb = (Pos + 100 - Neg)/2; see bench_table2_main for "
+               "the full-scale comparison.)\n";
+  return 0;
+}

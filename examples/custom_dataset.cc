@@ -1,0 +1,84 @@
+// Using the substrate APIs directly: generate a custom-scale synthetic
+// Wikipedia, run the four-step UltraWiki construction pipeline, and print
+// the dataset statistics — the workflow of a user who wants their own
+// benchmark rather than the default bench profile.
+//
+//   $ ./example_custom_dataset
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "dataset/stats.h"
+
+int main() {
+  using namespace ultrawiki;
+
+  // Step 1+2: semantic classes, entities, and entity-labelled sentences.
+  GeneratorConfig generator;
+  generator.seed = 2024;
+  generator.scale = 0.15;
+  generator.sentences_per_entity = 12;
+  generator.background_entity_count = 150;
+  std::cout << "generating world (scale " << generator.scale << ")...\n";
+  const GeneratedWorld world = GenerateWorld(generator);
+  std::cout << "  entities: " << world.corpus.entity_count()
+            << ", labelled sentences: " << world.corpus.sentence_count()
+            << ", auxiliary sentences: "
+            << world.corpus.auxiliary_sentences().size() << "\n";
+
+  // A peek at the generated material.
+  const Sentence& sample = world.corpus.sentence(0);
+  std::cout << "  sample sentence: \""
+            << world.corpus.Render(sample.tokens) << "\"\n";
+  std::cout << "  sample introduction: \""
+            << world.corpus.Render(world.kb.IntroductionOf(sample.entity))
+            << "\"\n\n";
+
+  // Step 3+4: annotation, ultra-class generation, candidate vocabulary.
+  DatasetConfig dataset_config;
+  dataset_config.seed = 99;
+  dataset_config.n_thred = 6;
+  dataset_config.queries_per_class = 3;
+  dataset_config.ultra_class_scale = 0.2;
+  const auto built = BuildDataset(world, dataset_config);
+  if (!built.ok()) {
+    std::cerr << "dataset construction failed: " << built.status() << "\n";
+    return 1;
+  }
+  const UltraWikiDataset& dataset = *built;
+
+  const DatasetStats stats = ComputeDatasetStats(world, dataset);
+  std::cout << "constructed dataset:\n"
+            << "  ultra-fine-grained classes: " << stats.ultra_class_count
+            << "\n  queries: " << stats.query_count
+            << "\n  candidates: " << stats.candidate_count
+            << " (hard negatives mined: " << stats.hard_negative_count
+            << ")\n  avg |P| / |N|: "
+            << FormatDouble(stats.avg_positive_targets, 1) << " / "
+            << FormatDouble(stats.avg_negative_targets, 1)
+            << "\n  Fleiss kappa: "
+            << FormatDouble(stats.fleiss_kappa, 3) << "\n\n";
+
+  // Show one generated ultra-class in human terms.
+  const UltraClass& ultra = dataset.classes.front();
+  const FineClassSpec& spec =
+      world.schema[static_cast<size_t>(ultra.fine_class)];
+  std::cout << "example ultra-fine-grained class on '" << spec.name
+            << "':\n  positive constraint:";
+  for (size_t i = 0; i < ultra.pos_attrs.size(); ++i) {
+    const AttributeDef& attr =
+        spec.attributes[static_cast<size_t>(ultra.pos_attrs[i])];
+    std::cout << " " << attr.name << "="
+              << attr.values[static_cast<size_t>(ultra.pos_values[i])];
+  }
+  std::cout << "\n  negative constraint:";
+  for (size_t i = 0; i < ultra.neg_attrs.size(); ++i) {
+    const AttributeDef& attr =
+        spec.attributes[static_cast<size_t>(ultra.neg_attrs[i])];
+    std::cout << " " << attr.name << "="
+              << attr.values[static_cast<size_t>(ultra.neg_values[i])];
+  }
+  std::cout << "\n  |P| = " << ultra.positive_targets.size()
+            << ", |N| = " << ultra.negative_targets.size() << "\n";
+  return 0;
+}

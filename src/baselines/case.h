@@ -1,0 +1,51 @@
+#ifndef ULTRAWIKI_BASELINES_CASE_H_
+#define ULTRAWIKI_BASELINES_CASE_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "embedding/entity_store.h"
+#include "expand/expander.h"
+#include "index/bm25.h"
+
+namespace ultrawiki {
+
+/// CaSE configuration (Yu et al. 2019).
+struct CaseConfig {
+  /// Rank-fusion weight of the lexical (BM25) channel vs the distributed
+  /// representation channel.
+  double lexical_weight = 0.35;
+  /// Sentences per entity concatenated into its lexical document.
+  int max_sentences_per_entity = 5;
+};
+
+/// CaSE: one-shot corpus-based set expansion fusing lexical features
+/// (BM25 over per-entity context documents) with distributed
+/// representations (cosine over a pretrained-but-not-task-tuned encoder
+/// store). Negative seeds are ignored (predates them).
+class CaSE : public Expander {
+ public:
+  /// Builds the per-entity document index. `corpus`, `store`, and
+  /// `candidates` must outlive the expander. `store` should come from a
+  /// generic (not entity-prediction-tuned) encoder, mirroring CaSE's
+  /// pre-BERT-era embeddings.
+  CaSE(const Corpus* corpus, const EntityStore* store,
+       const std::vector<EntityId>* candidates, CaseConfig config = {});
+
+  std::vector<EntityId> Expand(const Query& query, size_t k) override;
+  std::string name() const override { return "CaSE"; }
+
+ private:
+  std::vector<TokenId> DocumentOf(EntityId id) const;
+
+  const Corpus* corpus_;
+  const EntityStore* store_;
+  const std::vector<EntityId>* candidates_;
+  CaseConfig config_;
+  InvertedIndex index_;  // one document per candidate, in candidate order
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_BASELINES_CASE_H_

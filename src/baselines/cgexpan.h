@@ -1,0 +1,54 @@
+#ifndef ULTRAWIKI_BASELINES_CGEXPAN_H_
+#define ULTRAWIKI_BASELINES_CGEXPAN_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "embedding/entity_store.h"
+#include "expand/expander.h"
+#include "lm/association.h"
+
+namespace ultrawiki {
+
+/// CGExpan configuration (Zhang et al. 2020).
+struct CgExpanConfig {
+  /// Rank-fusion weight of the class-name compatibility channel.
+  double class_name_weight = 0.1;
+};
+
+/// CGExpan: class-guided expansion. The language model first infers the
+/// class name of the seed set (here: the class noun with the highest
+/// association to the seed surface forms — the Hearst-pattern probing of
+/// the original), then candidates are ranked by a fusion of embedding
+/// similarity and compatibility with that class name. Works at the
+/// fine-grained conceptual level only; negative seeds are ignored.
+class CgExpan : public Expander {
+ public:
+  /// `store` should be a pretrained-but-not-task-tuned encoder store
+  /// (the original uses vanilla BERT). All pointers must outlive this.
+  CgExpan(const GeneratedWorld* world, const EntityStore* store,
+          const AssociationModel* association,
+          const std::vector<EntityId>* candidates,
+          CgExpanConfig config = {});
+
+  std::vector<EntityId> Expand(const Query& query, size_t k) override;
+  std::string name() const override { return "CGExpan"; }
+
+  /// The class noun inferred for `seeds` (exposed for tests).
+  TokenId InferClassNoun(const std::vector<EntityId>& seeds) const;
+
+ private:
+  double NameAssociation(EntityId id, TokenId target) const;
+
+  const GeneratedWorld* world_;
+  const EntityStore* store_;
+  const AssociationModel* association_;
+  const std::vector<EntityId>* candidates_;
+  CgExpanConfig config_;
+  std::vector<TokenId> class_nouns_;  // singular noun token per class
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_BASELINES_CGEXPAN_H_

@@ -1,0 +1,18 @@
+#include "baselines/gpt4_baseline.h"
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+Gpt4Baseline::Gpt4Baseline(const LlmOracle* oracle,
+                           const UltraWikiDataset* dataset)
+    : oracle_(oracle), dataset_(dataset) {
+  UW_CHECK_NE(oracle, nullptr);
+  UW_CHECK_NE(dataset, nullptr);
+}
+
+std::vector<EntityId> Gpt4Baseline::Expand(const Query& query, size_t k) {
+  return oracle_->ExpandGenerative(query, *dataset_, k);
+}
+
+}  // namespace ultrawiki

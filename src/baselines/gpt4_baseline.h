@@ -1,0 +1,31 @@
+#ifndef ULTRAWIKI_BASELINES_GPT4_BASELINE_H_
+#define ULTRAWIKI_BASELINES_GPT4_BASELINE_H_
+
+#include <string>
+
+#include "expand/expander.h"
+#include "llm_oracle/oracle.h"
+
+namespace ultrawiki {
+
+/// The zero-shot generative LLM baseline: a prompt containing both
+/// positive and negative seed entities is sent to the (simulated) GPT-4,
+/// which returns a ranked list — unconstrained, so it hallucinates
+/// non-existent entities and degrades on long-tail classes, the two
+/// failure modes §6.2 (6) documents.
+class Gpt4Baseline : public Expander {
+ public:
+  /// `oracle` and `dataset` must outlive the expander.
+  Gpt4Baseline(const LlmOracle* oracle, const UltraWikiDataset* dataset);
+
+  std::vector<EntityId> Expand(const Query& query, size_t k) override;
+  std::string name() const override { return "GPT-4"; }
+
+ private:
+  const LlmOracle* oracle_;
+  const UltraWikiDataset* dataset_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_BASELINES_GPT4_BASELINE_H_

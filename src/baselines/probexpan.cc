@@ -1,0 +1,72 @@
+#include "baselines/probexpan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "expand/rerank.h"
+#include "math/topk.h"
+
+namespace ultrawiki {
+
+ProbExpan::ProbExpan(const std::vector<SparseVec>* distributions,
+                     const std::vector<EntityId>* candidates,
+                     ProbExpanConfig config, std::string name)
+    : distributions_(distributions),
+      candidates_(candidates),
+      config_(config),
+      name_(std::move(name)) {
+  UW_CHECK_NE(distributions, nullptr);
+  UW_CHECK_NE(candidates, nullptr);
+}
+
+double ProbExpan::SeedSimilarity(const std::vector<EntityId>& seeds,
+                                 EntityId candidate) const {
+  if (seeds.empty()) return 0.0;
+  if (candidate < 0 ||
+      static_cast<size_t>(candidate) >= distributions_->size()) {
+    return 0.0;
+  }
+  const SparseVec& cand = (*distributions_)[static_cast<size_t>(candidate)];
+  if (cand.entries.empty()) return 0.0;
+  double sum = 0.0;
+  for (EntityId seed : seeds) {
+    if (seed < 0 || static_cast<size_t>(seed) >= distributions_->size()) {
+      continue;
+    }
+    const SparseVec& s = (*distributions_)[static_cast<size_t>(seed)];
+    if (s.entries.empty()) continue;
+    sum += static_cast<double>(SparseCosine(cand, s));
+  }
+  return sum / static_cast<double>(seeds.size());
+}
+
+std::vector<EntityId> ProbExpan::Expand(const Query& query, size_t k) {
+  const std::vector<EntityId> seeds = SortedSeedsOf(query);
+  std::vector<ScoredIndex> scored;
+  scored.reserve(candidates_->size());
+  for (size_t i = 0; i < candidates_->size(); ++i) {
+    const EntityId id = (*candidates_)[i];
+    if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+    scored.push_back(ScoredIndex{
+        static_cast<float>(SeedSimilarity(query.pos_seeds, id)), i});
+  }
+  const size_t initial_size = std::max<size_t>(
+      k, static_cast<size_t>(config_.initial_list_size));
+  scored = TopKOfPairs(std::move(scored), initial_size);
+  std::vector<EntityId> list;
+  list.reserve(scored.size());
+  for (const ScoredIndex& s : scored) list.push_back((*candidates_)[s.index]);
+
+  if (config_.use_negative_rerank && !query.neg_seeds.empty()) {
+    list = SegmentedRerank(
+        list,
+        [this, &query](EntityId id) {
+          return SeedSimilarity(query.neg_seeds, id);
+        },
+        config_.rerank_segment_length);
+  }
+  if (list.size() > k) list.resize(k);
+  return list;
+}
+
+}  // namespace ultrawiki

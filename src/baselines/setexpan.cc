@@ -1,0 +1,163 @@
+#include "baselines/setexpan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "math/topk.h"
+
+namespace ultrawiki {
+namespace {
+
+/// Positional skip-gram feature key: token id plus a signed offset bucket.
+uint64_t FeatureKey(TokenId token, int offset) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(token)) << 8) ^
+         static_cast<uint64_t>(static_cast<uint32_t>(offset + 16));
+}
+
+}  // namespace
+
+SetExpan::SetExpan(const Corpus* corpus,
+                   const std::vector<EntityId>* candidates,
+                   SetExpanConfig config)
+    : candidates_(candidates), config_(config) {
+  UW_CHECK_NE(corpus, nullptr);
+  UW_CHECK_NE(candidates, nullptr);
+
+  // Raw feature counts per entity.
+  std::unordered_map<EntityId, std::unordered_map<uint64_t, int>> counts;
+  std::unordered_map<uint64_t, int> document_frequency;
+  for (EntityId id : *candidates) {
+    auto& entity_counts = counts[id];
+    for (int s : corpus->SentencesOf(id)) {
+      const Sentence& sentence = corpus->sentence(static_cast<size_t>(s));
+      const int begin = sentence.mention_begin;
+      const int end = sentence.mention_begin + sentence.mention_len;
+      const int size = static_cast<int>(sentence.tokens.size());
+      for (int w = 1; w <= config.context_window; ++w) {
+        const int left = begin - w;
+        if (left >= 0) {
+          ++entity_counts[FeatureKey(sentence.tokens[static_cast<size_t>(
+                                         left)],
+                                     -w)];
+        }
+        const int right = end + w - 1;
+        if (right < size) {
+          ++entity_counts[FeatureKey(sentence.tokens[static_cast<size_t>(
+                                         right)],
+                                     w)];
+        }
+      }
+    }
+    for (const auto& [feature, count] : entity_counts) {
+      ++document_frequency[feature];
+    }
+  }
+
+  // TF-IDF weights and both index directions.
+  const double total_entities =
+      static_cast<double>(candidates->size()) + 1.0;
+  for (auto& [entity, entity_counts] : counts) {
+    auto& features = entity_features_[entity];
+    features.reserve(entity_counts.size());
+    for (const auto& [feature, count] : entity_counts) {
+      const double idf = std::log(
+          total_entities /
+          (static_cast<double>(document_frequency[feature]) + 0.5));
+      const float weight = static_cast<float>(
+          std::log(1.0 + static_cast<double>(count)) * std::max(idf, 0.0));
+      if (weight <= 0.0f) continue;
+      features.emplace_back(feature, weight);
+      feature_entities_[feature].emplace_back(entity, weight);
+    }
+    std::sort(features.begin(), features.end());
+  }
+}
+
+std::vector<EntityId> SetExpan::Expand(const Query& query, size_t k) {
+  const std::vector<EntityId> seeds = SortedSeedsOf(query);
+  std::set<EntityId> current(query.pos_seeds.begin(), query.pos_seeds.end());
+
+  // Mean reciprocal rank accumulated over iterations.
+  std::unordered_map<EntityId, double> ensemble;
+
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    // Feature selection: affinity of each feature with the current set.
+    std::unordered_map<uint64_t, double> feature_affinity;
+    for (EntityId member : current) {
+      const auto it = entity_features_.find(member);
+      if (it == entity_features_.end()) continue;
+      for (const auto& [feature, weight] : it->second) {
+        feature_affinity[feature] += static_cast<double>(weight);
+      }
+    }
+    std::vector<std::pair<double, uint64_t>> ranked_features;
+    ranked_features.reserve(feature_affinity.size());
+    for (const auto& [feature, affinity] : feature_affinity) {
+      ranked_features.emplace_back(affinity, feature);
+    }
+    const size_t feature_budget = std::min<size_t>(
+        static_cast<size_t>(config_.selected_features),
+        ranked_features.size());
+    std::partial_sort(ranked_features.begin(),
+                      ranked_features.begin() +
+                          static_cast<long>(feature_budget),
+                      ranked_features.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    ranked_features.resize(feature_budget);
+
+    // Candidate scoring over the selected features' postings.
+    std::unordered_map<EntityId, double> scores;
+    for (const auto& [affinity, feature] : ranked_features) {
+      const auto it = feature_entities_.find(feature);
+      if (it == feature_entities_.end()) continue;
+      const double feature_weight = std::sqrt(affinity);
+      for (const auto& [entity, weight] : it->second) {
+        scores[entity] += feature_weight * static_cast<double>(weight);
+      }
+    }
+    std::vector<std::pair<double, EntityId>> ranking;
+    ranking.reserve(scores.size());
+    for (const auto& [entity, score] : scores) {
+      if (current.contains(entity)) continue;
+      if (std::binary_search(seeds.begin(), seeds.end(), entity)) continue;
+      ranking.emplace_back(score, entity);
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+
+    // Rank ensemble + set growth.
+    for (size_t r = 0; r < ranking.size(); ++r) {
+      ensemble[ranking[r].second] += 1.0 / static_cast<double>(r + 1);
+    }
+    const size_t grow = std::min<size_t>(
+        static_cast<size_t>(config_.added_per_iteration), ranking.size());
+    for (size_t r = 0; r < grow; ++r) current.insert(ranking[r].second);
+  }
+
+  std::vector<std::pair<double, EntityId>> final_ranking;
+  final_ranking.reserve(ensemble.size());
+  for (const auto& [entity, score] : ensemble) {
+    final_ranking.emplace_back(score, entity);
+  }
+  std::sort(final_ranking.begin(), final_ranking.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<EntityId> result;
+  result.reserve(std::min(k, final_ranking.size()));
+  for (size_t i = 0; i < final_ranking.size() && result.size() < k; ++i) {
+    result.push_back(final_ranking[i].second);
+  }
+  return result;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,60 @@
+#ifndef ULTRAWIKI_BASELINES_SETEXPAN_H_
+#define ULTRAWIKI_BASELINES_SETEXPAN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "expand/expander.h"
+
+namespace ultrawiki {
+
+/// SetExpan configuration (Shen et al. 2017): iterative context-feature
+/// selection with rank ensembling.
+struct SetExpanConfig {
+  /// Tokens considered on each side of the entity mention.
+  int context_window = 3;
+  /// Skip-gram features selected per iteration (by seed-set affinity).
+  int selected_features = 60;
+  /// Bootstrapping iterations whose rankings are ensembled.
+  int iterations = 4;
+  /// Entities added to the seed set after each iteration.
+  int added_per_iteration = 8;
+};
+
+/// The classic corpus-based probabilistic baseline: entities are bags of
+/// positional skip-gram context features with TF-IDF weights; each round
+/// selects the features most associated with the current set, ranks
+/// candidates by them, and the final ranking ensembles the per-round
+/// rankings by mean reciprocal rank. Negative seeds are ignored (the
+/// published method predates them).
+class SetExpan : public Expander {
+ public:
+  /// Precomputes the feature index over `candidates`' sentences. Both
+  /// pointers must outlive the expander.
+  SetExpan(const Corpus* corpus, const std::vector<EntityId>* candidates,
+           SetExpanConfig config = {});
+
+  std::vector<EntityId> Expand(const Query& query, size_t k) override;
+  std::string name() const override { return "SetExpan"; }
+
+  /// Number of distinct skip-gram features observed (for tests).
+  size_t feature_count() const { return feature_entities_.size(); }
+
+ private:
+  using FeatureId = uint64_t;
+
+  /// feature -> (entity, tf-idf weight) postings.
+  std::unordered_map<FeatureId, std::vector<std::pair<EntityId, float>>>
+      feature_entities_;
+  /// entity -> (feature, tf-idf weight), sorted by feature.
+  std::unordered_map<EntityId, std::vector<std::pair<FeatureId, float>>>
+      entity_features_;
+  const std::vector<EntityId>* candidates_;
+  SetExpanConfig config_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_BASELINES_SETEXPAN_H_

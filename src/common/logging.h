@@ -1,0 +1,84 @@
+#ifndef ULTRAWIKI_COMMON_LOGGING_H_
+#define ULTRAWIKI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ultrawiki {
+
+/// Log severities, in increasing order. Messages below the global threshold
+/// are suppressed.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits the accumulated message on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Variant that aborts the process after emitting; used by CHECK macros.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ultrawiki
+
+#define UW_LOG(level)                                             \
+  ::ultrawiki::internal_logging::LogMessage(                      \
+      ::ultrawiki::LogLevel::k##level, __FILE__, __LINE__)        \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build modes:
+/// these guard library invariants, not user errors (which return Status).
+#define UW_CHECK(cond)                                                    \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::ultrawiki::internal_logging::FatalLogMessage(__FILE__, __LINE__)    \
+            .stream()                                                     \
+        << "Check failed: " #cond " "
+
+#define UW_CHECK_OP(a, b, op) UW_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define UW_CHECK_EQ(a, b) UW_CHECK_OP(a, b, ==)
+#define UW_CHECK_NE(a, b) UW_CHECK_OP(a, b, !=)
+#define UW_CHECK_LT(a, b) UW_CHECK_OP(a, b, <)
+#define UW_CHECK_LE(a, b) UW_CHECK_OP(a, b, <=)
+#define UW_CHECK_GT(a, b) UW_CHECK_OP(a, b, >)
+#define UW_CHECK_GE(a, b) UW_CHECK_OP(a, b, >=)
+
+/// Aborts if `status_expr` is not OK.
+#define UW_CHECK_OK(status_expr)                                       \
+  do {                                                                 \
+    const ::ultrawiki::Status _uw_st = (status_expr);                  \
+    UW_CHECK(_uw_st.ok()) << _uw_st.ToString();                        \
+  } while (0)
+
+#endif  // ULTRAWIKI_COMMON_LOGGING_H_

@@ -1,0 +1,131 @@
+#ifndef ULTRAWIKI_COMMON_STATUS_H_
+#define ULTRAWIKI_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ultrawiki {
+
+/// Error categories used across the library. Mirrors the small set of
+/// failure modes a retrieval/expansion pipeline can hit.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight error-or-success value. The library does not use exceptions
+/// on fallible paths; functions that can fail return `Status` or
+/// `StatusOr<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the
+/// value of a non-OK StatusOr aborts, so callers must check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return value;` in StatusOr functions.
+  StatusOr(T value) : payload_(std::move(value)) {}
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  StatusOr(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status; OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) {
+    internal_status::DieOnBadStatusAccess(std::get<Status>(payload_));
+  }
+}
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_COMMON_STATUS_H_

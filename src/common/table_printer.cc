@@ -1,0 +1,72 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  UW_CHECK(rows_.empty()) << "SetHeader must precede AddRow";
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  UW_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_separator) continue;
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto print_line = [&os, &widths]() {
+    os << '+';
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << cells[i] << std::string(widths[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_line();
+  print_cells(header_);
+  print_line();
+  for (const Row& row : rows_) {
+    if (row.is_separator) {
+      print_line();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_line();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace ultrawiki

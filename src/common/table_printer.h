@@ -1,0 +1,47 @@
+#ifndef ULTRAWIKI_COMMON_TABLE_PRINTER_H_
+#define ULTRAWIKI_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ultrawiki {
+
+/// Column-aligned plain-text table writer used by the benchmark harness to
+/// print paper-style result tables.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between row groups.
+  void AddSeparator();
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_COMMON_TABLE_PRINTER_H_

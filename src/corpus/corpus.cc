@@ -1,0 +1,82 @@
+#include "corpus/corpus.h"
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+EntityId Corpus::AddEntity(Entity entity) {
+  const EntityId id = static_cast<EntityId>(entities_.size());
+  entity.id = id;
+  entities_.push_back(std::move(entity));
+  sentences_of_entity_.emplace_back();
+  return id;
+}
+
+void Corpus::AddSentence(Sentence sentence) {
+  UW_CHECK_GE(sentence.entity, 0);
+  UW_CHECK_LT(static_cast<size_t>(sentence.entity), entities_.size());
+  UW_CHECK_GE(sentence.mention_begin, 0);
+  UW_CHECK_LE(
+      static_cast<size_t>(sentence.mention_begin + sentence.mention_len),
+      sentence.tokens.size());
+  const int index = static_cast<int>(sentences_.size());
+  sentences_of_entity_[static_cast<size_t>(sentence.entity)].push_back(index);
+  sentences_.push_back(std::move(sentence));
+}
+
+void Corpus::AddAuxiliarySentence(std::vector<TokenId> tokens) {
+  auxiliary_.push_back(std::move(tokens));
+}
+
+const Entity& Corpus::entity(EntityId id) const {
+  UW_CHECK_GE(id, 0);
+  UW_CHECK_LT(static_cast<size_t>(id), entities_.size());
+  return entities_[static_cast<size_t>(id)];
+}
+
+const Sentence& Corpus::sentence(size_t index) const {
+  UW_CHECK_LT(index, sentences_.size());
+  return sentences_[index];
+}
+
+const std::vector<int>& Corpus::SentencesOf(EntityId id) const {
+  UW_CHECK_GE(id, 0);
+  UW_CHECK_LT(static_cast<size_t>(id), sentences_of_entity_.size());
+  return sentences_of_entity_[static_cast<size_t>(id)];
+}
+
+std::vector<TokenId> Corpus::InternWords(
+    const std::vector<std::string>& words) {
+  std::vector<TokenId> ids;
+  ids.reserve(words.size());
+  for (const std::string& word : words) {
+    ids.push_back(tokens_.AddToken(word));
+  }
+  return ids;
+}
+
+std::string Corpus::Render(const std::vector<TokenId>& token_ids) const {
+  std::string out;
+  for (size_t i = 0; i < token_ids.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens_.TokenOf(token_ids[i]);
+  }
+  return out;
+}
+
+std::vector<EntityId> Corpus::EntitiesOfClass(ClassId class_id) const {
+  std::vector<EntityId> out;
+  for (const Entity& entity : entities_) {
+    if (entity.class_id == class_id) out.push_back(entity.id);
+  }
+  return out;
+}
+
+std::vector<EntityId> Corpus::AllEntityIds() const {
+  std::vector<EntityId> out;
+  out.reserve(entities_.size());
+  for (const Entity& entity : entities_) out.push_back(entity.id);
+  return out;
+}
+
+}  // namespace ultrawiki

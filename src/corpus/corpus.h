@@ -1,0 +1,86 @@
+#ifndef ULTRAWIKI_CORPUS_CORPUS_H_
+#define ULTRAWIKI_CORPUS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/types.h"
+#include "text/vocabulary.h"
+
+namespace ultrawiki {
+
+/// One entity-labelled sentence of the corpus `D`. Tokens include the
+/// entity mention inline at [mention_begin, mention_begin + mention_len);
+/// consumers that need a masked view (the entity encoder) skip that span,
+/// consumers that need surface text (the LM) use the tokens as-is. This is
+/// the dual role the paper gets from Wikipedia hyperlink anchors.
+struct Sentence {
+  EntityId entity = kInvalidEntityId;
+  std::vector<TokenId> tokens;
+  int mention_begin = 0;
+  int mention_len = 0;
+};
+
+/// The corpus substrate: the candidate-entity registry, the token
+/// vocabulary, the entity-labelled sentences with a per-entity index, and
+/// auxiliary unlabelled sentences (list pages / background prose) that feed
+/// LM pretraining but carry no mention annotation.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  // Movable but not copyable: the corpus is a large shared substrate.
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Registers an entity; assigns and returns its id.
+  EntityId AddEntity(Entity entity);
+
+  /// Adds a labelled sentence; updates the per-entity index.
+  void AddSentence(Sentence sentence);
+
+  /// Adds an unlabelled sentence (LM training only).
+  void AddAuxiliarySentence(std::vector<TokenId> tokens);
+
+  const Entity& entity(EntityId id) const;
+  size_t entity_count() const { return entities_.size(); }
+
+  const Sentence& sentence(size_t index) const;
+  size_t sentence_count() const { return sentences_.size(); }
+
+  /// Indices of the sentences mentioning `id` (possibly empty).
+  const std::vector<int>& SentencesOf(EntityId id) const;
+
+  const std::vector<std::vector<TokenId>>& auxiliary_sentences() const {
+    return auxiliary_;
+  }
+
+  Vocabulary& tokens() { return tokens_; }
+  const Vocabulary& tokens() const { return tokens_; }
+
+  /// Interns each word of `words` and returns the id sequence.
+  std::vector<TokenId> InternWords(const std::vector<std::string>& words);
+
+  /// Renders a token-id sequence back to text (space-joined).
+  std::string Render(const std::vector<TokenId>& token_ids) const;
+
+  /// Entities of `class_id` in id order.
+  std::vector<EntityId> EntitiesOfClass(ClassId class_id) const;
+
+  /// All entity ids (the candidate vocabulary `V`).
+  std::vector<EntityId> AllEntityIds() const;
+
+ private:
+  Vocabulary tokens_;
+  std::vector<Entity> entities_;
+  std::vector<Sentence> sentences_;
+  std::vector<std::vector<int>> sentences_of_entity_;
+  std::vector<std::vector<TokenId>> auxiliary_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_CORPUS_CORPUS_H_

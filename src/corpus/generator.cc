@@ -1,0 +1,389 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "text/name_generator.h"
+#include "text/tokenizer.h"
+
+namespace ultrawiki {
+namespace {
+
+/// Internal helper bundling the generator state.
+class WorldBuilder {
+ public:
+  explicit WorldBuilder(const GeneratorConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        names_(Rng(config.seed ^ 0xABCDEF0123456789ULL)) {}
+
+  GeneratedWorld Build();
+
+ private:
+  void MakeNoiseVocabulary();
+  void MakeEntities();
+  void MakeContextSentences();
+  void MakeListSentences();
+  void MakeSimilaritySentences();
+  void MakeBackgroundSentences();
+  void MakeKnowledgeBase();
+
+  std::vector<TokenId> NameTokens(const Entity& entity);
+  void AppendWords(std::vector<TokenId>& tokens,
+                   const std::vector<std::string>& words);
+  void AppendNoise(std::vector<TokenId>& tokens, int count);
+  void AppendTopic(std::vector<TokenId>& tokens, const FineClassSpec& spec,
+                   int count);
+  /// Appends the canonical clue phrase for (class, attr, value).
+  void AppendClue(std::vector<TokenId>& tokens, const FineClassSpec& spec,
+                  int attr, int value);
+
+  /// Appends a sampled clue paraphrase (canonical with canonical_rate).
+  void AppendClueVariant(std::vector<TokenId>& tokens,
+                         const FineClassSpec& spec, int attr, int value);
+
+  GeneratorConfig config_;
+  Rng rng_;
+  NameGenerator names_;
+  GeneratedWorld world_;
+  std::vector<TokenId> noise_tokens_;
+  TokenId comma_ = kInvalidTokenId;
+  TokenId period_ = kInvalidTokenId;
+};
+
+GeneratedWorld WorldBuilder::Build() {
+  world_.schema =
+      ScaledSchema(config_.scale, config_.min_entities_per_class);
+  comma_ = world_.corpus.tokens().AddToken(",");
+  period_ = world_.corpus.tokens().AddToken(".");
+  MakeNoiseVocabulary();
+  MakeEntities();
+  MakeContextSentences();
+  MakeListSentences();
+  MakeSimilaritySentences();
+  MakeBackgroundSentences();
+  MakeKnowledgeBase();
+  return std::move(world_);
+}
+
+void WorldBuilder::MakeNoiseVocabulary() {
+  NameGenerator noise_names(rng_.Fork());
+  noise_tokens_.reserve(config_.noise_vocab_size);
+  for (int i = 0; i < config_.noise_vocab_size; ++i) {
+    noise_tokens_.push_back(
+        world_.corpus.tokens().AddToken(noise_names.NextName(1, 97)));
+  }
+}
+
+void WorldBuilder::MakeEntities() {
+  world_.entities_by_value.resize(world_.schema.size());
+  for (size_t c = 0; c < world_.schema.size(); ++c) {
+    const FineClassSpec& spec = world_.schema[c];
+    auto& by_value = world_.entities_by_value[c];
+    by_value.resize(spec.attributes.size());
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      by_value[a].resize(spec.attributes[a].values.size());
+    }
+    for (int i = 0; i < spec.entity_count; ++i) {
+      Entity entity;
+      entity.name = names_.NextName(2, spec.name_style, 2);
+      Tokenizer tokenizer;
+      entity.name_tokens = tokenizer.Tokenize(entity.name);
+      entity.class_id = static_cast<ClassId>(c);
+      entity.is_long_tail = rng_.Bernoulli(config_.long_tail_fraction);
+      // Mildly skewed value distribution: earlier values are more common,
+      // mirroring real attribute skew (most countries drive on the right).
+      for (const AttributeDef& attr : spec.attributes) {
+        std::vector<double> weights(attr.values.size());
+        for (size_t v = 0; v < weights.size(); ++v) {
+          weights[v] = 1.0 / (1.0 + 0.25 * static_cast<double>(v));
+        }
+        entity.attribute_values.push_back(
+            static_cast<int>(rng_.Categorical(weights)));
+      }
+      const EntityId id = world_.corpus.AddEntity(std::move(entity));
+      const Entity& stored = world_.corpus.entity(id);
+      for (size_t a = 0; a < spec.attributes.size(); ++a) {
+        by_value[a][static_cast<size_t>(stored.attribute_values[a])]
+            .push_back(id);
+      }
+    }
+  }
+  // Background entities: first the confusable ones, then generic ones.
+  const int confusable = static_cast<int>(
+      config_.background_confusable_fraction *
+      static_cast<double>(config_.background_entity_count));
+  for (int i = 0; i < config_.background_entity_count; ++i) {
+    Entity entity;
+    entity.name = names_.NextName(2, 50 + (i % 7), 2);
+    Tokenizer tokenizer;
+    entity.name_tokens = tokenizer.Tokenize(entity.name);
+    entity.class_id = kBackgroundClassId;
+    entity.is_long_tail = i >= confusable;  // generic ones are obscure pages
+    const EntityId id = world_.corpus.AddEntity(std::move(entity));
+    world_.background_entities.push_back(id);
+  }
+}
+
+std::vector<TokenId> WorldBuilder::NameTokens(const Entity& entity) {
+  std::vector<TokenId> ids;
+  ids.reserve(entity.name_tokens.size());
+  for (const std::string& word : entity.name_tokens) {
+    ids.push_back(world_.corpus.tokens().AddToken(word));
+  }
+  return ids;
+}
+
+void WorldBuilder::AppendWords(std::vector<TokenId>& tokens,
+                               const std::vector<std::string>& words) {
+  for (const std::string& word : words) {
+    tokens.push_back(world_.corpus.tokens().AddToken(word));
+  }
+}
+
+void WorldBuilder::AppendNoise(std::vector<TokenId>& tokens, int count) {
+  for (int i = 0; i < count; ++i) {
+    tokens.push_back(
+        noise_tokens_[rng_.UniformUint64(noise_tokens_.size())]);
+  }
+}
+
+void WorldBuilder::AppendTopic(std::vector<TokenId>& tokens,
+                               const FineClassSpec& spec, int count) {
+  for (int i = 0; i < count; ++i) {
+    const size_t pick = rng_.UniformUint64(spec.topic_tokens.size());
+    tokens.push_back(world_.corpus.tokens().AddToken(spec.topic_tokens[pick]));
+  }
+}
+
+void WorldBuilder::AppendClue(std::vector<TokenId>& tokens,
+                              const FineClassSpec& spec, int attr,
+                              int value) {
+  const AttributeDef& def = spec.attributes[static_cast<size_t>(attr)];
+  AppendWords(tokens, def.clue_tokens[static_cast<size_t>(value)]);
+}
+
+void WorldBuilder::AppendClueVariant(std::vector<TokenId>& tokens,
+                                     const FineClassSpec& spec, int attr,
+                                     int value) {
+  const AttributeDef& def = spec.attributes[static_cast<size_t>(attr)];
+  const auto& variants = def.clue_variants[static_cast<size_t>(value)];
+  if (variants.size() <= 1 || rng_.Bernoulli(def.canonical_rate)) {
+    AppendWords(tokens, variants[0]);
+    return;
+  }
+  const size_t pick = 1 + rng_.UniformUint64(variants.size() - 1);
+  AppendWords(tokens, variants[pick]);
+}
+
+void WorldBuilder::MakeContextSentences() {
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_.corpus.entity_count()); ++id) {
+    const Entity entity = world_.corpus.entity(id);
+    if (entity.class_id == kBackgroundClassId) continue;
+    const FineClassSpec& spec =
+        world_.schema[static_cast<size_t>(entity.class_id)];
+    const int sentence_count = entity.is_long_tail
+                                   ? config_.long_tail_sentences
+                                   : config_.sentences_per_entity;
+    const std::vector<TokenId> name_ids = NameTokens(entity);
+    for (int s = 0; s < sentence_count; ++s) {
+      Sentence sentence;
+      sentence.entity = id;
+      std::vector<TokenId>& tokens = sentence.tokens;
+      AppendWords(tokens, {"the", spec.singular_noun});
+      sentence.mention_begin = static_cast<int>(tokens.size());
+      sentence.mention_len = static_cast<int>(name_ids.size());
+      tokens.insert(tokens.end(), name_ids.begin(), name_ids.end());
+      // Each attribute clue appears with its signal rate; this is the only
+      // statistical channel through which attribute values reach the
+      // learned models, exactly like attribute mentions in Wikipedia prose.
+      for (size_t a = 0; a < spec.attributes.size(); ++a) {
+        if (rng_.Bernoulli(spec.attributes[a].signal_rate)) {
+          AppendWords(tokens, {"with"});
+          AppendClueVariant(tokens, spec, static_cast<int>(a),
+                            entity.attribute_values[a]);
+        }
+      }
+      AppendTopic(tokens, spec, rng_.UniformInt(1, 2));
+      AppendNoise(tokens, rng_.UniformInt(3, 6));
+      tokens.push_back(period_);
+      world_.corpus.AddSentence(std::move(sentence));
+    }
+  }
+}
+
+void WorldBuilder::MakeListSentences() {
+  const TokenId and_token = world_.corpus.tokens().AddToken("and");
+  const TokenId are_token = world_.corpus.tokens().AddToken("are");
+  const TokenId with_token = world_.corpus.tokens().AddToken("with");
+  for (size_t c = 0; c < world_.schema.size(); ++c) {
+    const FineClassSpec& spec = world_.schema[c];
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      for (size_t v = 0; v < spec.attributes[a].values.size(); ++v) {
+        const std::vector<EntityId>& members =
+            world_.entities_by_value[c][a][v];
+        if (members.size() < 2) continue;
+        for (int rep = 0; rep < config_.list_sentences_per_value; ++rep) {
+          const int group_size = std::min<int>(
+              static_cast<int>(members.size()),
+              rng_.UniformInt(config_.list_group_min,
+                              config_.list_group_max));
+          std::vector<EntityId> group =
+              rng_.SampleWithoutReplacement(members, group_size);
+          std::vector<TokenId> tokens;
+          for (size_t g = 0; g < group.size(); ++g) {
+            if (g + 1 == group.size() && group.size() > 1) {
+              tokens.push_back(and_token);
+            } else if (g > 0) {
+              tokens.push_back(comma_);
+            }
+            const std::vector<TokenId> name_ids =
+                NameTokens(world_.corpus.entity(group[g]));
+            tokens.insert(tokens.end(), name_ids.begin(), name_ids.end());
+          }
+          tokens.push_back(are_token);
+          AppendWords(tokens, Tokenizer().Tokenize(spec.plural_noun));
+          tokens.push_back(with_token);
+          AppendClue(tokens, spec, static_cast<int>(a),
+                     static_cast<int>(v));
+          tokens.push_back(period_);
+          world_.corpus.AddAuxiliarySentence(std::move(tokens));
+        }
+      }
+    }
+  }
+}
+
+void WorldBuilder::MakeSimilaritySentences() {
+  const std::vector<std::string> connector = {"is", "similar", "to"};
+  for (size_t c = 0; c < world_.schema.size(); ++c) {
+    const std::vector<EntityId> members =
+        world_.corpus.EntitiesOfClass(static_cast<ClassId>(c));
+    if (members.size() < 2) continue;
+    const int total = static_cast<int>(
+        config_.similarity_sentences_per_entity *
+        static_cast<double>(members.size()));
+    for (int s = 0; s < total; ++s) {
+      const EntityId left = members[rng_.UniformUint64(members.size())];
+      // Weight partners by the number of shared attribute values, so LM
+      // similarity carries an ultra-fine-grained signal beyond class
+      // membership.
+      std::vector<double> weights(members.size());
+      const Entity& left_entity = world_.corpus.entity(left);
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (members[j] == left) {
+          weights[j] = 0.0;
+          continue;
+        }
+        const Entity& right_entity = world_.corpus.entity(members[j]);
+        int shared = 0;
+        for (size_t a = 0; a < left_entity.attribute_values.size(); ++a) {
+          if (left_entity.attribute_values[a] ==
+              right_entity.attribute_values[a]) {
+            ++shared;
+          }
+        }
+        weights[j] = 1.0 + 5.0 * static_cast<double>(shared * shared);
+      }
+      const EntityId right = members[rng_.Categorical(weights)];
+      std::vector<TokenId> tokens = NameTokens(world_.corpus.entity(left));
+      AppendWords(tokens, connector);
+      const std::vector<TokenId> right_ids =
+          NameTokens(world_.corpus.entity(right));
+      tokens.insert(tokens.end(), right_ids.begin(), right_ids.end());
+      tokens.push_back(period_);
+      world_.corpus.AddAuxiliarySentence(std::move(tokens));
+    }
+  }
+}
+
+void WorldBuilder::MakeBackgroundSentences() {
+  const int confusable = static_cast<int>(
+      config_.background_confusable_fraction *
+      static_cast<double>(config_.background_entity_count));
+  for (int i = 0;
+       i < static_cast<int>(world_.background_entities.size()); ++i) {
+    const EntityId id = world_.background_entities[static_cast<size_t>(i)];
+    const Entity entity = world_.corpus.entity(id);
+    const std::vector<TokenId> name_ids = NameTokens(entity);
+    // Confusable pages borrow the topic vocabulary (and class noun) of one
+    // target class; BM25 mining later surfaces them as hard negatives.
+    const bool is_confusable = i < confusable;
+    const size_t style_class = rng_.UniformUint64(world_.schema.size());
+    for (int s = 0; s < config_.background_sentences_per_entity; ++s) {
+      Sentence sentence;
+      sentence.entity = id;
+      std::vector<TokenId>& tokens = sentence.tokens;
+      AppendWords(tokens, {"the"});
+      if (is_confusable) {
+        AppendWords(tokens, {world_.schema[style_class].singular_noun});
+      } else {
+        AppendWords(tokens, {"page"});
+      }
+      sentence.mention_begin = static_cast<int>(tokens.size());
+      sentence.mention_len = static_cast<int>(name_ids.size());
+      tokens.insert(tokens.end(), name_ids.begin(), name_ids.end());
+      if (is_confusable) {
+        AppendTopic(tokens, world_.schema[style_class],
+                    rng_.UniformInt(1, 2));
+      }
+      AppendNoise(tokens, rng_.UniformInt(2, 4));
+      tokens.push_back(period_);
+      world_.corpus.AddSentence(std::move(sentence));
+    }
+  }
+}
+
+void WorldBuilder::MakeKnowledgeBase() {
+  NameGenerator junk_names(rng_.Fork());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_.corpus.entity_count()); ++id) {
+    const Entity entity = world_.corpus.entity(id);
+    std::vector<TokenId> intro;
+    std::vector<TokenId> dump;
+    const std::vector<TokenId> name_ids = NameTokens(entity);
+    intro.insert(intro.end(), name_ids.begin(), name_ids.end());
+    if (entity.class_id == kBackgroundClassId) {
+      AppendWords(intro, {"is", "a", "page"});
+      AppendNoise(intro, 2);
+      AppendNoise(dump, 4);
+    } else {
+      const FineClassSpec& spec =
+          world_.schema[static_cast<size_t>(entity.class_id)];
+      AppendWords(intro, {"is", "a", spec.singular_noun});
+      // Real encyclopedic leads are class-flavoured prose: they carry the
+      // domain vocabulary, reveal each attribute with high-but-imperfect
+      // probability, and mix in incidental filler.
+      AppendTopic(intro, spec, 2);
+      for (size_t a = 0; a < spec.attributes.size(); ++a) {
+        if (!rng_.Bernoulli(0.75)) continue;
+        AppendWords(intro, {"with"});
+        AppendClue(intro, spec, static_cast<int>(a),
+                   entity.attribute_values[a]);
+      }
+      AppendNoise(intro, rng_.UniformInt(2, 3));
+      // The Wikidata-style dump has the same true clues buried under junk
+      // properties (the "YouTube channel ID" effect of Table 8).
+      for (size_t a = 0; a < spec.attributes.size(); ++a) {
+        AppendClue(dump, spec, static_cast<int>(a),
+                   entity.attribute_values[a]);
+      }
+      for (int j = 0; j < config_.wikidata_junk_attributes; ++j) {
+        AppendWords(dump, Tokenizer().Tokenize(junk_names.NextName(2, 31)));
+        AppendNoise(dump, 1);
+      }
+    }
+    world_.kb.Add(id, std::move(intro), std::move(dump));
+  }
+}
+
+}  // namespace
+
+GeneratedWorld GenerateWorld(const GeneratorConfig& config) {
+  WorldBuilder builder(config);
+  return builder.Build();
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,38 @@
+#include "corpus/knowledge_base.h"
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+namespace {
+
+const std::vector<TokenId>& EmptyTokens() {
+  static const std::vector<TokenId>* empty = new std::vector<TokenId>();
+  return *empty;
+}
+
+}  // namespace
+
+void KnowledgeBase::Add(EntityId id, std::vector<TokenId> introduction,
+                        std::vector<TokenId> wikidata_attributes) {
+  UW_CHECK_EQ(static_cast<size_t>(id), introductions_.size())
+      << "KnowledgeBase entries must be added densely in id order";
+  introductions_.push_back(std::move(introduction));
+  wikidata_attributes_.push_back(std::move(wikidata_attributes));
+}
+
+const std::vector<TokenId>& KnowledgeBase::IntroductionOf(EntityId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= introductions_.size()) {
+    return EmptyTokens();
+  }
+  return introductions_[static_cast<size_t>(id)];
+}
+
+const std::vector<TokenId>& KnowledgeBase::WikidataAttributesOf(
+    EntityId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= wikidata_attributes_.size()) {
+    return EmptyTokens();
+  }
+  return wikidata_attributes_[static_cast<size_t>(id)];
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,48 @@
+#ifndef ULTRAWIKI_CORPUS_KNOWLEDGE_BASE_H_
+#define ULTRAWIKI_CORPUS_KNOWLEDGE_BASE_H_
+
+#include <vector>
+
+#include "corpus/types.h"
+#include "text/vocabulary.h"
+
+namespace ultrawiki {
+
+/// The Wikidata stand-in: per-entity external knowledge consumed by the
+/// retrieval-augmentation strategy (paper §5.1.3 / §5.2.3 and Table 8).
+/// Three knowledge sources are distinguished exactly as in Table 8:
+///   - introductions: fluent encyclopedic lead text (mostly reliable);
+///   - Wikidata-style attribute dumps: correct attribute clues mixed with
+///     many rarely-useful properties ("YouTube channel ID"-style junk);
+///   - ground-truth attribute text is produced on demand per ultra-class
+///     by the retrieval-augmentation module, not stored here.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  /// Registers knowledge for the entity with the given id; ids must be
+  /// registered densely in order (0, 1, 2, ...).
+  void Add(EntityId id, std::vector<TokenId> introduction,
+           std::vector<TokenId> wikidata_attributes);
+
+  /// Introduction tokens of `id` (empty if never registered).
+  const std::vector<TokenId>& IntroductionOf(EntityId id) const;
+
+  /// Wikidata-style attribute-dump tokens of `id`.
+  const std::vector<TokenId>& WikidataAttributesOf(EntityId id) const;
+
+  size_t size() const { return introductions_.size(); }
+
+ private:
+  std::vector<std::vector<TokenId>> introductions_;
+  std::vector<std::vector<TokenId>> wikidata_attributes_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_CORPUS_KNOWLEDGE_BASE_H_

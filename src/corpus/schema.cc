@@ -1,0 +1,241 @@
+#include "corpus/schema.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ultrawiki {
+namespace {
+
+/// Builds an attribute whose clue phrase in generated text is
+/// "<attr_word> <value>", e.g. "continent asia". The attribute word comes
+/// from the schema name so every attribute has a distinct surface signal.
+AttributeDef MakeAttribute(const std::string& name,
+                           const std::string& attr_word,
+                           std::vector<std::string> values,
+                           double signal_rate) {
+  AttributeDef def;
+  def.name = name;
+  def.values = std::move(values);
+  def.signal_rate = signal_rate;
+  def.clue_tokens.reserve(def.values.size());
+  def.clue_variants.reserve(def.values.size());
+  // Paraphrase suffixes derive distinct surface forms per value
+  // ("asia" / "asian" / "asiese" ...); the canonical phrase carries the
+  // attribute word, the paraphrases usually do not — so lexical overlap
+  // between two mentions of the same value is far from guaranteed.
+  static constexpr const char* kSuffixes[] = {"n", "ese", "ic", "ite",
+                                              "ian"};
+  for (const std::string& value : def.values) {
+    def.clue_tokens.push_back({attr_word, value});
+    std::vector<std::vector<std::string>> variants;
+    variants.push_back({attr_word, value});  // canonical
+    for (const char* suffix : kSuffixes) {
+      variants.push_back({value + suffix});
+    }
+    def.clue_variants.push_back(std::move(variants));
+  }
+  return def;
+}
+
+}  // namespace
+
+std::vector<FineClassSpec> BuildUltraWikiSchema() {
+  std::vector<FineClassSpec> specs;
+  specs.reserve(10);
+
+  {
+    FineClassSpec spec;
+    spec.name = "canada universities";
+    spec.coarse_category = "Organization";
+    spec.singular_noun = "university";
+    spec.plural_noun = "universities";
+    spec.entity_count = 99;
+    spec.attributes = {
+        MakeAttribute("<loc-province>", "province",
+                      {"ontario", "quebec", "alberta", "manitoba"}, 0.60),
+        MakeAttribute("<type>", "funding", {"public", "private"}, 0.50),
+    };
+    spec.topic_tokens = {"campus", "faculty", "students", "degree",
+                         "research", "college"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "china cities";
+    spec.coarse_category = "Location";
+    spec.singular_noun = "city";
+    spec.plural_noun = "cities";
+    spec.entity_count = 675;
+    spec.attributes = {
+        MakeAttribute("<province>", "province",
+                      {"henan", "hebei", "shandong", "sichuan", "yunnan",
+                       "gansu"},
+                      0.60),
+        MakeAttribute("<prefecture>", "ranking",
+                      {"prefecture", "county"}, 0.50),
+    };
+    spec.topic_tokens = {"district", "population", "railway",
+                         "industry", "river", "municipal"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "countries";
+    spec.coarse_category = "Location";
+    spec.singular_noun = "country";
+    spec.plural_noun = "countries";
+    spec.entity_count = 190;
+    spec.attributes = {
+        MakeAttribute("<continent>", "continent",
+                      {"asia", "europe", "africa", "americas", "oceania"},
+                      0.60),
+        MakeAttribute("<driving-side>", "driving", {"left", "right"}, 0.50),
+        MakeAttribute("<per-capita-income>", "income",
+                      {"low", "middle", "high"}, 0.45),
+    };
+    spec.topic_tokens = {"government", "border", "capital",
+                         "economy", "treaty", "nation"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "us airports";
+    spec.coarse_category = "Location";
+    spec.singular_noun = "airport";
+    spec.plural_noun = "airports";
+    spec.entity_count = 370;
+    spec.attributes = {
+        MakeAttribute("<role>", "role",
+                      {"commercial", "reliever", "general"}, 0.60),
+        MakeAttribute("<loc-state>", "state",
+                      {"michigan", "texas", "california", "florida", "ohio",
+                       "alaska"},
+                      0.50),
+    };
+    spec.topic_tokens = {"runway", "terminal", "passengers",
+                         "aviation", "cargo", "flights"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "us national monuments";
+    spec.coarse_category = "Location";
+    spec.singular_noun = "monument";
+    spec.plural_noun = "monuments";
+    spec.entity_count = 112;
+    spec.attributes = {
+        MakeAttribute("<loc-state>", "state",
+                      {"arizona", "utah", "newmexico", "colorado"}, 0.60),
+        MakeAttribute("<agency>", "agency",
+                      {"parkservice", "landbureau", "forestservice"}, 0.50),
+    };
+    spec.topic_tokens = {"preserve", "heritage", "visitors",
+                         "proclamation", "acres", "trail"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "mobile phone brands";
+    spec.coarse_category = "Product";
+    spec.singular_noun = "brand";
+    spec.plural_noun = "phone brands";
+    spec.entity_count = 159;
+    spec.attributes = {
+        MakeAttribute("<loc-continent>", "headquarters",
+                      {"asia", "europe", "america"}, 0.60),
+        MakeAttribute("<status>", "status", {"active", "defunct"}, 0.50),
+    };
+    spec.topic_tokens = {"handset", "smartphone", "device",
+                         "market", "android", "screen"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "percussion instruments";
+    spec.coarse_category = "Product";
+    spec.singular_noun = "instrument";
+    spec.plural_noun = "percussion instruments";
+    spec.entity_count = 128;
+    spec.attributes = {
+        MakeAttribute("<type>", "family",
+                      {"idiophone", "membranophone"}, 0.60),
+        MakeAttribute("<source-continent>", "origin",
+                      {"africa", "asia", "europe", "americas"}, 0.50),
+    };
+    spec.topic_tokens = {"rhythm", "drummer", "ensemble",
+                         "wooden", "pitch", "ceremonial"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "nobel laureates";
+    spec.coarse_category = "Person";
+    spec.singular_noun = "laureate";
+    spec.plural_noun = "nobel laureates";
+    spec.entity_count = 952;
+    spec.attributes = {
+        MakeAttribute("<prize>", "prize",
+                      {"physics", "chemistry", "medicine", "literature",
+                       "peace", "economics"},
+                      0.60),
+        MakeAttribute("<gender>", "gender", {"male", "female"}, 0.50),
+    };
+    spec.topic_tokens = {"awarded", "discovery", "ceremony",
+                         "professor", "laureate", "stockholm"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "us presidents";
+    spec.coarse_category = "Person";
+    spec.singular_noun = "president";
+    spec.plural_noun = "presidents";
+    spec.entity_count = 45;
+    spec.attributes = {
+        MakeAttribute("<party>", "party",
+                      {"democratic", "republican"}, 0.60),
+        MakeAttribute("<birth-state>", "birthplace",
+                      {"virginia", "ohio", "newyork"}, 0.50),
+    };
+    spec.topic_tokens = {"election", "congress", "veto",
+                         "cabinet", "inaugural", "administration"};
+    specs.push_back(std::move(spec));
+  }
+  {
+    FineClassSpec spec;
+    spec.name = "chemical elements";
+    spec.coarse_category = "Miscellaneous";
+    spec.singular_noun = "element";
+    spec.plural_noun = "chemical elements";
+    spec.entity_count = 118;
+    spec.attributes = {
+        MakeAttribute("<period>", "period",
+                      {"two", "three", "four", "five"}, 0.60),
+        MakeAttribute("<phase-at-r.t.>", "phase",
+                      {"solid", "liquid", "gas"}, 0.50),
+    };
+    spec.topic_tokens = {"atomic", "isotope", "reaction",
+                         "electron", "metallic", "compound"};
+    specs.push_back(std::move(spec));
+  }
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name_style = static_cast<int>(i);
+  }
+  return specs;
+}
+
+std::vector<FineClassSpec> ScaledSchema(double scale, int min_entities) {
+  UW_CHECK_GT(scale, 0.0);
+  std::vector<FineClassSpec> specs = BuildUltraWikiSchema();
+  for (FineClassSpec& spec : specs) {
+    const int scaled =
+        static_cast<int>(static_cast<double>(spec.entity_count) * scale);
+    spec.entity_count = std::max(scaled, min_entities);
+  }
+  return specs;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,24 @@
+#ifndef ULTRAWIKI_CORPUS_SCHEMA_H_
+#define ULTRAWIKI_CORPUS_SCHEMA_H_
+
+#include <vector>
+
+#include "corpus/types.h"
+
+namespace ultrawiki {
+
+/// Returns the 10 fine-grained semantic class specifications of UltraWiki
+/// (paper Table 11): names, coarse categories, paper-scale entity counts,
+/// and the 2–3 attributes per class with their closed value sets. Clue
+/// tokens are filled in here deterministically (value word + attribute
+/// word), so the schema is self-contained.
+std::vector<FineClassSpec> BuildUltraWikiSchema();
+
+/// Scales the per-class entity counts by `scale`, clamping below at
+/// `min_entities` so every class can still produce ultra-fine-grained
+/// classes that meet the n_thred requirement.
+std::vector<FineClassSpec> ScaledSchema(double scale, int min_entities);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_CORPUS_SCHEMA_H_

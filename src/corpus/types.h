@@ -1,0 +1,68 @@
+#ifndef ULTRAWIKI_CORPUS_TYPES_H_
+#define ULTRAWIKI_CORPUS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ultrawiki {
+
+/// Identifier of an entity in the candidate vocabulary.
+using EntityId = int32_t;
+inline constexpr EntityId kInvalidEntityId = -1;
+
+/// Identifier of a fine-grained semantic class.
+using ClassId = int32_t;
+/// ClassId of background entities (sampled Wikipedia pages that belong to no
+/// fine-grained class; they populate the candidate vocabulary as negatives).
+inline constexpr ClassId kBackgroundClassId = -1;
+
+/// One attribute of a fine-grained semantic class, e.g. <continent> for
+/// "countries". `values` enumerates the closed value set; `clue_tokens[v]`
+/// is the canonical surface phrase that reveals value `v` (used by list
+/// pages, knowledge-base text, and chain-of-thought prompts), while
+/// `clue_variants[v]` holds the paraphrase set context sentences sample
+/// from. Paraphrase variety is what separates representation learning from
+/// surface matching: embeddings can learn that the variants are
+/// equivalent, lexical retrieval cannot — mirroring real Wikipedia prose.
+struct AttributeDef {
+  std::string name;
+  std::vector<std::string> values;
+  std::vector<std::vector<std::string>> clue_tokens;
+  std::vector<std::vector<std::vector<std::string>>> clue_variants;
+  /// Probability that a context sentence of an entity reveals this
+  /// attribute. Lower rates make the attribute harder to learn.
+  double signal_rate = 0.55;
+  /// Probability that a revealing sentence uses the canonical phrase
+  /// rather than one of the paraphrases.
+  double canonical_rate = 0.3;
+};
+
+/// Static description of one fine-grained semantic class (paper Table 11).
+struct FineClassSpec {
+  std::string name;             // e.g. "countries"
+  std::string coarse_category;  // e.g. "Location"
+  std::string singular_noun;    // used by sentence templates
+  std::string plural_noun;      // used by list sentences and CoT prompts
+  int entity_count = 0;         // paper-scale count, scaled by config
+  std::vector<AttributeDef> attributes;
+  std::vector<std::string> topic_tokens;  // generic class-flavour words
+  int name_style = 0;  // style tag for the entity name generator
+};
+
+/// A candidate entity. `attribute_values[a]` indexes into the class
+/// schema's `attributes[a].values`; empty for background entities.
+struct Entity {
+  EntityId id = kInvalidEntityId;
+  std::string name;
+  std::vector<std::string> name_tokens;
+  ClassId class_id = kBackgroundClassId;
+  std::vector<int> attribute_values;
+  /// Long-tail entities have fewer context sentences and are harder for the
+  /// LLM-oracle (mirrors the paper's lesser-known Chinese cities etc.).
+  bool is_long_tail = false;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_CORPUS_TYPES_H_

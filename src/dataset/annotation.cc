@@ -1,0 +1,123 @@
+#include "dataset/annotation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+double FleissKappa(const std::vector<std::vector<int>>& ratings) {
+  if (ratings.empty()) return 1.0;
+  const size_t categories = ratings[0].size();
+  UW_CHECK_GT(categories, 0u);
+  int raters = 0;
+  for (int c : ratings[0]) raters += c;
+  UW_CHECK_GT(raters, 1);
+
+  const double n = static_cast<double>(raters);
+  const double item_count = static_cast<double>(ratings.size());
+
+  // Per-item agreement P_i and category proportions p_j.
+  double p_bar = 0.0;
+  std::vector<double> category_mass(categories, 0.0);
+  for (const auto& row : ratings) {
+    UW_CHECK_EQ(row.size(), categories);
+    int row_sum = 0;
+    double agreement = 0.0;
+    for (size_t j = 0; j < categories; ++j) {
+      row_sum += row[j];
+      agreement += static_cast<double>(row[j]) *
+                   static_cast<double>(row[j] - 1);
+      category_mass[j] += static_cast<double>(row[j]);
+    }
+    UW_CHECK_EQ(row_sum, raters);
+    p_bar += agreement / (n * (n - 1.0));
+  }
+  p_bar /= item_count;
+
+  double p_expected = 0.0;
+  for (size_t j = 0; j < categories; ++j) {
+    const double p_j = category_mass[j] / (item_count * n);
+    p_expected += p_j * p_j;
+  }
+  if (p_expected >= 1.0) return 1.0;
+  return (p_bar - p_expected) / (1.0 - p_expected);
+}
+
+AnnotationResult AnnotateWorld(const GeneratedWorld& world,
+                               const AnnotationConfig& config) {
+  Rng rng(config.seed);
+  AnnotationResult result;
+  result.values.resize(world.corpus.entity_count());
+
+  // One kappa table per attribute arity; we aggregate a weighted average.
+  // Key: number of categories -> items for that arity.
+  int64_t disagreements = 0;
+  int64_t annotated_total = 0;
+  double kappa_weighted_sum = 0.0;
+  int64_t kappa_weight = 0;
+
+  for (size_t c = 0; c < world.schema.size(); ++c) {
+    const FineClassSpec& spec = world.schema[c];
+    const std::vector<EntityId> members =
+        world.corpus.EntitiesOfClass(static_cast<ClassId>(c));
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      const int value_count =
+          static_cast<int>(spec.attributes[a].values.size());
+      std::vector<std::vector<int>> manual_ratings;
+      std::vector<EntityId> manual_entities;
+      for (EntityId id : members) {
+        const Entity& entity = world.corpus.entity(id);
+        auto& row = result.values[static_cast<size_t>(id)];
+        if (row.size() != spec.attributes.size()) {
+          row.assign(spec.attributes.size(), -1);
+        }
+        const int truth = entity.attribute_values[a];
+        if (rng.Bernoulli(config.auto_coverage)) {
+          // Wikidata auto-annotation: exact.
+          row[a] = truth;
+          ++result.auto_cells;
+        } else {
+          // Three independent annotators with an error model; majority
+          // vote, ties broken toward the lowest value index.
+          std::vector<int> votes(static_cast<size_t>(value_count), 0);
+          for (int r = 0; r < config.annotator_count; ++r) {
+            int label = truth;
+            if (value_count > 1 &&
+                rng.Bernoulli(config.annotator_error_rate)) {
+              int wrong = rng.UniformInt(0, value_count - 2);
+              if (wrong >= truth) ++wrong;
+              label = wrong;
+            }
+            ++votes[static_cast<size_t>(label)];
+          }
+          const int majority = static_cast<int>(
+              std::max_element(votes.begin(), votes.end()) - votes.begin());
+          row[a] = majority;
+          manual_ratings.push_back(std::move(votes));
+          manual_entities.push_back(id);
+          ++result.manual_cells;
+        }
+        ++annotated_total;
+        if (row[a] != truth) ++disagreements;
+      }
+      if (manual_ratings.size() >= 2) {
+        const double kappa = FleissKappa(manual_ratings);
+        kappa_weighted_sum +=
+            kappa * static_cast<double>(manual_ratings.size());
+        kappa_weight += static_cast<int64_t>(manual_ratings.size());
+      }
+    }
+  }
+  result.fleiss_kappa =
+      kappa_weight > 0 ? kappa_weighted_sum / static_cast<double>(kappa_weight)
+                       : 1.0;
+  result.residual_error_rate =
+      annotated_total > 0
+          ? static_cast<double>(disagreements) /
+                static_cast<double>(annotated_total)
+          : 0.0;
+  return result;
+}
+
+}  // namespace ultrawiki

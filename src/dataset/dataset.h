@@ -1,0 +1,83 @@
+#ifndef ULTRAWIKI_DATASET_DATASET_H_
+#define ULTRAWIKI_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/generator.h"
+#include "dataset/annotation.h"
+
+namespace ultrawiki {
+
+/// One ultra-fine-grained semantic class: a fine-grained class constrained
+/// by positive attribute values (A^pos = V^pos) and negative attribute
+/// values (A^neg = V^neg). `positive_targets` is P (match V^pos and do not
+/// match V^neg); `negative_targets` is N (match V^neg).
+struct UltraClass {
+  ClassId fine_class = 0;
+  std::vector<int> pos_attrs;
+  std::vector<int> pos_values;
+  std::vector<int> neg_attrs;
+  std::vector<int> neg_values;
+  std::vector<EntityId> positive_targets;
+  std::vector<EntityId> negative_targets;
+
+  /// True when A^pos and A^neg are the same attribute set (the paper's
+  /// "emphasis" case of Table 4); false means "unwanted semantics".
+  bool attrs_identical = false;
+};
+
+/// One query: an ultra-class index plus 3–5 positive and negative seeds.
+struct Query {
+  int ultra_class = 0;
+  std::vector<EntityId> pos_seeds;
+  std::vector<EntityId> neg_seeds;
+};
+
+/// Configuration of steps 3–4 of the construction pipeline plus candidate
+/// vocabulary assembly.
+struct DatasetConfig {
+  uint64_t seed = 7;
+  /// Minimum |P| and |N| for an ultra-class to be kept (paper n_thred=6).
+  int n_thred = 6;
+  int queries_per_class = 3;
+  int min_seeds = 3;
+  int max_seeds = 5;
+  /// Scales the per-fine-class ultra-class caps of Table 11.
+  double ultra_class_scale = 0.35;
+  /// Fraction of higher-order attribute combinations (|A|>1) among kept
+  /// classes; Table 12 has ~9% non-(1,1) classes.
+  double higher_order_fraction = 0.09;
+  AnnotationConfig annotation;
+  /// Fraction of the background pool admitted to the candidate vocabulary
+  /// through BM25 hard-negative mining (the rest is sampled uniformly).
+  double hard_negative_fraction = 0.5;
+  double background_keep_fraction = 1.0;
+};
+
+/// The constructed UltraWiki dataset: ultra-classes, queries, candidate
+/// vocabulary V, and annotation bookkeeping.
+struct UltraWikiDataset {
+  std::vector<UltraClass> classes;
+  std::vector<Query> queries;
+  /// Candidate vocabulary V: all in-class entities + admitted background.
+  std::vector<EntityId> candidates;
+  AnnotationResult annotation;
+  /// Number of background entities admitted via BM25 mining.
+  int hard_negative_count = 0;
+
+  /// Convenience: the ultra-class of a query.
+  const UltraClass& ClassOf(const Query& query) const {
+    return classes[static_cast<size_t>(query.ultra_class)];
+  }
+};
+
+/// Runs steps 3–4 of the pipeline over a generated world and assembles the
+/// candidate vocabulary. Deterministic in `config.seed`.
+StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
+                                        const DatasetConfig& config);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_DATASET_DATASET_H_

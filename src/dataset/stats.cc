@@ -1,0 +1,98 @@
+#include "dataset/stats.h"
+
+#include <set>
+
+namespace ultrawiki {
+
+DatasetStats ComputeDatasetStats(const GeneratedWorld& world,
+                                 const UltraWikiDataset& dataset) {
+  DatasetStats stats;
+  stats.entity_count = static_cast<int64_t>(world.corpus.entity_count());
+  stats.candidate_count = static_cast<int64_t>(dataset.candidates.size());
+  stats.sentence_count = static_cast<int64_t>(world.corpus.sentence_count());
+  stats.auxiliary_sentence_count =
+      static_cast<int64_t>(world.corpus.auxiliary_sentences().size());
+  stats.fine_class_count = static_cast<int>(world.schema.size());
+  stats.ultra_class_count = static_cast<int>(dataset.classes.size());
+  stats.query_count = static_cast<int>(dataset.queries.size());
+  stats.fleiss_kappa = dataset.annotation.fleiss_kappa;
+  stats.hard_negative_count = dataset.hard_negative_count;
+
+  double pos_sum = 0.0;
+  double neg_sum = 0.0;
+  for (const UltraClass& ultra : dataset.classes) {
+    pos_sum += static_cast<double>(ultra.positive_targets.size());
+    neg_sum += static_cast<double>(ultra.negative_targets.size());
+    const std::pair<int, int> combo(static_cast<int>(ultra.pos_attrs.size()),
+                                    static_cast<int>(ultra.neg_attrs.size()));
+    ++stats.attr_combo_counts[combo];
+  }
+  if (!dataset.classes.empty()) {
+    stats.avg_positive_targets =
+        pos_sum / static_cast<double>(dataset.classes.size());
+    stats.avg_negative_targets =
+        neg_sum / static_cast<double>(dataset.classes.size());
+  }
+
+  double pos_seed_sum = 0.0;
+  double neg_seed_sum = 0.0;
+  for (const Query& query : dataset.queries) {
+    pos_seed_sum += static_cast<double>(query.pos_seeds.size());
+    neg_seed_sum += static_cast<double>(query.neg_seeds.size());
+  }
+  if (!dataset.queries.empty()) {
+    stats.avg_pos_seeds =
+        pos_seed_sum / static_cast<double>(dataset.queries.size());
+    stats.avg_neg_seeds =
+        neg_seed_sum / static_cast<double>(dataset.queries.size());
+  }
+
+  // Per fine-grained class counts.
+  stats.per_class.resize(world.schema.size(), {0, 0});
+  for (size_t c = 0; c < world.schema.size(); ++c) {
+    stats.per_class[c].first = world.schema[c].entity_count;
+  }
+  for (const UltraClass& ultra : dataset.classes) {
+    ++stats.per_class[static_cast<size_t>(ultra.fine_class)].second;
+  }
+
+  // Intra-fine-class target overlap rate: fraction of ultra-class pairs in
+  // the same fine class whose union target sets (P ∪ N) intersect.
+  int64_t pairs = 0;
+  int64_t overlapping = 0;
+  for (size_t i = 0; i < dataset.classes.size(); ++i) {
+    std::set<EntityId> targets_i(dataset.classes[i].positive_targets.begin(),
+                                 dataset.classes[i].positive_targets.end());
+    targets_i.insert(dataset.classes[i].negative_targets.begin(),
+                     dataset.classes[i].negative_targets.end());
+    for (size_t j = i + 1; j < dataset.classes.size(); ++j) {
+      if (dataset.classes[i].fine_class != dataset.classes[j].fine_class) {
+        continue;
+      }
+      ++pairs;
+      bool intersects = false;
+      for (EntityId id : dataset.classes[j].positive_targets) {
+        if (targets_i.contains(id)) {
+          intersects = true;
+          break;
+        }
+      }
+      if (!intersects) {
+        for (EntityId id : dataset.classes[j].negative_targets) {
+          if (targets_i.contains(id)) {
+            intersects = true;
+            break;
+          }
+        }
+      }
+      if (intersects) ++overlapping;
+    }
+  }
+  stats.intra_fine_overlap_rate =
+      pairs > 0 ? static_cast<double>(overlapping) /
+                      static_cast<double>(pairs)
+                : 0.0;
+  return stats;
+}
+
+}  // namespace ultrawiki

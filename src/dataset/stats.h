@@ -1,0 +1,47 @@
+#ifndef ULTRAWIKI_DATASET_STATS_H_
+#define ULTRAWIKI_DATASET_STATS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace ultrawiki {
+
+/// Aggregate statistics of a constructed dataset, covering the numbers the
+/// paper reports in Table 1 (dataset comparison), Table 11 (per-class
+/// details), Table 12 (attribute-count combinations) and Fig. 3.
+struct DatasetStats {
+  int64_t entity_count = 0;
+  int64_t candidate_count = 0;
+  int64_t sentence_count = 0;
+  int64_t auxiliary_sentence_count = 0;
+  int fine_class_count = 0;
+  int ultra_class_count = 0;
+  int query_count = 0;
+  double avg_positive_targets = 0.0;
+  double avg_negative_targets = 0.0;
+  double avg_pos_seeds = 0.0;
+  double avg_neg_seeds = 0.0;
+  double fleiss_kappa = 0.0;
+  int hard_negative_count = 0;
+  /// Fraction of ultra-class pairs within the same fine class whose target
+  /// sets intersect (the paper reports ~99%).
+  double intra_fine_overlap_rate = 0.0;
+
+  /// Per fine-grained class: (entity count, ultra-class count).
+  std::vector<std::pair<int, int>> per_class;
+
+  /// (|A^pos|, |A^neg|) -> ultra-class count (Table 12).
+  std::map<std::pair<int, int>, int> attr_combo_counts;
+};
+
+/// Computes statistics of `dataset` against its `world`.
+DatasetStats ComputeDatasetStats(const GeneratedWorld& world,
+                                 const UltraWikiDataset& dataset);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_DATASET_STATS_H_

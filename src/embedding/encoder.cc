@@ -1,0 +1,154 @@
+#include "embedding/encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/softmax.h"
+
+namespace ultrawiki {
+
+ContextEncoder::ContextEncoder(size_t token_vocab_size,
+                               size_t entity_vocab_size,
+                               EncoderConfig config)
+    : config_(config),
+      token_embeddings_(token_vocab_size,
+                        static_cast<size_t>(config.token_dim)),
+      w1_(static_cast<size_t>(config.hidden_dim),
+          static_cast<size_t>(config.token_dim)),
+      b1_(static_cast<size_t>(config.hidden_dim), 0.0f),
+      output_embeddings_(entity_vocab_size,
+                         static_cast<size_t>(config.hidden_dim)),
+      output_bias_(entity_vocab_size, 0.0f),
+      projection_(static_cast<size_t>(config.projection_dim),
+                  static_cast<size_t>(config.hidden_dim)),
+      projection_bias_(static_cast<size_t>(config.projection_dim), 0.0f) {
+  UW_CHECK_GT(config.token_dim, 0);
+  UW_CHECK_GT(config.hidden_dim, 0);
+  UW_CHECK_GT(config.projection_dim, 0);
+  Rng rng(config.seed);
+  const float token_scale =
+      0.5f / std::sqrt(static_cast<float>(config.token_dim));
+  token_embeddings_.InitUniform(rng, token_scale);
+  const float w1_scale =
+      std::sqrt(6.0f / static_cast<float>(config.token_dim +
+                                          config.hidden_dim));
+  w1_.InitUniform(rng, w1_scale);
+  output_embeddings_.InitUniform(
+      rng, 0.5f / std::sqrt(static_cast<float>(config.hidden_dim)));
+  projection_.InitUniform(
+      rng, std::sqrt(6.0f / static_cast<float>(config.hidden_dim +
+                                               config.projection_dim)));
+}
+
+ContextEncoder ContextEncoder::Clone() const {
+  ContextEncoder copy(token_embeddings_.rows(), output_embeddings_.rows(),
+                      config_);
+  copy.token_weights_ = token_weights_;
+  copy.token_embeddings_ = token_embeddings_;
+  copy.w1_ = w1_;
+  copy.b1_ = b1_;
+  copy.output_embeddings_ = output_embeddings_;
+  copy.output_bias_ = output_bias_;
+  copy.projection_ = projection_;
+  copy.projection_bias_ = projection_bias_;
+  return copy;
+}
+
+void ContextEncoder::SetTokenWeights(std::vector<float> weights) {
+  token_weights_ = std::move(weights);
+}
+
+float ContextEncoder::TokenWeight(TokenId token) const {
+  if (token_weights_.empty()) return 1.0f;
+  if (token < 0 || static_cast<size_t>(token) >= token_weights_.size()) {
+    return 1.0f;
+  }
+  return token_weights_[static_cast<size_t>(token)];
+}
+
+Vec ContextEncoder::ContextMean(std::span<const TokenId> context) const {
+  return ContextMeanWithPrefix(std::span<const TokenId>(), context);
+}
+
+Vec ContextEncoder::ContextMeanWithPrefix(
+    std::span<const TokenId> prefix,
+    std::span<const TokenId> context) const {
+  Vec mean(static_cast<size_t>(config_.token_dim), 0.0f);
+  float total_weight = 0.0f;
+  auto accumulate = [this, &mean, &total_weight](
+                        std::span<const TokenId> span, bool is_prefix) {
+    for (TokenId token : span) {
+      if (token < 0 ||
+          static_cast<size_t>(token) >= token_embeddings_.rows()) {
+        continue;
+      }
+      const float w = EffectiveWeight(token, is_prefix);
+      if (w <= 0.0f) continue;
+      Axpy(w, token_embeddings_.Row(static_cast<size_t>(token)), mean);
+      total_weight += w;
+    }
+  };
+  accumulate(prefix, /*is_prefix=*/true);
+  accumulate(context, /*is_prefix=*/false);
+  if (total_weight > 0.0f) Scale(1.0f / total_weight, mean);
+  return mean;
+}
+
+Vec ContextEncoder::EncodeWithPrefix(std::span<const TokenId> prefix,
+                                     std::span<const TokenId> context) const {
+  return HiddenFromMean(ContextMeanWithPrefix(prefix, context));
+}
+
+Vec ContextEncoder::HiddenFromMean(const Vec& mean) const {
+  Vec hidden(static_cast<size_t>(config_.hidden_dim), 0.0f);
+  w1_.MatVec(mean, hidden);
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    hidden[i] = std::tanh(hidden[i] + b1_[i]);
+  }
+  return hidden;
+}
+
+Vec ContextEncoder::EncodeContext(std::span<const TokenId> context) const {
+  return HiddenFromMean(ContextMean(context));
+}
+
+float ContextEncoder::EntityLogit(const Vec& hidden, size_t entity) const {
+  UW_CHECK_LT(entity, output_embeddings_.rows());
+  return Dot(output_embeddings_.Row(entity), hidden) + output_bias_[entity];
+}
+
+Vec ContextEncoder::EntityDistribution(const Vec& hidden) const {
+  Vec logits(output_embeddings_.rows(), 0.0f);
+  output_embeddings_.MatVec(hidden, logits);
+  for (size_t e = 0; e < logits.size(); ++e) logits[e] += output_bias_[e];
+  SoftmaxInPlace(logits);
+  return logits;
+}
+
+std::vector<float> ComputeSifTokenWeights(const Vocabulary& vocabulary,
+                                          double a) {
+  double total = 0.0;
+  for (size_t t = 0; t < vocabulary.size(); ++t) {
+    total += static_cast<double>(
+        vocabulary.CountOf(static_cast<TokenId>(t)));
+  }
+  std::vector<float> weights(vocabulary.size(), 1.0f);
+  if (total <= 0.0) return weights;
+  for (size_t t = 0; t < vocabulary.size(); ++t) {
+    const double p =
+        static_cast<double>(vocabulary.CountOf(static_cast<TokenId>(t))) /
+        total;
+    weights[t] = static_cast<float>(a / (a + p));
+  }
+  return weights;
+}
+
+Vec ContextEncoder::Project(const Vec& hidden) const {
+  Vec z(static_cast<size_t>(config_.projection_dim), 0.0f);
+  projection_.MatVec(hidden, z);
+  for (size_t i = 0; i < z.size(); ++i) z[i] += projection_bias_[i];
+  NormalizeInPlace(z);
+  return z;
+}
+
+}  // namespace ultrawiki

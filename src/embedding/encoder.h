@@ -1,0 +1,141 @@
+#ifndef ULTRAWIKI_EMBEDDING_ENCODER_H_
+#define ULTRAWIKI_EMBEDDING_ENCODER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "math/vec.h"
+#include "text/vocabulary.h"
+
+namespace ultrawiki {
+
+/// Hyper-parameters of the context encoder.
+struct EncoderConfig {
+  uint64_t seed = 3;
+  int token_dim = 64;       // token embedding width
+  int hidden_dim = 64;      // hidden-state width (the paper's h_[MASK])
+  int projection_dim = 32;  // contrastive hypersphere width (f_cl output)
+  /// Relative pooling weight of retrieval-augmentation prefix tokens. The
+  /// prefix is constant across all of an entity's sentences, so at full
+  /// weight it would dominate the averaged representation and erase the
+  /// contextual signal; a fractional weight keeps it advisory — the
+  /// "simply concatenating retrieved knowledge is not the optimal way to
+  /// leverage it" observation of paper §6.4.2, made concrete.
+  float augmentation_weight = 0.35f;
+};
+
+/// The BERT-base stand-in (see DESIGN.md): a shallow trainable encoder that
+/// maps a masked-entity context (bag of tokens) to a hidden state
+///   h = tanh(W1 · mean(E[tokens]) + b1),
+/// which plays the role of the paper's contextual embedding at the [MASK]
+/// position (Eq. 1). An entity-prediction head (output entity embeddings +
+/// bias, Eq. 2) and a contrastive projection head (the paper's MLP mapping
+/// f_cl onto a hypersphere) hang off the same hidden state. All parameters
+/// are exposed to the trainers, which hand-derive gradients.
+class ContextEncoder {
+ public:
+  ContextEncoder(size_t token_vocab_size, size_t entity_vocab_size,
+                 EncoderConfig config);
+
+  // Not implicitly copyable (parameters are large); movable. Use Clone()
+  // for the deliberate copies strategy variants start from.
+  ContextEncoder(ContextEncoder&&) = default;
+  ContextEncoder& operator=(ContextEncoder&&) = default;
+  ContextEncoder(const ContextEncoder&) = delete;
+  ContextEncoder& operator=(const ContextEncoder&) = delete;
+
+  /// Deep copy; the +Contrast strategy clones the entity-prediction-
+  /// trained encoder before contrastive tuning so the base representations
+  /// stay available for comparison.
+  ContextEncoder Clone() const;
+
+  /// Sets per-token pooling weights (SIF/IDF-style). Without weights the
+  /// pooling is a flat mean and high-frequency template words drown the
+  /// informative low-frequency tokens; the paper's BERT solves this with
+  /// attention, a shallow encoder needs explicit down-weighting.
+  void SetTokenWeights(std::vector<float> weights);
+
+  /// Pooling weight of `token` (1.0 when no weights are set).
+  float TokenWeight(TokenId token) const;
+
+  /// Weighted mean token embedding of `context` (the masked sentence minus
+  /// its mention span, plus any augmentation prefix). Unknown/negative ids
+  /// are skipped; an empty effective context yields the zero vector.
+  Vec ContextMean(std::span<const TokenId> context) const;
+
+  /// Weighted mean of an augmentation `prefix` (scaled by
+  /// config().augmentation_weight) plus the sentence `context`.
+  Vec ContextMeanWithPrefix(std::span<const TokenId> prefix,
+                            std::span<const TokenId> context) const;
+
+  /// Hidden state for a prefixed context.
+  Vec EncodeWithPrefix(std::span<const TokenId> prefix,
+                       std::span<const TokenId> context) const;
+
+  /// Effective pooling weight of `token` in a given role (prefix tokens
+  /// carry the augmentation multiplier). Exposed for the trainers'
+  /// backprop.
+  float EffectiveWeight(TokenId token, bool is_prefix) const {
+    return TokenWeight(token) *
+           (is_prefix ? config_.augmentation_weight : 1.0f);
+  }
+
+  /// Hidden state h for a context (Eq. 1 analogue).
+  Vec EncodeContext(std::span<const TokenId> context) const;
+
+  /// Hidden state given a precomputed context mean (used by trainers to
+  /// avoid recomputing the mean during backprop).
+  Vec HiddenFromMean(const Vec& mean) const;
+
+  /// Logit of entity `e` for hidden state `h` (Eq. 2 without softmax).
+  float EntityLogit(const Vec& hidden, size_t entity) const;
+
+  /// Full probability distribution over the entity vocabulary for `h`
+  /// (the representation ProbExpan ranks with).
+  Vec EntityDistribution(const Vec& hidden) const;
+
+  /// L2-normalized contrastive projection z = normalize(P·h + bp).
+  Vec Project(const Vec& hidden) const;
+
+  // --- Parameter access for the trainers. ---
+  Matrix& token_embeddings() { return token_embeddings_; }
+  const Matrix& token_embeddings() const { return token_embeddings_; }
+  Matrix& w1() { return w1_; }
+  const Matrix& w1() const { return w1_; }
+  Vec& b1() { return b1_; }
+  const Vec& b1() const { return b1_; }
+  Matrix& output_embeddings() { return output_embeddings_; }
+  const Matrix& output_embeddings() const { return output_embeddings_; }
+  Vec& output_bias() { return output_bias_; }
+  const Vec& output_bias() const { return output_bias_; }
+  Matrix& projection() { return projection_; }
+  const Matrix& projection() const { return projection_; }
+  Vec& projection_bias() { return projection_bias_; }
+  const Vec& projection_bias() const { return projection_bias_; }
+
+  const EncoderConfig& config() const { return config_; }
+  size_t token_vocab_size() const { return token_embeddings_.rows(); }
+  size_t entity_vocab_size() const { return output_embeddings_.rows(); }
+
+ private:
+  EncoderConfig config_;
+  std::vector<float> token_weights_;  // empty => flat mean
+  Matrix token_embeddings_;  // V_tok × token_dim
+  Matrix w1_;                // hidden_dim × token_dim
+  Vec b1_;                   // hidden_dim
+  Matrix output_embeddings_; // V_ent × hidden_dim
+  Vec output_bias_;          // V_ent
+  Matrix projection_;        // projection_dim × hidden_dim
+  Vec projection_bias_;      // projection_dim
+};
+
+/// SIF pooling weights over a vocabulary: w(t) = a / (a + p(t)) with p the
+/// corpus unigram probability (Arora et al.'s smooth inverse frequency).
+std::vector<float> ComputeSifTokenWeights(const Vocabulary& vocabulary,
+                                          double a = 3e-3);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EMBEDDING_ENCODER_H_

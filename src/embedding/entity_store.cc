@@ -1,0 +1,206 @@
+#include "embedding/entity_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/vec.h"
+
+namespace ultrawiki {
+
+std::vector<TokenId> MaskedContext(const Sentence& sentence,
+                                   const std::vector<TokenId>* prefix) {
+  std::vector<TokenId> context;
+  context.reserve(sentence.tokens.size() +
+                  (prefix != nullptr ? prefix->size() : 0));
+  if (prefix != nullptr) {
+    context.insert(context.end(), prefix->begin(), prefix->end());
+  }
+  for (size_t i = 0; i < sentence.tokens.size(); ++i) {
+    const int pos = static_cast<int>(i);
+    if (pos >= sentence.mention_begin &&
+        pos < sentence.mention_begin + sentence.mention_len) {
+      continue;  // the [MASK]ed mention span
+    }
+    context.push_back(sentence.tokens[i]);
+  }
+  return context;
+}
+
+namespace {
+
+/// Shared iteration: calls `fn(sentence)` for up to `cap` sentences of
+/// each entity (deterministic: first `cap` in corpus order).
+template <typename Fn>
+void ForEachCappedSentence(const Corpus& corpus, EntityId id, int cap,
+                           Fn&& fn) {
+  const std::vector<int>& sentence_ids = corpus.SentencesOf(id);
+  const int limit =
+      std::min<int>(cap, static_cast<int>(sentence_ids.size()));
+  for (int s = 0; s < limit; ++s) {
+    fn(corpus.sentence(static_cast<size_t>(sentence_ids[static_cast<size_t>(s)])));
+  }
+}
+
+const std::vector<TokenId>* PrefixFor(const EntityStoreConfig& config,
+                                      EntityId id) {
+  if (config.entity_prefixes == nullptr) return nullptr;
+  if (static_cast<size_t>(id) >= config.entity_prefixes->size()) {
+    return nullptr;
+  }
+  return &(*config.entity_prefixes)[static_cast<size_t>(id)];
+}
+
+}  // namespace
+
+EntityStore EntityStore::Build(const Corpus& corpus,
+                               const ContextEncoder& encoder,
+                               const std::vector<EntityId>& entities,
+                               const EntityStoreConfig& config) {
+  EntityStore store(static_cast<size_t>(encoder.config().hidden_dim));
+  store.zero_.assign(store.dim_, 0.0f);
+  store.hidden_.resize(corpus.entity_count());
+  for (EntityId id : entities) {
+    UW_CHECK_GE(id, 0);
+    UW_CHECK_LT(static_cast<size_t>(id), corpus.entity_count());
+    Vec sum(store.dim_, 0.0f);
+    int used = 0;
+    ForEachCappedSentence(
+        corpus, id, config.max_sentences_per_entity,
+        [&](const Sentence& sentence) {
+          const std::vector<TokenId> context = MaskedContext(sentence, nullptr);
+          const std::vector<TokenId>* prefix = PrefixFor(config, id);
+          static const std::vector<TokenId> kNoPrefix;
+          const Vec hidden = encoder.EncodeWithPrefix(
+              prefix != nullptr ? *prefix : kNoPrefix, context);
+          AccumulateInPlace(sum, hidden);
+          ++used;
+        });
+    if (used > 0) {
+      Scale(1.0f / static_cast<float>(used), sum);
+      store.hidden_[static_cast<size_t>(id)] = std::move(sum);
+    }
+  }
+  if (config.center) {
+    Vec mean(store.dim_, 0.0f);
+    int64_t built = 0;
+    for (const Vec& h : store.hidden_) {
+      if (h.empty()) continue;
+      AccumulateInPlace(mean, h);
+      ++built;
+    }
+    if (built > 0) {
+      Scale(1.0f / static_cast<float>(built), mean);
+      for (Vec& h : store.hidden_) {
+        if (h.empty()) continue;
+        for (size_t i = 0; i < h.size(); ++i) h[i] -= mean[i];
+      }
+    }
+  }
+  return store;
+}
+
+const Vec& EntityStore::HiddenOf(EntityId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= hidden_.size()) return zero_;
+  const Vec& h = hidden_[static_cast<size_t>(id)];
+  return h.empty() ? zero_ : h;
+}
+
+bool EntityStore::Has(EntityId id) const {
+  return id >= 0 && static_cast<size_t>(id) < hidden_.size() &&
+         !hidden_[static_cast<size_t>(id)].empty();
+}
+
+float EntityStore::Similarity(EntityId a, EntityId b) const {
+  return CosineSimilarity(HiddenOf(a), HiddenOf(b));
+}
+
+float SparseCosine(const SparseVec& a, const SparseVec& b) {
+  if (a.norm <= 0.0f || b.norm <= 0.0f) return 0.0f;
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else if (a.entries[i].first > b.entries[j].first) {
+      ++j;
+    } else {
+      dot += static_cast<double>(a.entries[i].second) *
+             static_cast<double>(b.entries[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<float>(dot / (static_cast<double>(a.norm) *
+                                   static_cast<double>(b.norm)));
+}
+
+std::vector<SparseVec> BuildSparseDistributions(
+    const Corpus& corpus, const ContextEncoder& encoder,
+    const std::vector<EntityId>& entities, const EntityStoreConfig& config,
+    int top_k) {
+  UW_CHECK_GT(top_k, 0);
+  const std::vector<Vec> dense =
+      BuildDistributionRepresentations(corpus, encoder, entities, config);
+  std::vector<SparseVec> result(dense.size());
+  for (size_t e = 0; e < dense.size(); ++e) {
+    if (dense[e].empty()) continue;
+    // Top-k by mass, then re-sorted by index for the merge-based cosine.
+    std::vector<std::pair<int32_t, float>> entries;
+    entries.reserve(dense[e].size());
+    for (size_t i = 0; i < dense[e].size(); ++i) {
+      entries.emplace_back(static_cast<int32_t>(i), dense[e][i]);
+    }
+    const size_t keep = std::min<size_t>(static_cast<size_t>(top_k),
+                                         entries.size());
+    std::partial_sort(entries.begin(), entries.begin() + keep,
+                      entries.end(), [](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return a.first < b.first;
+                      });
+    entries.resize(keep);
+    std::sort(entries.begin(), entries.end());
+    SparseVec& sparse = result[e];
+    sparse.entries = std::move(entries);
+    double norm_sq = 0.0;
+    for (const auto& [index, value] : sparse.entries) {
+      norm_sq += static_cast<double>(value) * static_cast<double>(value);
+    }
+    sparse.norm = static_cast<float>(std::sqrt(norm_sq));
+  }
+  return result;
+}
+
+std::vector<Vec> BuildDistributionRepresentations(
+    const Corpus& corpus, const ContextEncoder& encoder,
+    const std::vector<EntityId>& entities, const EntityStoreConfig& config) {
+  std::vector<Vec> result(corpus.entity_count());
+  for (EntityId id : entities) {
+    Vec sum(encoder.entity_vocab_size(), 0.0f);
+    int used = 0;
+    ForEachCappedSentence(
+        corpus, id, config.max_sentences_per_entity,
+        [&](const Sentence& sentence) {
+          const std::vector<TokenId> context = MaskedContext(sentence, nullptr);
+          const std::vector<TokenId>* prefix = PrefixFor(config, id);
+          static const std::vector<TokenId> kNoPrefix;
+          Vec hidden = encoder.EncodeWithPrefix(
+              prefix != nullptr ? *prefix : kNoPrefix, context);
+          if (config.distribution_temperature != 1.0f &&
+              config.distribution_temperature > 0.0f) {
+            Scale(1.0f / config.distribution_temperature, hidden);
+          }
+          const Vec dist = encoder.EntityDistribution(hidden);
+          AccumulateInPlace(sum, dist);
+          ++used;
+        });
+    if (used > 0) {
+      Scale(1.0f / static_cast<float>(used), sum);
+      result[static_cast<size_t>(id)] = std::move(sum);
+    }
+  }
+  return result;
+}
+
+}  // namespace ultrawiki

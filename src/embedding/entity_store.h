@@ -1,0 +1,100 @@
+#ifndef ULTRAWIKI_EMBEDDING_ENTITY_STORE_H_
+#define ULTRAWIKI_EMBEDDING_ENTITY_STORE_H_
+
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "embedding/encoder.h"
+
+namespace ultrawiki {
+
+/// Returns the masked context of `sentence`: every token outside the
+/// mention span, optionally preceded by an augmentation `prefix` (the
+/// retrieval-augmentation strategy prepends entity introductions here).
+std::vector<TokenId> MaskedContext(const Sentence& sentence,
+                                   const std::vector<TokenId>* prefix);
+
+/// Controls entity-representation extraction.
+struct EntityStoreConfig {
+  /// Cap on sentences averaged per entity (keeps extraction O(V · cap)).
+  int max_sentences_per_entity = 16;
+  /// Optional per-entity augmentation prefixes, indexed by EntityId; when
+  /// set, each sentence context is prefixed before encoding (paper §5.1.3).
+  const std::vector<std::vector<TokenId>>* entity_prefixes = nullptr;
+  /// Softmax temperature for the distribution representations; >1
+  /// flattens the distribution, emulating the limited capacity of the
+  /// probability space the paper attributes to ProbExpan.
+  float distribution_temperature = 1.0f;
+  /// Subtract the corpus-wide mean representation ("all-but-the-top"
+  /// post-processing). Shallow encoders produce anisotropic hidden
+  /// spaces where a common direction hides the fine-grained signal;
+  /// centering restores cosine resolution.
+  bool center = true;
+};
+
+/// Holds the per-entity representations RetExpan ranks with: the mean
+/// hidden state h(e) over the entity's masked sentence contexts (the
+/// paper's "average of the contextual embedding at the mask position
+/// across all sentences containing it").
+class EntityStore {
+ public:
+  /// Encodes every entity in `entities` with `encoder`.
+  static EntityStore Build(const Corpus& corpus,
+                           const ContextEncoder& encoder,
+                           const std::vector<EntityId>& entities,
+                           const EntityStoreConfig& config = {});
+
+  EntityStore(EntityStore&&) = default;
+  EntityStore& operator=(EntityStore&&) = default;
+  EntityStore(const EntityStore&) = delete;
+  EntityStore& operator=(const EntityStore&) = delete;
+
+  /// Mean hidden state of `id`; the zero vector if the entity was not in
+  /// the build set or has no sentences.
+  const Vec& HiddenOf(EntityId id) const;
+
+  bool Has(EntityId id) const;
+
+  /// Cosine similarity between the representations of two entities.
+  float Similarity(EntityId a, EntityId b) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  explicit EntityStore(size_t dim) : dim_(dim) {}
+
+  size_t dim_;
+  std::vector<Vec> hidden_;  // indexed by EntityId; empty => absent
+  Vec zero_;
+};
+
+/// Builds the probability-distribution representations ProbExpan ranks
+/// with (softmax over the entity vocabulary, averaged across sentences).
+/// Heavy (O(V_entities) per sentence), so it is separate from EntityStore.
+std::vector<Vec> BuildDistributionRepresentations(
+    const Corpus& corpus, const ContextEncoder& encoder,
+    const std::vector<EntityId>& entities, const EntityStoreConfig& config);
+
+/// Sparse probability-distribution representation: the top-k entries of
+/// the softmax, index-sorted, with the norm cached for cosine. The
+/// truncation embodies the "limited capacity of the probability space"
+/// the paper blames for ProbExpan's coarser granularity, and keeps
+/// similarity O(k).
+struct SparseVec {
+  std::vector<std::pair<int32_t, float>> entries;  // sorted by index
+  float norm = 0.0f;
+};
+
+/// Cosine similarity between two index-sorted sparse vectors.
+float SparseCosine(const SparseVec& a, const SparseVec& b);
+
+/// Sparse (top-`top_k`) variant of BuildDistributionRepresentations,
+/// indexed by EntityId.
+std::vector<SparseVec> BuildSparseDistributions(
+    const Corpus& corpus, const ContextEncoder& encoder,
+    const std::vector<EntityId>& entities, const EntityStoreConfig& config,
+    int top_k);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EMBEDDING_ENTITY_STORE_H_

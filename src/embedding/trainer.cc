@@ -1,0 +1,203 @@
+#include "embedding/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "embedding/entity_store.h"
+#include "math/sampling.h"
+#include "math/softmax.h"
+#include "math/vec.h"
+
+namespace ultrawiki {
+
+TrainStats TrainEntityPrediction(const Corpus& corpus,
+                                 ContextEncoder& encoder,
+                                 const EntityPredictionTrainConfig& config) {
+  UW_CHECK_GT(config.epochs, 0);
+  UW_CHECK_GT(config.negative_samples, 0);
+  UW_CHECK_GE(config.label_smoothing, 0.0f);
+  UW_CHECK_LT(config.label_smoothing, 1.0f);
+  Rng rng(config.seed);
+  TrainStats stats;
+  stats.epochs = config.epochs;
+  if (corpus.sentence_count() == 0) return stats;
+
+  // Negative-sampling distribution: unigram^0.75 over entity sentence
+  // frequency (the word2vec convention).
+  std::vector<double> entity_weights(corpus.entity_count(), 0.0);
+  for (EntityId id = 0; id < static_cast<EntityId>(corpus.entity_count());
+       ++id) {
+    entity_weights[static_cast<size_t>(id)] = std::pow(
+        static_cast<double>(corpus.SentencesOf(id).size()) + 1.0, 0.75);
+  }
+  const AliasTable negatives(entity_weights);
+
+  // Entities grouped by fine class for in-class negative sampling.
+  std::vector<std::vector<EntityId>> class_members;
+  for (EntityId id = 0; id < static_cast<EntityId>(corpus.entity_count());
+       ++id) {
+    const ClassId class_id = corpus.entity(id).class_id;
+    if (class_id == kBackgroundClassId) continue;
+    if (static_cast<size_t>(class_id) >= class_members.size()) {
+      class_members.resize(static_cast<size_t>(class_id) + 1);
+    }
+    class_members[static_cast<size_t>(class_id)].push_back(id);
+  }
+
+  std::vector<size_t> order(corpus.sentence_count());
+  std::iota(order.begin(), order.end(), 0);
+
+  const size_t hidden_dim = static_cast<size_t>(encoder.config().hidden_dim);
+  const size_t token_dim = static_cast<size_t>(encoder.config().token_dim);
+  const int k = config.negative_samples;
+  const float eta = config.label_smoothing;
+
+  const int64_t total_steps =
+      static_cast<int64_t>(config.epochs) *
+      static_cast<int64_t>(corpus.sentence_count());
+  int64_t step = 0;
+  double epoch_loss = 0.0;
+
+  std::vector<size_t> batch_entities(static_cast<size_t>(k) + 1);
+  Vec logits(static_cast<size_t>(k) + 1, 0.0f);
+  Vec targets(static_cast<size_t>(k) + 1, 0.0f);
+  Vec grad_hidden(hidden_dim, 0.0f);
+  Vec grad_pre(hidden_dim, 0.0f);
+  Vec grad_mean(token_dim, 0.0f);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    epoch_loss = 0.0;
+    for (size_t idx : order) {
+      const Sentence& sentence = corpus.sentence(idx);
+      const float progress =
+          static_cast<float>(step) / static_cast<float>(total_steps);
+      const float lr =
+          config.learning_rate +
+          (config.min_learning_rate - config.learning_rate) * progress;
+      ++step;
+
+      static const std::vector<TokenId> kNoPrefix;
+      const std::vector<TokenId>* prefix = &kNoPrefix;
+      if (config.entity_prefixes != nullptr &&
+          static_cast<size_t>(sentence.entity) <
+              config.entity_prefixes->size()) {
+        prefix = &(*config.entity_prefixes)[static_cast<size_t>(
+            sentence.entity)];
+      }
+      const std::vector<TokenId> context = MaskedContext(sentence, nullptr);
+      if (context.empty() && prefix->empty()) continue;
+
+      // Forward.
+      const Vec mean = encoder.ContextMeanWithPrefix(*prefix, context);
+      Vec pre(hidden_dim, 0.0f);
+      encoder.w1().MatVec(mean, pre);
+      Vec hidden(hidden_dim, 0.0f);
+      for (size_t i = 0; i < hidden_dim; ++i) {
+        hidden[i] = std::tanh(pre[i] + encoder.b1()[i]);
+      }
+
+      // Sampled softmax: slot 0 = ground truth, slots 1..k = negatives.
+      batch_entities[0] = static_cast<size_t>(sentence.entity);
+      const ClassId truth_class = corpus.entity(sentence.entity).class_id;
+      const std::vector<EntityId>* in_class =
+          (truth_class != kBackgroundClassId &&
+           static_cast<size_t>(truth_class) < class_members.size() &&
+           class_members[static_cast<size_t>(truth_class)].size() > 1)
+              ? &class_members[static_cast<size_t>(truth_class)]
+              : nullptr;
+      for (int n = 0; n < k; ++n) {
+        size_t neg;
+        if (in_class != nullptr &&
+            rng.Bernoulli(config.in_class_negative_fraction)) {
+          neg = static_cast<size_t>(
+              (*in_class)[rng.UniformUint64(in_class->size())]);
+        } else {
+          neg = negatives.Sample(rng);
+        }
+        if (neg == static_cast<size_t>(sentence.entity)) {
+          neg = (neg + 1) % corpus.entity_count();
+        }
+        batch_entities[static_cast<size_t>(n) + 1] = neg;
+      }
+      for (size_t j = 0; j < batch_entities.size(); ++j) {
+        logits[j] = encoder.EntityLogit(hidden, batch_entities[j]);
+      }
+      Vec probs = logits;
+      SoftmaxInPlace(probs);
+
+      // Label-smoothed target: (1 - η) on the truth, η spread over the
+      // sampled negatives (Eq. 3's smoothing effect under sampling).
+      targets[0] = 1.0f - eta;
+      const float spread = eta / static_cast<float>(k);
+      for (int n = 0; n < k; ++n) targets[static_cast<size_t>(n) + 1] = spread;
+
+      epoch_loss += -std::log(
+          std::max(1e-9, static_cast<double>(probs[0])));
+
+      // Backward.
+      ZeroInPlace(grad_hidden);
+      for (size_t j = 0; j < batch_entities.size(); ++j) {
+        const float delta = probs[j] - targets[j];
+        auto out_row = encoder.output_embeddings().Row(batch_entities[j]);
+        // grad wrt hidden accumulates before the row is updated.
+        Axpy(delta, out_row, grad_hidden);
+        // Update output embedding row and bias in place (SGD).
+        Axpy(-lr * delta, hidden, out_row);
+        encoder.output_bias()[batch_entities[j]] -= lr * delta;
+      }
+
+      // Through tanh.
+      for (size_t i = 0; i < hidden_dim; ++i) {
+        grad_pre[i] = grad_hidden[i] * (1.0f - hidden[i] * hidden[i]);
+      }
+      // grad wrt mean (needed before W1 changes).
+      encoder.w1().MatTVec(grad_pre, grad_mean);
+      // Update W1 and b1.
+      for (size_t r = 0; r < hidden_dim; ++r) {
+        auto w_row = encoder.w1().Row(r);
+        Axpy(-lr * grad_pre[r], mean, w_row);
+        encoder.b1()[r] -= lr * grad_pre[r];
+      }
+      // Update token embeddings of prefix + context (weighted-mean
+      // backprop; prefix tokens carry the augmentation multiplier).
+      float total_weight = 0.0f;
+      auto add_weight = [&](const std::vector<TokenId>& span,
+                            bool is_prefix) {
+        for (TokenId token : span) {
+          if (token >= 0 &&
+              static_cast<size_t>(token) < encoder.token_vocab_size()) {
+            total_weight += encoder.EffectiveWeight(token, is_prefix);
+          }
+        }
+      };
+      add_weight(*prefix, true);
+      add_weight(context, false);
+      if (total_weight > 0.0f) {
+        auto update_span = [&](const std::vector<TokenId>& span,
+                               bool is_prefix) {
+          for (TokenId token : span) {
+            if (token < 0 ||
+                static_cast<size_t>(token) >= encoder.token_vocab_size()) {
+              continue;
+            }
+            const float w = encoder.EffectiveWeight(token, is_prefix);
+            if (w <= 0.0f) continue;
+            Axpy(-lr * w / total_weight, grad_mean,
+                 encoder.token_embeddings().Row(
+                     static_cast<size_t>(token)));
+          }
+        };
+        update_span(*prefix, true);
+        update_span(context, false);
+      }
+      ++stats.steps;
+    }
+  }
+  stats.final_loss =
+      epoch_loss / static_cast<double>(corpus.sentence_count());
+  return stats;
+}
+
+}  // namespace ultrawiki

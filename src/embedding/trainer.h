@@ -1,0 +1,51 @@
+#ifndef ULTRAWIKI_EMBEDDING_TRAINER_H_
+#define ULTRAWIKI_EMBEDDING_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "embedding/encoder.h"
+
+namespace ultrawiki {
+
+/// Result of a training run.
+struct TrainStats {
+  double final_loss = 0.0;
+  int64_t steps = 0;
+  int epochs = 0;
+};
+
+/// Hyper-parameters of the entity-prediction task (paper Eq. 2–3). The
+/// softmax over the candidate vocabulary is approximated with sampled
+/// negatives; label smoothing η mitigates over-penalizing entities that
+/// share semantics with the ground-truth entity, exactly as in the paper.
+struct EntityPredictionTrainConfig {
+  uint64_t seed = 5;
+  int epochs = 10;
+  int negative_samples = 16;
+  float label_smoothing = 0.075f;  // η
+  float learning_rate = 0.08f;
+  float min_learning_rate = 0.01f;  // linear decay floor
+  /// Probability that a sampled negative comes from the ground-truth
+  /// entity's own fine-grained class rather than the global unigram
+  /// table. In-class negatives are what force the hidden state to encode
+  /// the within-class (attribute) signal instead of stopping at class
+  /// identity — the role hard negatives play throughout the ESE
+  /// literature.
+  float in_class_negative_fraction = 0.5f;
+  /// Optional per-entity augmentation prefixes (retrieval augmentation is
+  /// applied during training too, per paper §5.1.3).
+  const std::vector<std::vector<TokenId>>* entity_prefixes = nullptr;
+};
+
+/// Trains `encoder` on the masked-entity prediction task over every
+/// labelled sentence of `corpus`. Returns loss statistics. Deterministic
+/// in `config.seed`.
+TrainStats TrainEntityPrediction(const Corpus& corpus,
+                                 ContextEncoder& encoder,
+                                 const EntityPredictionTrainConfig& config);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EMBEDDING_TRAINER_H_

@@ -1,0 +1,118 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+namespace {
+
+TargetSet MakeTargets(const std::vector<EntityId>& targets,
+                      const std::vector<EntityId>& excluded_seeds) {
+  TargetSet set(targets.begin(), targets.end());
+  for (EntityId seed : excluded_seeds) set.erase(seed);
+  return set;
+}
+
+double MeanOf(const std::map<int, double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [k, v] : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double EvalResult::CombMap(int k) const {
+  return CombineMetric(pos_map.at(k), neg_map.at(k));
+}
+
+double EvalResult::CombP(int k) const {
+  return CombineMetric(pos_p.at(k), neg_p.at(k));
+}
+
+double EvalResult::AvgPos() const {
+  return (MeanOf(pos_map) + MeanOf(pos_p)) / 2.0;
+}
+
+double EvalResult::AvgNeg() const {
+  return (MeanOf(neg_map) + MeanOf(neg_p)) / 2.0;
+}
+
+double EvalResult::AvgComb() const {
+  return CombineMetric(AvgPos(), AvgNeg());
+}
+
+double EvalResult::AvgPosMap() const { return MeanOf(pos_map); }
+double EvalResult::AvgNegMap() const { return MeanOf(neg_map); }
+double EvalResult::AvgCombMap() const {
+  return CombineMetric(AvgPosMap(), AvgNegMap());
+}
+
+EvalResult EvaluateExpander(Expander& expander,
+                            const UltraWikiDataset& dataset,
+                            const EvalConfig& config) {
+  EvalResult result;
+  UW_CHECK(!config.ks.empty());
+  const int max_k = *std::max_element(config.ks.begin(), config.ks.end());
+  for (int k : config.ks) {
+    result.pos_map[k] = 0.0;
+    result.neg_map[k] = 0.0;
+    result.pos_p[k] = 0.0;
+    result.neg_p[k] = 0.0;
+  }
+
+  for (const Query& query : dataset.queries) {
+    const UltraClass& ultra = dataset.ClassOf(query);
+    if (config.query_filter && !config.query_filter(query, ultra)) continue;
+    const std::vector<EntityId> ranking =
+        expander.Expand(query, static_cast<size_t>(max_k));
+    const TargetSet pos_targets =
+        MakeTargets(ultra.positive_targets, query.pos_seeds);
+    std::vector<EntityId> all_seeds = query.pos_seeds;
+    all_seeds.insert(all_seeds.end(), query.neg_seeds.begin(),
+                     query.neg_seeds.end());
+    const TargetSet neg_targets =
+        MakeTargets(ultra.negative_targets, all_seeds);
+    for (int k : config.ks) {
+      result.pos_map[k] += AveragePrecisionAtK(ranking, pos_targets, k);
+      result.neg_map[k] += AveragePrecisionAtK(ranking, neg_targets, k);
+      result.pos_p[k] += PrecisionAtK(ranking, pos_targets, k);
+      result.neg_p[k] += PrecisionAtK(ranking, neg_targets, k);
+    }
+    ++result.query_count;
+  }
+  if (result.query_count > 0) {
+    const double scale = 100.0 / static_cast<double>(result.query_count);
+    for (int k : config.ks) {
+      result.pos_map[k] *= scale;
+      result.neg_map[k] *= scale;
+      result.pos_p[k] *= scale;
+      result.neg_p[k] *= scale;
+    }
+  }
+  return result;
+}
+
+double EvaluateFineGrainedMap(Expander& expander,
+                              const UltraWikiDataset& dataset,
+                              const GeneratedWorld& world, int k) {
+  double sum = 0.0;
+  int count = 0;
+  for (const Query& query : dataset.queries) {
+    const UltraClass& ultra = dataset.ClassOf(query);
+    const std::vector<EntityId> fine_members =
+        world.corpus.EntitiesOfClass(ultra.fine_class);
+    std::vector<EntityId> all_seeds = query.pos_seeds;
+    all_seeds.insert(all_seeds.end(), query.neg_seeds.begin(),
+                     query.neg_seeds.end());
+    const TargetSet targets = MakeTargets(fine_members, all_seeds);
+    const std::vector<EntityId> ranking =
+        expander.Expand(query, static_cast<size_t>(k));
+    sum += AveragePrecisionAtK(ranking, targets, k);
+    ++count;
+  }
+  return count > 0 ? 100.0 * sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,60 @@
+#ifndef ULTRAWIKI_EVAL_EVALUATOR_H_
+#define ULTRAWIKI_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "eval/metrics.h"
+#include "expand/expander.h"
+
+namespace ultrawiki {
+
+/// Evaluation cutoffs; the paper uses K ∈ {10, 20, 50, 100}.
+struct EvalConfig {
+  std::vector<int> ks = {10, 20, 50, 100};
+  /// Optional filter: evaluate only the queries whose index passes.
+  std::function<bool(const Query&, const UltraClass&)> query_filter;
+};
+
+/// Aggregated scores (0–100 scale) keyed by K.
+struct EvalResult {
+  std::map<int, double> pos_map;
+  std::map<int, double> neg_map;
+  std::map<int, double> pos_p;
+  std::map<int, double> neg_p;
+  int query_count = 0;
+
+  double CombMap(int k) const;
+  double CombP(int k) const;
+
+  /// Row averages as printed in the paper's "Avg" column: the mean over
+  /// all MAP@K and P@K entries of that metric type.
+  double AvgPos() const;
+  double AvgNeg() const;
+  double AvgComb() const;
+  /// Means over MAP-only entries (used by the MAP-only tables 3-10).
+  double AvgPosMap() const;
+  double AvgNegMap() const;
+  double AvgCombMap() const;
+};
+
+/// Runs `expander` over every query of `dataset` (or the filtered subset)
+/// and aggregates Pos/Neg MAP@K and P@K. Positive targets are P minus the
+/// query's seeds; negative targets are N minus the query's seeds.
+EvalResult EvaluateExpander(Expander& expander,
+                            const UltraWikiDataset& dataset,
+                            const EvalConfig& config = {});
+
+/// MAP@K at the fine-grained semantic-class level (used in the paper's
+/// discussion, e.g. "RetExpan's fine-grained MAP@100 of 82.08"): ground
+/// truth is every entity of the query's fine-grained class.
+double EvaluateFineGrainedMap(Expander& expander,
+                              const UltraWikiDataset& dataset,
+                              const GeneratedWorld& world, int k);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EVAL_EVALUATOR_H_

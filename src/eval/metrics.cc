@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+double PrecisionAtK(const std::vector<EntityId>& ranking,
+                    const TargetSet& targets, int k) {
+  UW_CHECK_GT(k, 0);
+  const int limit = std::min<int>(k, static_cast<int>(ranking.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) {
+    if (targets.contains(ranking[static_cast<size_t>(i)])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecisionAtK(const std::vector<EntityId>& ranking,
+                           const TargetSet& targets, int k) {
+  UW_CHECK_GT(k, 0);
+  if (targets.empty()) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(ranking.size()));
+  int hits = 0;
+  double precision_sum = 0.0;
+  for (int i = 0; i < limit; ++i) {
+    if (targets.contains(ranking[static_cast<size_t>(i)])) {
+      ++hits;
+      precision_sum +=
+          static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const int denom = std::min<int>(k, static_cast<int>(targets.size()));
+  if (denom == 0) return 0.0;
+  return precision_sum / static_cast<double>(denom);
+}
+
+double CombineMetric(double pos_value, double neg_value) {
+  return (pos_value + 100.0 - neg_value) / 2.0;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,31 @@
+#ifndef ULTRAWIKI_EVAL_METRICS_H_
+#define ULTRAWIKI_EVAL_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/types.h"
+
+namespace ultrawiki {
+
+/// Ground-truth membership set for ranking metrics.
+using TargetSet = std::unordered_set<EntityId>;
+
+/// Precision of the first min(k, |ranking|) entries against `targets`.
+/// Per the paper's P@K definition, the denominator is k (a short ranking
+/// is penalized).
+double PrecisionAtK(const std::vector<EntityId>& ranking,
+                    const TargetSet& targets, int k);
+
+/// Average precision at cutoff `k`: mean of precision@i over the relevant
+/// positions i <= k, normalized by min(k, |targets|). This is the AP_K of
+/// paper Eq. 8.
+double AveragePrecisionAtK(const std::vector<EntityId>& ranking,
+                           const TargetSet& targets, int k);
+
+/// CombX@K = (PosX@K + 100 - NegX@K) / 2 on the 0–100 scale (paper §6.1).
+double CombineMetric(double pos_value, double neg_value);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EVAL_METRICS_H_

@@ -1,0 +1,65 @@
+#include "eval/report.h"
+
+#include "common/string_util.h"
+
+namespace ultrawiki {
+namespace {
+
+constexpr int kKs[] = {10, 20, 50, 100};
+
+}  // namespace
+
+TablePrinter MakeResultTable(const std::string& title, bool map_only) {
+  TablePrinter table(title);
+  std::vector<std::string> header = {"Method", "Metric"};
+  for (int k : kKs) header.push_back(StrFormat("MAP@%d", k));
+  if (!map_only) {
+    for (int k : kKs) header.push_back(StrFormat("P@%d", k));
+  }
+  header.push_back("Avg");
+  table.SetHeader(std::move(header));
+  return table;
+}
+
+void AddResultRows(TablePrinter& table, const std::string& method,
+                   const EvalResult& result, bool map_only) {
+  auto format_row = [&](const char* metric, auto value_of, double avg) {
+    std::vector<std::string> row = {std::string(), std::string(metric)};
+    row[0] = method;
+    for (int k : kKs) row.push_back(FormatDouble(value_of(k, true), 2));
+    if (!map_only) {
+      for (int k : kKs) row.push_back(FormatDouble(value_of(k, false), 2));
+    }
+    row.push_back(FormatDouble(avg, 2));
+    table.AddRow(std::move(row));
+  };
+  format_row(
+      "Pos ^",
+      [&result](int k, bool map) {
+        return map ? result.pos_map.at(k) : result.pos_p.at(k);
+      },
+      map_only ? result.AvgPosMap() : result.AvgPos());
+  format_row(
+      "Neg v",
+      [&result](int k, bool map) {
+        return map ? result.neg_map.at(k) : result.neg_p.at(k);
+      },
+      map_only ? result.AvgNegMap() : result.AvgNeg());
+  format_row(
+      "Comb ^",
+      [&result](int k, bool map) {
+        return map ? result.CombMap(k) : result.CombP(k);
+      },
+      map_only ? result.AvgCombMap() : result.AvgComb());
+  table.AddSeparator();
+}
+
+void AddCombMapRow(TablePrinter& table, const std::string& method,
+                   const EvalResult& result) {
+  std::vector<std::string> row = {method};
+  for (int k : kKs) row.push_back(FormatDouble(result.CombMap(k), 2));
+  row.push_back(FormatDouble(result.AvgCombMap(), 2));
+  table.AddRow(std::move(row));
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,27 @@
+#ifndef ULTRAWIKI_EVAL_REPORT_H_
+#define ULTRAWIKI_EVAL_REPORT_H_
+
+#include <string>
+
+#include "common/table_printer.h"
+#include "eval/evaluator.h"
+
+namespace ultrawiki {
+
+/// Creates a table printer with the paper's result-table layout:
+/// Method | Metric | MAP@10..100 [| P@10..100] | Avg.
+TablePrinter MakeResultTable(const std::string& title, bool map_only);
+
+/// Appends the three paper-style rows (Pos ↑ / Neg ↓ / Comb ↑) of one
+/// method to `table`, matching the layout produced by MakeResultTable.
+void AddResultRows(TablePrinter& table, const std::string& method,
+                   const EvalResult& result, bool map_only);
+
+/// Appends a single row of MAP values (used by ablation tables that only
+/// report Comb MAP, e.g. Table 3).
+void AddCombMapRow(TablePrinter& table, const std::string& method,
+                   const EvalResult& result);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EVAL_REPORT_H_

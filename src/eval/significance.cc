@@ -1,0 +1,69 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace ultrawiki {
+
+std::vector<double> PerQueryCombMap(Expander& method,
+                                    const UltraWikiDataset& dataset,
+                                    int k) {
+  std::vector<double> scores;
+  scores.reserve(dataset.queries.size());
+  for (const Query& query : dataset.queries) {
+    const UltraClass& ultra = dataset.ClassOf(query);
+    const std::vector<EntityId> ranking =
+        method.Expand(query, static_cast<size_t>(k));
+    TargetSet pos(ultra.positive_targets.begin(),
+                  ultra.positive_targets.end());
+    for (EntityId seed : query.pos_seeds) pos.erase(seed);
+    TargetSet neg(ultra.negative_targets.begin(),
+                  ultra.negative_targets.end());
+    for (EntityId seed : query.pos_seeds) neg.erase(seed);
+    for (EntityId seed : query.neg_seeds) neg.erase(seed);
+    const double pos_map = 100.0 * AveragePrecisionAtK(ranking, pos, k);
+    const double neg_map = 100.0 * AveragePrecisionAtK(ranking, neg, k);
+    scores.push_back(CombineMetric(pos_map, neg_map));
+  }
+  return scores;
+}
+
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                int resamples, uint64_t seed) {
+  UW_CHECK_EQ(a.size(), b.size());
+  UW_CHECK_GT(resamples, 0);
+  BootstrapResult result;
+  result.query_count = static_cast<int>(a.size());
+  if (a.empty()) return result;
+
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum_a += a[i];
+    sum_b += b[i];
+  }
+  result.mean_a = sum_a / static_cast<double>(a.size());
+  result.mean_b = sum_b / static_cast<double>(b.size());
+
+  Rng rng(seed);
+  int b_better = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double delta = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const size_t pick = rng.UniformUint64(a.size());
+      delta += b[pick] - a[pick];
+    }
+    if (delta > 0.0) ++b_better;
+  }
+  result.prob_b_better =
+      static_cast<double>(b_better) / static_cast<double>(resamples);
+  result.two_sided_p =
+      2.0 * std::min(result.prob_b_better, 1.0 - result.prob_b_better);
+  return result;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,37 @@
+#ifndef ULTRAWIKI_EVAL_SIGNIFICANCE_H_
+#define ULTRAWIKI_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "expand/expander.h"
+
+namespace ultrawiki {
+
+/// Result of a paired bootstrap test between two methods.
+struct BootstrapResult {
+  /// Mean per-query metric of each method (0–100).
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  /// Fraction of bootstrap resamples in which B's mean exceeded A's —
+  /// close to 1 means B is consistently better, close to 0 consistently
+  /// worse; the two-sided p-value is 2·min(p, 1-p).
+  double prob_b_better = 0.5;
+  double two_sided_p = 1.0;
+  int query_count = 0;
+};
+
+/// Per-query CombMAP@k values of `method` over `dataset` (the paired unit
+/// of the bootstrap).
+std::vector<double> PerQueryCombMap(Expander& method,
+                                    const UltraWikiDataset& dataset, int k);
+
+/// Paired bootstrap significance test on per-query scores. `a` and `b`
+/// must be aligned (same queries, same order).
+BootstrapResult PairedBootstrap(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                int resamples = 2000, uint64_t seed = 71);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EVAL_SIGNIFICANCE_H_

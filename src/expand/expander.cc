@@ -1,0 +1,15 @@
+#include "expand/expander.h"
+
+#include <algorithm>
+
+namespace ultrawiki {
+
+std::vector<EntityId> SortedSeedsOf(const Query& query) {
+  std::vector<EntityId> seeds = query.pos_seeds;
+  seeds.insert(seeds.end(), query.neg_seeds.begin(), query.neg_seeds.end());
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  return seeds;
+}
+
+}  // namespace ultrawiki

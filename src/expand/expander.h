@@ -1,0 +1,31 @@
+#ifndef ULTRAWIKI_EXPAND_EXPANDER_H_
+#define ULTRAWIKI_EXPAND_EXPANDER_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace ultrawiki {
+
+/// Interface every expansion method implements: given a query (positive +
+/// negative seeds), return a ranked entity list of up to `k` entries.
+/// Implementations must never return the query's own seed entities.
+/// Entries may include kHallucinatedEntityId (generative baselines).
+class Expander {
+ public:
+  virtual ~Expander() = default;
+
+  /// Ranks candidates for `query`, best first.
+  virtual std::vector<EntityId> Expand(const Query& query, size_t k) = 0;
+
+  /// Human-readable method name (used by the benchmark harness).
+  virtual std::string name() const = 0;
+};
+
+/// Utility: the union of a query's positive and negative seeds, sorted —
+/// the set expansion must exclude.
+std::vector<EntityId> SortedSeedsOf(const Query& query);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EXPAND_EXPANDER_H_

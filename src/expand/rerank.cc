@@ -1,0 +1,52 @@
+#include "expand/rerank.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+std::vector<EntityId> SegmentedRerank(
+    const std::vector<EntityId>& initial,
+    const std::function<double(EntityId)>& negative_score,
+    int segment_length) {
+  std::vector<double> scores;
+  scores.reserve(initial.size());
+  for (EntityId id : initial) scores.push_back(negative_score(id));
+  return SegmentedRerankByPosition(initial, scores, segment_length);
+}
+
+std::vector<EntityId> SegmentedRerankByPosition(
+    const std::vector<EntityId>& initial,
+    const std::vector<double>& negative_scores, int segment_length) {
+  UW_CHECK_GT(segment_length, 0);
+  UW_CHECK_EQ(initial.size(), negative_scores.size());
+  struct Scored {
+    EntityId entity;
+    double neg_score;
+    size_t original_rank;
+  };
+  std::vector<EntityId> result;
+  result.reserve(initial.size());
+  for (size_t begin = 0; begin < initial.size();
+       begin += static_cast<size_t>(segment_length)) {
+    const size_t end = std::min(
+        initial.size(), begin + static_cast<size_t>(segment_length));
+    std::vector<Scored> segment;
+    segment.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      segment.push_back(Scored{initial[i], negative_scores[i], i});
+    }
+    std::stable_sort(segment.begin(), segment.end(),
+                     [](const Scored& a, const Scored& b) {
+                       if (a.neg_score != b.neg_score) {
+                         return a.neg_score < b.neg_score;
+                       }
+                       return a.original_rank < b.original_rank;
+                     });
+    for (const Scored& s : segment) result.push_back(s.entity);
+  }
+  return result;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,31 @@
+#ifndef ULTRAWIKI_EXPAND_RERANK_H_
+#define ULTRAWIKI_EXPAND_RERANK_H_
+
+#include <functional>
+#include <vector>
+
+#include "corpus/types.h"
+
+namespace ultrawiki {
+
+/// Segmented re-ranking (paper §5.1.1, "Entity Re-ranking"): splits the
+/// initial list into ⌈|L0|/l⌉ consecutive segments and sorts each segment
+/// by ascending negative-seed similarity, pushing entities that share the
+/// negative attributes toward the segment's end while preventing noisy
+/// entities with accidentally-low sco^neg from jumping to the global top.
+/// Ties keep the original (positive-score) order, so re-ranking is a
+/// refinement, not a reshuffle.
+std::vector<EntityId> SegmentedRerank(
+    const std::vector<EntityId>& initial,
+    const std::function<double(EntityId)>& negative_score,
+    int segment_length);
+
+/// Positional variant for lists that may contain duplicate entries (e.g.
+/// hallucination sentinels): `negative_scores[i]` scores `initial[i]`.
+std::vector<EntityId> SegmentedRerankByPosition(
+    const std::vector<EntityId>& initial,
+    const std::vector<double>& negative_scores, int segment_length);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EXPAND_RERANK_H_

@@ -1,0 +1,79 @@
+#include "expand/retexpan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "expand/rerank.h"
+#include "math/topk.h"
+
+namespace ultrawiki {
+
+RetExpan::RetExpan(const EntityStore* store,
+                   const std::vector<EntityId>* candidates,
+                   RetExpanConfig config, std::string name)
+    : store_(store),
+      candidates_(candidates),
+      config_(config),
+      name_(std::move(name)) {
+  UW_CHECK_NE(store, nullptr);
+  UW_CHECK_NE(candidates, nullptr);
+}
+
+double RetExpan::SeedSimilarity(const std::vector<EntityId>& seeds,
+                                EntityId candidate) const {
+  if (seeds.empty()) return 0.0;
+  double sum = 0.0;
+  for (EntityId seed : seeds) {
+    sum += static_cast<double>(store_->Similarity(candidate, seed));
+  }
+  return sum / static_cast<double>(seeds.size());
+}
+
+std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
+                                                 size_t size) const {
+  const std::vector<EntityId> seeds = SortedSeedsOf(query);
+  std::vector<ScoredIndex> scored;
+  scored.reserve(candidates_->size());
+  for (size_t i = 0; i < candidates_->size(); ++i) {
+    const EntityId id = (*candidates_)[i];
+    if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+    scored.push_back(ScoredIndex{
+        static_cast<float>(SeedSimilarity(query.pos_seeds, id)), i});
+  }
+  scored = TopKOfPairs(std::move(scored), size);
+  std::vector<EntityId> initial;
+  initial.reserve(scored.size());
+  for (const ScoredIndex& s : scored) {
+    initial.push_back((*candidates_)[s.index]);
+  }
+  return initial;
+}
+
+std::vector<EntityId> RetExpan::Expand(const Query& query, size_t k) {
+  const size_t initial_size = std::max<size_t>(
+      k, static_cast<size_t>(config_.initial_list_size));
+  std::vector<EntityId> list = InitialExpansion(query, initial_size);
+  if (config_.use_negative_rerank && !query.neg_seeds.empty()) {
+    // Contrastive re-ranking key: how much more the candidate resembles
+    // the negative seeds than the positive seeds. The raw sco^neg is
+    // dominated by the shared fine-grained class (every in-class entity
+    // scores high), so the margin is what actually isolates entities
+    // aligned with the negative attributes.
+    // The key is clamped at zero: entities whose negative evidence does
+    // not exceed their positive evidence keep their original order (the
+    // segment sort is stable), so re-ranking is a pure demotion of
+    // negative-aligned entities, never a reshuffle of the positives.
+    list = SegmentedRerank(
+        list,
+        [this, &query](EntityId id) {
+          const double margin = SeedSimilarity(query.neg_seeds, id) -
+                                SeedSimilarity(query.pos_seeds, id);
+          return std::max(0.0, margin);
+        },
+        config_.rerank_segment_length);
+  }
+  if (list.size() > k) list.resize(k);
+  return list;
+}
+
+}  // namespace ultrawiki

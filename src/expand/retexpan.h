@@ -1,0 +1,62 @@
+#ifndef ULTRAWIKI_EXPAND_RETEXPAN_H_
+#define ULTRAWIKI_EXPAND_RETEXPAN_H_
+
+#include <string>
+#include <vector>
+
+#include "embedding/entity_store.h"
+#include "expand/expander.h"
+
+namespace ultrawiki {
+
+/// RetExpan hyper-parameters.
+struct RetExpanConfig {
+  /// |L0|: size of the initial expansion list (recall stage). Negative
+  /// seeds are deliberately ignored here so entities of the fine-grained
+  /// class are not lost (paper §5.1.1).
+  int initial_list_size = 200;
+  /// Segment length l of the segmented re-ranking.
+  int rerank_segment_length = 20;
+  /// Disable to obtain the "- Neg Rerank" ablation of Table 5.
+  bool use_negative_rerank = true;
+};
+
+/// The retrieval-based framework (paper §5.1): entity representation →
+/// entity expansion by mean cosine similarity to the positive seeds
+/// (Eq. 4) → segmented re-ranking by negative-seed similarity. The entity
+/// representations come from an EntityStore built over a trained context
+/// encoder; swapping in a store built from a contrastively-tuned or
+/// retrieval-augmented encoder yields the +Contrast / +RA variants without
+/// changing this class.
+class RetExpan : public Expander {
+ public:
+  /// `store` and `candidates` must outlive the expander.
+  RetExpan(const EntityStore* store,
+           const std::vector<EntityId>* candidates,
+           RetExpanConfig config = {}, std::string name = "RetExpan");
+
+  std::vector<EntityId> Expand(const Query& query, size_t k) override;
+  std::string name() const override { return name_; }
+
+  /// Mean cosine similarity of `candidate` to `seeds` (paper Eq. 4).
+  double SeedSimilarity(const std::vector<EntityId>& seeds,
+                        EntityId candidate) const;
+
+  /// The recall stage only: top-`size` candidates by positive-seed
+  /// similarity, seeds excluded (exposed for the contrastive-data miner
+  /// and the framework-interaction experiments).
+  std::vector<EntityId> InitialExpansion(const Query& query,
+                                         size_t size) const;
+
+  const RetExpanConfig& config() const { return config_; }
+
+ private:
+  const EntityStore* store_;
+  const std::vector<EntityId>* candidates_;
+  RetExpanConfig config_;
+  std::string name_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EXPAND_RETEXPAN_H_

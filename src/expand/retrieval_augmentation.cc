@@ -1,0 +1,92 @@
+#include "expand/retrieval_augmentation.h"
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+const char* RaSourceName(RaSource source) {
+  switch (source) {
+    case RaSource::kNone:
+      return "none";
+    case RaSource::kIntroduction:
+      return "entity introduction";
+    case RaSource::kWikidataAttributes:
+      return "wikidata attributes";
+    case RaSource::kGroundTruthAttributes:
+      return "gt attributes";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Copies `tokens` dropping the entity's own surface-form tokens: the
+/// augmentation text is consumed by the *masked*-context encoder, so the
+/// mention inside it must be masked exactly like the sentence mention
+/// (otherwise the prefix leaks entity identity and the encoder learns a
+/// lookup table instead of attribute semantics).
+std::vector<TokenId> WithoutMention(const GeneratedWorld& world, EntityId id,
+                                    const std::vector<TokenId>& tokens) {
+  std::vector<TokenId> name;
+  for (const std::string& word : world.corpus.entity(id).name_tokens) {
+    const TokenId token = world.corpus.tokens().Lookup(word);
+    if (token != kInvalidTokenId) name.push_back(token);
+  }
+  std::vector<TokenId> out;
+  out.reserve(tokens.size());
+  for (TokenId token : tokens) {
+    bool is_name = false;
+    for (TokenId n : name) {
+      if (n == token) {
+        is_name = true;
+        break;
+      }
+    }
+    if (!is_name) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<TokenId>> BuildEntityPrefixes(
+    const GeneratedWorld& world, RaSource source) {
+  std::vector<std::vector<TokenId>> prefixes(world.corpus.entity_count());
+  if (source == RaSource::kNone) return prefixes;
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
+    switch (source) {
+      case RaSource::kIntroduction:
+        prefixes[static_cast<size_t>(id)] =
+            WithoutMention(world, id, world.kb.IntroductionOf(id));
+        break;
+      case RaSource::kWikidataAttributes:
+        prefixes[static_cast<size_t>(id)] =
+            WithoutMention(world, id, world.kb.WikidataAttributesOf(id));
+        break;
+      case RaSource::kGroundTruthAttributes: {
+        // The clean clue tokens of every annotated attribute: what a
+        // perfect ultra-fine-grained retriever would fetch.
+        const Entity& entity = world.corpus.entity(id);
+        if (entity.class_id == kBackgroundClassId) break;
+        const FineClassSpec& spec =
+            world.schema[static_cast<size_t>(entity.class_id)];
+        std::vector<TokenId>& prefix = prefixes[static_cast<size_t>(id)];
+        for (size_t a = 0; a < spec.attributes.size(); ++a) {
+          const int value = entity.attribute_values[a];
+          for (const std::string& word :
+               spec.attributes[a].clue_tokens[static_cast<size_t>(value)]) {
+            const TokenId token = world.corpus.tokens().Lookup(word);
+            if (token != kInvalidTokenId) prefix.push_back(token);
+          }
+        }
+        break;
+      }
+      case RaSource::kNone:
+        break;
+    }
+  }
+  return prefixes;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,33 @@
+#ifndef ULTRAWIKI_EXPAND_RETRIEVAL_AUGMENTATION_H_
+#define ULTRAWIKI_EXPAND_RETRIEVAL_AUGMENTATION_H_
+
+#include <vector>
+
+#include "corpus/generator.h"
+
+namespace ultrawiki {
+
+/// The three external-knowledge sources compared in paper Table 8.
+enum class RaSource {
+  kNone,
+  /// Fluent encyclopedic introductions (the default +RA strategy).
+  kIntroduction,
+  /// Wikidata-style attribute dumps: correct clues diluted by junk
+  /// properties, hence the weakest variant.
+  kWikidataAttributes,
+  /// The clean ground-truth attribute clues (upper bound).
+  kGroundTruthAttributes,
+};
+
+const char* RaSourceName(RaSource source);
+
+/// Materializes the per-entity augmentation prefix for `source`, indexed
+/// by EntityId. These prefixes are prepended to every sentence context of
+/// the entity during both encoder training and representation extraction
+/// (paper §5.1.3), and to generation prompts in GenExpan+RA (§5.2.3).
+std::vector<std::vector<TokenId>> BuildEntityPrefixes(
+    const GeneratedWorld& world, RaSource source);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_EXPAND_RETRIEVAL_AUGMENTATION_H_

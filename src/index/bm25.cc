@@ -1,0 +1,56 @@
+#include "index/bm25.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+Bm25Scorer::Bm25Scorer(const InvertedIndex* index, Bm25Params params)
+    : index_(index), params_(params) {
+  UW_CHECK_NE(index, nullptr);
+}
+
+double Bm25Scorer::Idf(TokenId term) const {
+  const double n = static_cast<double>(index_->document_count());
+  const double df = static_cast<double>(index_->DocumentFrequency(term));
+  // +1 inside the log keeps IDF positive for very common terms.
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<float> Bm25Scorer::ScoreAll(
+    const std::vector<TokenId>& query) const {
+  std::vector<float> scores(index_->document_count(), 0.0f);
+  const double avgdl = index_->AverageDocumentLength();
+  if (avgdl <= 0.0) return scores;
+
+  // Collapse duplicate query terms; qtf scales the contribution.
+  std::map<TokenId, int> query_tf;
+  for (TokenId term : query) ++query_tf[term];
+
+  for (const auto& [term, qtf] : query_tf) {
+    const auto& postings = index_->PostingsOf(term);
+    if (postings.empty()) continue;
+    const double idf = Idf(term);
+    for (const Posting& posting : postings) {
+      const double tf = static_cast<double>(posting.term_frequency);
+      const double dl =
+          static_cast<double>(index_->DocumentLength(posting.doc));
+      const double denom =
+          tf + params_.k1 * (1.0 - params_.b + params_.b * dl / avgdl);
+      const double contribution =
+          idf * tf * (params_.k1 + 1.0) / denom * static_cast<double>(qtf);
+      scores[static_cast<size_t>(posting.doc)] +=
+          static_cast<float>(contribution);
+    }
+  }
+  return scores;
+}
+
+std::vector<ScoredIndex> Bm25Scorer::Search(const std::vector<TokenId>& query,
+                                            size_t k) const {
+  return TopK(ScoreAll(query), k);
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,44 @@
+#ifndef ULTRAWIKI_INDEX_BM25_H_
+#define ULTRAWIKI_INDEX_BM25_H_
+
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "math/topk.h"
+
+namespace ultrawiki {
+
+/// BM25 parameters (Robertson/Okapi defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// BM25 ranking over an InvertedIndex. Used for the dataset pipeline's
+/// hard-negative mining ("employing the BM25-based search, we incorporated
+/// entities highly similar to the target entities as hard negative
+/// entities") and for the CaSE baseline's lexical channel.
+class Bm25Scorer {
+ public:
+  /// The index must outlive the scorer.
+  explicit Bm25Scorer(const InvertedIndex* index, Bm25Params params = {});
+
+  /// Scores every document against the bag-of-tokens `query`; returns a
+  /// dense score vector indexed by DocId (0 for documents sharing no term).
+  std::vector<float> ScoreAll(const std::vector<TokenId>& query) const;
+
+  /// Top-k documents for `query`, sorted by descending score.
+  std::vector<ScoredIndex> Search(const std::vector<TokenId>& query,
+                                  size_t k) const;
+
+  /// Per-term IDF (Robertson–Sparck-Jones with +1 flooring).
+  double Idf(TokenId term) const;
+
+ private:
+  const InvertedIndex* index_;
+  Bm25Params params_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_INDEX_BM25_H_

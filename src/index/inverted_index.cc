@@ -1,0 +1,47 @@
+#include "index/inverted_index.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+DocId InvertedIndex::AddDocument(const std::vector<TokenId>& tokens) {
+  const DocId doc = static_cast<DocId>(doc_lengths_.size());
+  // Aggregate term frequencies first so each term gets one posting.
+  std::map<TokenId, int32_t> frequencies;
+  for (TokenId token : tokens) ++frequencies[token];
+  for (const auto& [term, tf] : frequencies) {
+    postings_[term].push_back(Posting{doc, tf});
+  }
+  doc_lengths_.push_back(static_cast<int32_t>(tokens.size()));
+  total_length_ += static_cast<int64_t>(tokens.size());
+  return doc;
+}
+
+int32_t InvertedIndex::DocumentLength(DocId doc) const {
+  UW_CHECK_GE(doc, 0);
+  UW_CHECK_LT(static_cast<size_t>(doc), doc_lengths_.size());
+  return doc_lengths_[static_cast<size_t>(doc)];
+}
+
+double InvertedIndex::AverageDocumentLength() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+int32_t InvertedIndex::DocumentFrequency(TokenId term) const {
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return 0;
+  return static_cast<int32_t>(it->second.size());
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsOf(TokenId term) const {
+  static const std::vector<Posting>* empty = new std::vector<Posting>();
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return *empty;
+  return it->second;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,54 @@
+#ifndef ULTRAWIKI_INDEX_INVERTED_INDEX_H_
+#define ULTRAWIKI_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ultrawiki {
+
+/// Document identifier within an index.
+using DocId = int32_t;
+
+/// A posting: document plus term frequency.
+struct Posting {
+  DocId doc = 0;
+  int32_t term_frequency = 0;
+};
+
+/// Token-id keyed inverted index over bag-of-token documents. Serves BM25
+/// retrieval (hard-negative mining, CaSE lexical features, retrieval
+/// lookups). Documents are added once; the index is then frozen implicitly
+/// by use.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds a document; returns its DocId (dense, in insertion order).
+  DocId AddDocument(const std::vector<TokenId>& tokens);
+
+  size_t document_count() const { return doc_lengths_.size(); }
+
+  /// Length (token count) of `doc`.
+  int32_t DocumentLength(DocId doc) const;
+
+  /// Average document length; 0 when empty.
+  double AverageDocumentLength() const;
+
+  /// Number of documents containing `term`.
+  int32_t DocumentFrequency(TokenId term) const;
+
+  /// Postings of `term`; empty if unseen.
+  const std::vector<Posting>& PostingsOf(TokenId term) const;
+
+ private:
+  std::unordered_map<TokenId, std::vector<Posting>> postings_;
+  std::vector<int32_t> doc_lengths_;
+  int64_t total_length_ = 0;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,348 @@
+#include "io/corpus_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ultrawiki {
+namespace {
+
+constexpr char kSchemaFile[] = "schema.tsv";
+constexpr char kEntitiesFile[] = "entities.tsv";
+constexpr char kSentencesFile[] = "sentences.tsv";
+constexpr char kAuxiliaryFile[] = "auxiliary.txt";
+constexpr char kKnowledgeFile[] = "knowledge.tsv";
+
+std::string JoinWords(const std::vector<std::string>& words,
+                      const char* sep = " ") {
+  return JoinStrings(words, sep);
+}
+
+std::string RenderTokens(const Corpus& corpus,
+                         const std::vector<TokenId>& tokens) {
+  return corpus.Render(tokens);
+}
+
+/// Encodes one attribute: values "a,b", canonical clues "w w|w w",
+/// variants "p~p|p~p" (phrases '~'-joined per value, values '|'-joined).
+std::string EncodeAttribute(const AttributeDef& attr) {
+  std::vector<std::string> canonical;
+  std::vector<std::string> variants;
+  for (size_t v = 0; v < attr.values.size(); ++v) {
+    canonical.push_back(JoinWords(attr.clue_tokens[v]));
+    std::vector<std::string> phrases;
+    for (const auto& phrase : attr.clue_variants[v]) {
+      phrases.push_back(JoinWords(phrase));
+    }
+    variants.push_back(JoinStrings(phrases, "~"));
+  }
+  std::ostringstream out;
+  out << "ATTR\t" << attr.name << '\t' << attr.signal_rate << '\t'
+      << attr.canonical_rate << '\t' << JoinStrings(attr.values, ",")
+      << '\t' << JoinStrings(canonical, "|") << '\t'
+      << JoinStrings(variants, "|");
+  return out.str();
+}
+
+StatusOr<AttributeDef> DecodeAttribute(const std::string& line) {
+  const std::vector<std::string> fields = SplitStringKeepEmpty(line, '\t');
+  if (fields.size() != 7 || fields[0] != "ATTR") {
+    return Status::Internal("malformed attribute line: " + line);
+  }
+  AttributeDef attr;
+  attr.name = fields[1];
+  attr.signal_rate = std::stod(fields[2]);
+  attr.canonical_rate = std::stod(fields[3]);
+  attr.values = SplitString(fields[4], ',');
+  for (const std::string& clue : SplitString(fields[5], '|')) {
+    attr.clue_tokens.push_back(SplitString(clue, ' '));
+  }
+  for (const std::string& value_variants : SplitString(fields[6], '|')) {
+    std::vector<std::vector<std::string>> phrases;
+    for (const std::string& phrase : SplitString(value_variants, '~')) {
+      phrases.push_back(SplitString(phrase, ' '));
+    }
+    attr.clue_variants.push_back(std::move(phrases));
+  }
+  if (attr.clue_tokens.size() != attr.values.size() ||
+      attr.clue_variants.size() != attr.values.size()) {
+    return Status::Internal("attribute clue arity mismatch: " + attr.name);
+  }
+  return attr;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << contents;
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+Status SaveWorld(const GeneratedWorld& world, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create directory: " + dir);
+
+  // schema.tsv
+  {
+    std::ostringstream out;
+    for (const FineClassSpec& spec : world.schema) {
+      out << "CLASS\t" << spec.name << '\t' << spec.coarse_category << '\t'
+          << spec.singular_noun << '\t' << spec.plural_noun << '\t'
+          << spec.entity_count << '\t' << spec.name_style << '\t'
+          << JoinStrings(spec.topic_tokens, ",") << '\n';
+      for (const AttributeDef& attr : spec.attributes) {
+        out << EncodeAttribute(attr) << '\n';
+      }
+    }
+    Status status = WriteFile(dir + "/" + kSchemaFile, out.str());
+    if (!status.ok()) return status;
+  }
+
+  // entities.tsv
+  {
+    std::ostringstream out;
+    for (EntityId id = 0;
+         id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
+      const Entity& entity = world.corpus.entity(id);
+      std::vector<std::string> values;
+      for (int v : entity.attribute_values) {
+        values.push_back(std::to_string(v));
+      }
+      out << id << '\t' << entity.name << '\t' << entity.class_id << '\t'
+          << (entity.is_long_tail ? 1 : 0) << '\t'
+          << JoinStrings(values, ",") << '\n';
+    }
+    Status status = WriteFile(dir + "/" + kEntitiesFile, out.str());
+    if (!status.ok()) return status;
+  }
+
+  // sentences.tsv
+  {
+    std::ostringstream out;
+    for (size_t s = 0; s < world.corpus.sentence_count(); ++s) {
+      const Sentence& sentence = world.corpus.sentence(s);
+      out << sentence.entity << '\t' << sentence.mention_begin << '\t'
+          << sentence.mention_len << '\t'
+          << RenderTokens(world.corpus, sentence.tokens) << '\n';
+    }
+    Status status = WriteFile(dir + "/" + kSentencesFile, out.str());
+    if (!status.ok()) return status;
+  }
+
+  // auxiliary.txt
+  {
+    std::ostringstream out;
+    for (const auto& tokens : world.corpus.auxiliary_sentences()) {
+      out << RenderTokens(world.corpus, tokens) << '\n';
+    }
+    Status status = WriteFile(dir + "/" + kAuxiliaryFile, out.str());
+    if (!status.ok()) return status;
+  }
+
+  // knowledge.tsv
+  {
+    std::ostringstream out;
+    for (EntityId id = 0;
+         id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
+      out << id << '\t'
+          << RenderTokens(world.corpus, world.kb.IntroductionOf(id)) << '\t'
+          << RenderTokens(world.corpus, world.kb.WikidataAttributesOf(id))
+          << '\n';
+    }
+    Status status = WriteFile(dir + "/" + kKnowledgeFile, out.str());
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+StatusOr<GeneratedWorld> LoadWorld(const std::string& dir) {
+  GeneratedWorld world;
+
+  // schema.tsv
+  {
+    auto lines = ReadLines(dir + "/" + kSchemaFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields =
+          SplitStringKeepEmpty(line, '\t');
+      if (fields[0] == "CLASS") {
+        if (fields.size() != 8) {
+          return Status::Internal("malformed class line: " + line);
+        }
+        FineClassSpec spec;
+        spec.name = fields[1];
+        spec.coarse_category = fields[2];
+        spec.singular_noun = fields[3];
+        spec.plural_noun = fields[4];
+        spec.entity_count = std::stoi(fields[5]);
+        spec.name_style = std::stoi(fields[6]);
+        spec.topic_tokens = SplitString(fields[7], ',');
+        world.schema.push_back(std::move(spec));
+      } else if (fields[0] == "ATTR") {
+        if (world.schema.empty()) {
+          return Status::Internal("ATTR line before any CLASS line");
+        }
+        auto attr = DecodeAttribute(line);
+        if (!attr.ok()) return attr.status();
+        world.schema.back().attributes.push_back(std::move(attr).value());
+      } else {
+        return Status::Internal("unknown schema record: " + fields[0]);
+      }
+    }
+    if (world.schema.empty()) {
+      return Status::Internal("schema file holds no classes");
+    }
+  }
+
+  // entities.tsv
+  {
+    auto lines = ReadLines(dir + "/" + kEntitiesFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields =
+          SplitStringKeepEmpty(line, '\t');
+      if (fields.size() != 5) {
+        return Status::Internal("malformed entity line: " + line);
+      }
+      Entity entity;
+      entity.name = fields[1];
+      entity.name_tokens = SplitString(entity.name, ' ');
+      entity.class_id = static_cast<ClassId>(std::stoi(fields[2]));
+      entity.is_long_tail = fields[3] == "1";
+      for (const std::string& v : SplitString(fields[4], ',')) {
+        entity.attribute_values.push_back(std::stoi(v));
+      }
+      if (entity.class_id != kBackgroundClassId &&
+          (entity.class_id < 0 ||
+           static_cast<size_t>(entity.class_id) >= world.schema.size())) {
+        return Status::Internal("entity references unknown class: " + line);
+      }
+      const EntityId id = world.corpus.AddEntity(std::move(entity));
+      const Entity& stored = world.corpus.entity(id);
+      if (id != std::stoi(fields[0])) {
+        return Status::Internal("entity ids must be dense and in order");
+      }
+      // Intern the name tokens so surface lookups work.
+      std::vector<TokenId> unused =
+          world.corpus.InternWords(stored.name_tokens);
+      (void)unused;
+      if (stored.class_id == kBackgroundClassId) {
+        world.background_entities.push_back(id);
+      }
+    }
+    if (world.corpus.entity_count() == 0) {
+      return Status::Internal("entity file holds no entities");
+    }
+  }
+
+  // Rebuild the per-value index.
+  world.entities_by_value.resize(world.schema.size());
+  for (size_t c = 0; c < world.schema.size(); ++c) {
+    const FineClassSpec& spec = world.schema[c];
+    world.entities_by_value[c].resize(spec.attributes.size());
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      world.entities_by_value[c][a].resize(
+          spec.attributes[a].values.size());
+    }
+  }
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
+    const Entity& entity = world.corpus.entity(id);
+    if (entity.class_id == kBackgroundClassId) continue;
+    const size_t c = static_cast<size_t>(entity.class_id);
+    for (size_t a = 0; a < entity.attribute_values.size(); ++a) {
+      const int v = entity.attribute_values[a];
+      if (a >= world.entities_by_value[c].size() || v < 0 ||
+          static_cast<size_t>(v) >= world.entities_by_value[c][a].size()) {
+        return Status::Internal("entity attribute out of schema range");
+      }
+      world.entities_by_value[c][a][static_cast<size_t>(v)].push_back(id);
+    }
+  }
+
+  // sentences.tsv
+  {
+    auto lines = ReadLines(dir + "/" + kSentencesFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields =
+          SplitStringKeepEmpty(line, '\t');
+      if (fields.size() != 4) {
+        return Status::Internal("malformed sentence line: " + line);
+      }
+      Sentence sentence;
+      sentence.entity = static_cast<EntityId>(std::stoi(fields[0]));
+      sentence.mention_begin = std::stoi(fields[1]);
+      sentence.mention_len = std::stoi(fields[2]);
+      sentence.tokens = world.corpus.InternWords(SplitString(fields[3], ' '));
+      if (sentence.entity < 0 ||
+          static_cast<size_t>(sentence.entity) >=
+              world.corpus.entity_count() ||
+          sentence.mention_begin < 0 || sentence.mention_len <= 0 ||
+          static_cast<size_t>(sentence.mention_begin +
+                              sentence.mention_len) >
+              sentence.tokens.size()) {
+        return Status::Internal("sentence out of bounds: " + line);
+      }
+      world.corpus.AddSentence(std::move(sentence));
+    }
+  }
+
+  // auxiliary.txt
+  {
+    auto lines = ReadLines(dir + "/" + kAuxiliaryFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      world.corpus.AddAuxiliarySentence(
+          world.corpus.InternWords(SplitString(line, ' ')));
+    }
+  }
+
+  // knowledge.tsv
+  {
+    auto lines = ReadLines(dir + "/" + kKnowledgeFile);
+    if (!lines.ok()) return lines.status();
+    EntityId next = 0;
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields =
+          SplitStringKeepEmpty(line, '\t');
+      if (fields.size() != 3) {
+        return Status::Internal("malformed knowledge line: " + line);
+      }
+      if (std::stoi(fields[0]) != next) {
+        return Status::Internal("knowledge ids must be dense and in order");
+      }
+      world.kb.Add(next,
+                   world.corpus.InternWords(SplitString(fields[1], ' ')),
+                   world.corpus.InternWords(SplitString(fields[2], ' ')));
+      ++next;
+    }
+    if (static_cast<size_t>(next) != world.corpus.entity_count()) {
+      return Status::Internal("knowledge base does not cover all entities");
+    }
+  }
+  return world;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,36 @@
+#ifndef ULTRAWIKI_IO_CORPUS_IO_H_
+#define ULTRAWIKI_IO_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/generator.h"
+
+namespace ultrawiki {
+
+/// On-disk layout of an exported world (all plain TSV/text, one record per
+/// line, token ids resolved to surface strings so files are portable
+/// across vocabularies):
+///
+///   <dir>/schema.tsv     class name, coarse category, nouns, attributes
+///   <dir>/entities.tsv   id, name, class, long-tail flag, attribute values
+///   <dir>/sentences.tsv  entity id, mention span, tokens
+///   <dir>/auxiliary.txt  one auxiliary (list/similarity) sentence per line
+///   <dir>/knowledge.tsv  entity id, introduction tokens, wikidata tokens
+///
+/// This is the interchange path for users who want to replace the
+/// synthetic generator with their own crawled corpus: produce these files
+/// and LoadWorld builds the same in-memory structures the generator does.
+
+/// Writes `world` under `dir` (created if missing). Fails with
+/// kInternal on I/O errors.
+Status SaveWorld(const GeneratedWorld& world, const std::string& dir);
+
+/// Reads a world previously written by SaveWorld (or hand-produced in the
+/// same format). The token vocabulary is rebuilt from the surface strings;
+/// entity ids must be dense and consistent across files.
+StatusOr<GeneratedWorld> LoadWorld(const std::string& dir);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_IO_CORPUS_IO_H_

@@ -1,0 +1,196 @@
+#include "io/dataset_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ultrawiki {
+namespace {
+
+constexpr char kClassesFile[] = "ultra_classes.tsv";
+constexpr char kQueriesFile[] = "queries.tsv";
+constexpr char kCandidatesFile[] = "candidates.txt";
+
+std::string JoinInts(const std::vector<int>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (int v : values) out.push_back(std::to_string(v));
+  return JoinStrings(out, ",");
+}
+
+std::string JoinEntityIds(const std::vector<EntityId>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (EntityId v : values) out.push_back(std::to_string(v));
+  return JoinStrings(out, ",");
+}
+
+StatusOr<std::vector<int>> ParseInts(const std::string& text) {
+  std::vector<int> out;
+  for (const std::string& piece : SplitString(text, ',')) {
+    try {
+      out.push_back(std::stoi(piece));
+    } catch (const std::exception&) {
+      return Status::Internal("not an integer: " + piece);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<EntityId>> ParseEntityIds(
+    const std::string& text, const GeneratedWorld& world) {
+  auto ints = ParseInts(text);
+  if (!ints.ok()) return ints.status();
+  std::vector<EntityId> out;
+  out.reserve(ints->size());
+  for (int v : *ints) {
+    if (v < 0 || static_cast<size_t>(v) >= world.corpus.entity_count()) {
+      return Status::Internal("entity id out of range: " +
+                              std::to_string(v));
+    }
+    out.push_back(static_cast<EntityId>(v));
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << contents;
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+Status SaveDataset(const UltraWikiDataset& dataset,
+                   const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create directory: " + dir);
+
+  {
+    std::ostringstream out;
+    for (const UltraClass& ultra : dataset.classes) {
+      out << ultra.fine_class << '\t' << JoinInts(ultra.pos_attrs) << '\t'
+          << JoinInts(ultra.pos_values) << '\t'
+          << JoinInts(ultra.neg_attrs) << '\t'
+          << JoinInts(ultra.neg_values) << '\t'
+          << JoinEntityIds(ultra.positive_targets) << '\t'
+          << JoinEntityIds(ultra.negative_targets) << '\n';
+    }
+    Status status = WriteFile(dir + "/" + kClassesFile, out.str());
+    if (!status.ok()) return status;
+  }
+  {
+    std::ostringstream out;
+    for (const Query& query : dataset.queries) {
+      out << query.ultra_class << '\t' << JoinEntityIds(query.pos_seeds)
+          << '\t' << JoinEntityIds(query.neg_seeds) << '\n';
+    }
+    Status status = WriteFile(dir + "/" + kQueriesFile, out.str());
+    if (!status.ok()) return status;
+  }
+  {
+    std::ostringstream out;
+    for (EntityId id : dataset.candidates) out << id << '\n';
+    Status status = WriteFile(dir + "/" + kCandidatesFile, out.str());
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+StatusOr<UltraWikiDataset> LoadDataset(const GeneratedWorld& world,
+                                       const std::string& dir) {
+  UltraWikiDataset dataset;
+  {
+    auto lines = ReadLines(dir + "/" + kClassesFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields =
+          SplitStringKeepEmpty(line, '\t');
+      if (fields.size() != 7) {
+        return Status::Internal("malformed ultra-class line: " + line);
+      }
+      UltraClass ultra;
+      ultra.fine_class = static_cast<ClassId>(std::stoi(fields[0]));
+      if (ultra.fine_class < 0 ||
+          static_cast<size_t>(ultra.fine_class) >= world.schema.size()) {
+        return Status::Internal("ultra-class references unknown class");
+      }
+      auto pos_attrs = ParseInts(fields[1]);
+      auto pos_values = ParseInts(fields[2]);
+      auto neg_attrs = ParseInts(fields[3]);
+      auto neg_values = ParseInts(fields[4]);
+      auto positives = ParseEntityIds(fields[5], world);
+      auto negatives = ParseEntityIds(fields[6], world);
+      for (const Status& status :
+           {pos_attrs.status(), pos_values.status(), neg_attrs.status(),
+            neg_values.status(), positives.status(), negatives.status()}) {
+        if (!status.ok()) return status;
+      }
+      ultra.pos_attrs = std::move(pos_attrs).value();
+      ultra.pos_values = std::move(pos_values).value();
+      ultra.neg_attrs = std::move(neg_attrs).value();
+      ultra.neg_values = std::move(neg_values).value();
+      ultra.positive_targets = std::move(positives).value();
+      ultra.negative_targets = std::move(negatives).value();
+      ultra.attrs_identical = ultra.pos_attrs == ultra.neg_attrs;
+      dataset.classes.push_back(std::move(ultra));
+    }
+  }
+  {
+    auto lines = ReadLines(dir + "/" + kQueriesFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields =
+          SplitStringKeepEmpty(line, '\t');
+      if (fields.size() != 3) {
+        return Status::Internal("malformed query line: " + line);
+      }
+      Query query;
+      query.ultra_class = std::stoi(fields[0]);
+      if (query.ultra_class < 0 ||
+          static_cast<size_t>(query.ultra_class) >=
+              dataset.classes.size()) {
+        return Status::Internal("query references unknown ultra-class");
+      }
+      auto pos = ParseEntityIds(fields[1], world);
+      if (!pos.ok()) return pos.status();
+      auto neg = ParseEntityIds(fields[2], world);
+      if (!neg.ok()) return neg.status();
+      query.pos_seeds = std::move(pos).value();
+      query.neg_seeds = std::move(neg).value();
+      dataset.queries.push_back(std::move(query));
+    }
+  }
+  {
+    auto lines = ReadLines(dir + "/" + kCandidatesFile);
+    if (!lines.ok()) return lines.status();
+    for (const std::string& line : *lines) {
+      if (line.empty()) continue;
+      auto ids = ParseEntityIds(line, world);
+      if (!ids.ok()) return ids.status();
+      for (EntityId id : *ids) dataset.candidates.push_back(id);
+    }
+  }
+  if (dataset.classes.empty() || dataset.candidates.empty()) {
+    return Status::Internal("dataset files are empty");
+  }
+  return dataset;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,30 @@
+#ifndef ULTRAWIKI_IO_DATASET_IO_H_
+#define ULTRAWIKI_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+
+namespace ultrawiki {
+
+/// On-disk layout of an exported dataset (companion of SaveWorld; all
+/// entity references are numeric ids into the world's entity table):
+///
+///   <dir>/ultra_classes.tsv  fine class, A_pos=V_pos, A_neg=V_neg, P, N
+///   <dir>/queries.tsv        ultra-class index, positive seeds, negatives
+///   <dir>/candidates.txt     one candidate entity id per line
+///
+/// Annotation bookkeeping (kappa etc.) is derived data and is not stored.
+
+/// Writes `dataset` under `dir` (created if missing).
+Status SaveDataset(const UltraWikiDataset& dataset, const std::string& dir);
+
+/// Reads a dataset previously written by SaveDataset. `world` is used for
+/// bounds-checking the entity references.
+StatusOr<UltraWikiDataset> LoadDataset(const GeneratedWorld& world,
+                                       const std::string& dir);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_IO_DATASET_IO_H_

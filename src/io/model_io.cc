@@ -1,0 +1,120 @@
+#include "io/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace ultrawiki {
+namespace {
+
+constexpr uint32_t kMagic = 0x55574B31;  // "UWK1"
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint32_t token_vocab = 0;
+  uint32_t entity_vocab = 0;
+  int32_t token_dim = 0;
+  int32_t hidden_dim = 0;
+  int32_t projection_dim = 0;
+  float augmentation_weight = 0.0f;
+  uint32_t has_token_weights = 0;
+};
+
+Status WriteFloats(std::ofstream& out, std::span<const float> data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!out) return Status::Internal("encoder write failed");
+  return Status::Ok();
+}
+
+Status ReadFloats(std::ifstream& in, std::span<float> data) {
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) return Status::Internal("encoder read failed (truncated file)");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveEncoder(const ContextEncoder& encoder, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+
+  Header header;
+  header.token_vocab = static_cast<uint32_t>(encoder.token_vocab_size());
+  header.entity_vocab = static_cast<uint32_t>(encoder.entity_vocab_size());
+  header.token_dim = encoder.config().token_dim;
+  header.hidden_dim = encoder.config().hidden_dim;
+  header.projection_dim = encoder.config().projection_dim;
+  header.augmentation_weight = encoder.config().augmentation_weight;
+  // Token weights are optional; detect by probing whether any weight
+  // differs from the implicit default of 1 (cheap heuristic: serialize
+  // them always — they are part of the trained model's behaviour).
+  header.has_token_weights = 1;
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (!out) return Status::Internal("header write failed: " + path);
+
+  for (Status status :
+       {WriteFloats(out, encoder.token_embeddings().Flat()),
+        WriteFloats(out, encoder.w1().Flat()),
+        WriteFloats(out, encoder.b1()),
+        WriteFloats(out, encoder.output_embeddings().Flat()),
+        WriteFloats(out, encoder.output_bias()),
+        WriteFloats(out, encoder.projection().Flat()),
+        WriteFloats(out, encoder.projection_bias())}) {
+    if (!status.ok()) return status;
+  }
+  // Token pooling weights, one per token.
+  std::vector<float> weights(encoder.token_vocab_size(), 1.0f);
+  for (size_t t = 0; t < weights.size(); ++t) {
+    weights[t] = encoder.TokenWeight(static_cast<TokenId>(t));
+  }
+  return WriteFloats(out, weights);
+}
+
+StatusOr<ContextEncoder> LoadEncoder(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) return Status::Internal("header read failed: " + path);
+  if (header.magic != kMagic) {
+    return Status::Internal("not an encoder file (bad magic): " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::Internal("unsupported encoder version");
+  }
+  if (header.token_dim <= 0 || header.hidden_dim <= 0 ||
+      header.projection_dim <= 0 || header.token_vocab == 0 ||
+      header.entity_vocab == 0) {
+    return Status::Internal("corrupt encoder header");
+  }
+
+  EncoderConfig config;
+  config.token_dim = header.token_dim;
+  config.hidden_dim = header.hidden_dim;
+  config.projection_dim = header.projection_dim;
+  config.augmentation_weight = header.augmentation_weight;
+  ContextEncoder encoder(header.token_vocab, header.entity_vocab, config);
+
+  for (Status status :
+       {ReadFloats(in, encoder.token_embeddings().Flat()),
+        ReadFloats(in, encoder.w1().Flat()), ReadFloats(in, encoder.b1()),
+        ReadFloats(in, encoder.output_embeddings().Flat()),
+        ReadFloats(in, encoder.output_bias()),
+        ReadFloats(in, encoder.projection().Flat()),
+        ReadFloats(in, encoder.projection_bias())}) {
+    if (!status.ok()) return status;
+  }
+  if (header.has_token_weights != 0) {
+    std::vector<float> weights(header.token_vocab, 1.0f);
+    Status status = ReadFloats(in, weights);
+    if (!status.ok()) return status;
+    encoder.SetTokenWeights(std::move(weights));
+  }
+  return encoder;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,26 @@
+#ifndef ULTRAWIKI_IO_MODEL_IO_H_
+#define ULTRAWIKI_IO_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embedding/encoder.h"
+
+namespace ultrawiki {
+
+/// Binary persistence of trained context encoders (train once, reuse
+/// across runs). The format is a small header (magic, version, dims)
+/// followed by the raw little-endian float parameter blocks in a fixed
+/// order: token embeddings, W1, b1, output embeddings, output bias,
+/// projection, projection bias, token weights.
+
+/// Writes `encoder` to `path`.
+Status SaveEncoder(const ContextEncoder& encoder, const std::string& path);
+
+/// Reads an encoder from `path`. The stored dimensions define the
+/// constructed encoder; fails on magic/version/shape mismatch.
+StatusOr<ContextEncoder> LoadEncoder(const std::string& path);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_IO_MODEL_IO_H_

@@ -1,0 +1,68 @@
+#include "llm_oracle/prompts.h"
+
+#include <sstream>
+
+namespace ultrawiki {
+namespace {
+
+std::string NameOf(const GeneratedWorld& world, EntityId id) {
+  return world.corpus.entity(id).name;
+}
+
+std::string JoinNames(const GeneratedWorld& world,
+                      const std::vector<EntityId>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += NameOf(world, ids[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderClassificationPrompt(
+    const GeneratedWorld& world, const std::vector<EntityId>& seeds,
+    const std::vector<EntityId>& candidates) {
+  std::ostringstream out;
+  out << "I have a task that involves classifying candidate entities "
+         "based on their alignment with a seed entity set. The seed "
+         "entities are grouped together because they share certain "
+         "attributes, referred to as seed attributes. I need you to "
+         "identify the seed attributes and use them to classify each "
+         "candidate entity into one of two categories: 1) consistent "
+         "with the seed entity set in terms of seed attributes, or 0) "
+         "inconsistent.\n\n"
+      << "Input:\nSeed entities: [" << JoinNames(world, seeds) << "]\n"
+      << "Candidate entities: [" << JoinNames(world, candidates)
+      << "], total " << candidates.size() << " entities\nOutput:";
+  return out.str();
+}
+
+std::string RenderGenerationPrompt(const GeneratedWorld& world,
+                                   const std::vector<EntityId>& examples) {
+  std::ostringstream out;
+  out << "iron, copper, aluminum and zinc.\n"
+      << "math, physics, chemistry and biology.\n";
+  for (size_t i = 0; i < examples.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << NameOf(world, examples[i]);
+  }
+  out << " and ____";
+  return out.str();
+}
+
+std::string RenderClassNamePrompt(const GeneratedWorld& world,
+                                  const std::vector<EntityId>& examples) {
+  std::ostringstream out;
+  out << "Generate a class name that accurately represents the following "
+         "entities. This class name should encompass all the given "
+         "entities and reflect their shared characteristics.\nExamples:\n"
+         "[Tiger, Lion, Cheetah] -> Big Cats\n"
+         "[Shakespeare, Tolstoy, Hemingway] -> Famous Authors\n"
+         "[Mercury, Venus, Mars] -> Planets in the Solar System\n"
+      << "[" << JoinNames(world, examples) << "] -> ____";
+  return out.str();
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,34 @@
+#ifndef ULTRAWIKI_LLM_ORACLE_PROMPTS_H_
+#define ULTRAWIKI_LLM_ORACLE_PROMPTS_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+
+namespace ultrawiki {
+
+/// Renders the paper's appendix prompt templates (Tables 13–15) against
+/// concrete entities. The LLM oracle *simulates* the answers; these
+/// renderers make the simulated calls auditable — every oracle judgment
+/// corresponds to exactly one of these prompts — and give adopters the
+/// literal strings to send to a real LLM instead.
+
+/// Table 13: classify candidate entities by consistency with the seed
+/// entities' shared attributes (used to mine L_pos / L_neg).
+std::string RenderClassificationPrompt(
+    const GeneratedWorld& world, const std::vector<EntityId>& seeds,
+    const std::vector<EntityId>& candidates);
+
+/// Table 14: Prompt_g — few-shot list continuation that elicits entities
+/// similar to the given three ("iron, copper, aluminum and zinc. ...").
+std::string RenderGenerationPrompt(const GeneratedWorld& world,
+                                   const std::vector<EntityId>& examples);
+
+/// Table 15: Prompt_c — class-name induction from three entities.
+std::string RenderClassNamePrompt(const GeneratedWorld& world,
+                                  const std::vector<EntityId>& examples);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_LLM_ORACLE_PROMPTS_H_

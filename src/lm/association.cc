@@ -1,0 +1,67 @@
+#include "lm/association.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+AssociationModel::AssociationModel(size_t vocab_size)
+    : vocab_size_(vocab_size) {}
+
+void AssociationModel::AddSentence(std::span<const TokenId> sentence) {
+  for (size_t i = 0; i < sentence.size(); ++i) {
+    const TokenId a = sentence[i];
+    if (a < 0 || static_cast<size_t>(a) >= vocab_size_) continue;
+    Row& row = rows_[a];
+    for (size_t j = 0; j < sentence.size(); ++j) {
+      if (i == j) continue;
+      const TokenId b = sentence[j];
+      if (b < 0 || static_cast<size_t>(b) >= vocab_size_) continue;
+      ++row.counts[b];
+      ++row.total;
+      ++pair_count_;
+    }
+  }
+}
+
+double AssociationModel::Probability(TokenId context, TokenId next) const {
+  const double floor = 1.0 / static_cast<double>(vocab_size_);
+  if (context < 0 || next < 0) return floor;
+  const auto it = rows_.find(context);
+  if (it == rows_.end() || it->second.total == 0) return floor;
+  const Row& row = it->second;
+  const auto cit = row.counts.find(next);
+  const double count =
+      cit == row.counts.end() ? 0.0 : static_cast<double>(cit->second);
+  // Uniform interpolation keeps unseen targets strictly positive without
+  // letting the smoothing mass drown the observed counts (rows are much
+  // smaller than the vocabulary).
+  constexpr double kUniformWeight = 0.05;
+  return (1.0 - kUniformWeight) * count / static_cast<double>(row.total) +
+         kUniformWeight * floor;
+}
+
+void AssociationModel::TruncateRows(int top_k) {
+  if (top_k <= 0) return;
+  for (auto& [context, row] : rows_) {
+    if (row.counts.size() <= static_cast<size_t>(top_k)) continue;
+    std::vector<std::pair<TokenId, int32_t>> entries(row.counts.begin(),
+                                                     row.counts.end());
+    std::nth_element(
+        entries.begin(), entries.begin() + top_k, entries.end(),
+        [](const auto& a, const auto& b) {
+          if (a.second != b.second) return a.second > b.second;
+          return a.first < b.first;
+        });
+    entries.resize(static_cast<size_t>(top_k));
+    row.counts.clear();
+    row.total = 0;
+    for (const auto& [token, count] : entries) {
+      row.counts.emplace(token, count);
+      row.total += count;
+    }
+  }
+}
+
+}  // namespace ultrawiki

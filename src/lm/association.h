@@ -1,0 +1,50 @@
+#ifndef ULTRAWIKI_LM_ASSOCIATION_H_
+#define ULTRAWIKI_LM_ASSOCIATION_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ultrawiki {
+
+/// Sentence-level token co-occurrence model: P(target | context-token).
+/// This is the long-range channel of the hybrid LM — it lets a prompt
+/// condition generation on *all* of its tokens (entity names, inferred
+/// class names, attribute clues), the role self-attention plays in the
+/// paper's LLaMA. Rows can be truncated to their top-k entries, which is
+/// the "model capacity" axis of the Fig. 8 scaling study.
+class AssociationModel {
+ public:
+  explicit AssociationModel(size_t vocab_size);
+
+  /// Counts all ordered co-occurring pairs within `sentence` (excluding
+  /// self-pairs).
+  void AddSentence(std::span<const TokenId> sentence);
+
+  /// P(next | context) = count(context, next) / row_total with additive
+  /// smoothing; returns the uniform floor for unseen rows.
+  double Probability(TokenId context, TokenId next) const;
+
+  /// Keeps only the `top_k` strongest targets per row (capacity knob);
+  /// no-op when top_k <= 0.
+  void TruncateRows(int top_k);
+
+  size_t vocab_size() const { return vocab_size_; }
+  int64_t pair_count() const { return pair_count_; }
+
+ private:
+  struct Row {
+    int64_t total = 0;
+    std::unordered_map<TokenId, int32_t> counts;
+  };
+
+  size_t vocab_size_;
+  int64_t pair_count_ = 0;
+  std::unordered_map<TokenId, Row> rows_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_LM_ASSOCIATION_H_

@@ -1,0 +1,92 @@
+#include "lm/beam_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+namespace {
+
+struct BeamItem {
+  PrefixTrie::NodeId node = PrefixTrie::kRoot;
+  std::vector<TokenId> generated;
+  double log_prob = 0.0;
+};
+
+}  // namespace
+
+std::vector<GeneratedEntity> ConstrainedBeamSearch(
+    const HybridLm& lm, const PrefixTrie& trie,
+    std::span<const TokenId> prompt, const BeamSearchConfig& config) {
+  UW_CHECK_GT(config.beam_width, 0);
+  std::vector<BeamItem> beam = {BeamItem{}};
+  std::unordered_map<EntityId, double> completed;
+
+  std::vector<TokenId> context(prompt.begin(), prompt.end());
+  const size_t prompt_len = context.size();
+
+  for (int depth = 0; depth < config.max_name_length && !beam.empty();
+       ++depth) {
+    std::vector<BeamItem> expanded;
+    for (const BeamItem& item : beam) {
+      // Rebuild the full context: prompt + generated-so-far.
+      context.resize(prompt_len);
+      context.insert(context.end(), item.generated.begin(),
+                     item.generated.end());
+      for (const auto& [token, child] : trie.ChildrenOf(item.node)) {
+        const double p = lm.NextTokenProbability(context, token);
+        BeamItem next;
+        next.node = child;
+        next.generated = item.generated;
+        next.generated.push_back(token);
+        next.log_prob = item.log_prob + std::log(std::max(p, 1e-12));
+        const EntityId terminal = trie.TerminalOf(child);
+        if (terminal != kInvalidEntityId) {
+          const double score =
+              config.length_normalize
+                  ? next.log_prob /
+                        static_cast<double>(next.generated.size())
+                  : next.log_prob;
+          auto it = completed.find(terminal);
+          if (it == completed.end() || score > it->second) {
+            completed[terminal] = score;
+          }
+        }
+        if (!trie.ChildrenOf(child).empty()) {
+          expanded.push_back(std::move(next));
+        }
+      }
+    }
+    // Keep the top beam_width partial hypotheses (by raw log prob;
+    // hypotheses at the same depth have equal length).
+    if (expanded.size() > static_cast<size_t>(config.beam_width)) {
+      std::partial_sort(
+          expanded.begin(),
+          expanded.begin() + config.beam_width, expanded.end(),
+          [](const BeamItem& a, const BeamItem& b) {
+            return a.log_prob > b.log_prob;
+          });
+      expanded.resize(static_cast<size_t>(config.beam_width));
+    }
+    beam = std::move(expanded);
+  }
+
+  std::vector<GeneratedEntity> results;
+  results.reserve(completed.size());
+  for (const auto& [entity, score] : completed) {
+    results.push_back(GeneratedEntity{entity, score});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const GeneratedEntity& a, const GeneratedEntity& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  if (results.size() > static_cast<size_t>(config.beam_width)) {
+    results.resize(static_cast<size_t>(config.beam_width));
+  }
+  return results;
+}
+
+}  // namespace ultrawiki

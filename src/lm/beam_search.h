@@ -1,0 +1,48 @@
+#ifndef ULTRAWIKI_LM_BEAM_SEARCH_H_
+#define ULTRAWIKI_LM_BEAM_SEARCH_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "corpus/types.h"
+#include "lm/hybrid_lm.h"
+#include "lm/prefix_trie.h"
+
+namespace ultrawiki {
+
+/// Prefix-constrained beam search configuration. `beam_width` matches the
+/// paper's beam size of 40, which also bounds the number of entities
+/// generated per round.
+struct BeamSearchConfig {
+  int beam_width = 40;
+  int max_name_length = 8;
+  /// Length normalization: completed names are ranked by the geometric
+  /// mean of their per-token probabilities (exp(logp / len)), balancing
+  /// different token counts exactly as paper Eq. 7 does.
+  bool length_normalize = true;
+};
+
+/// A completed generation: the entity and its (length-normalized) log
+/// probability.
+struct GeneratedEntity {
+  EntityId entity = kInvalidEntityId;
+  double score = 0.0;
+
+  friend bool operator==(const GeneratedEntity& a, const GeneratedEntity& b) {
+    return a.entity == b.entity && a.score == b.score;
+  }
+};
+
+/// Generates up to `beam_width` candidate entities continuing `prompt`
+/// under `lm`, constrained to the root→leaf paths of `trie` (paper Fig. 6:
+/// "for a certain node, its child nodes represent subsequent tokens that
+/// are allowed to be generated"). Results are sorted by descending score;
+/// ties break by ascending entity id for determinism.
+std::vector<GeneratedEntity> ConstrainedBeamSearch(
+    const HybridLm& lm, const PrefixTrie& trie,
+    std::span<const TokenId> prompt, const BeamSearchConfig& config = {});
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_LM_BEAM_SEARCH_H_

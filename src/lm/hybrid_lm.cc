@@ -1,0 +1,61 @@
+#include "lm/hybrid_lm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+HybridLm::HybridLm(size_t vocab_size, HybridLmConfig config)
+    : config_(config),
+      ngram_(vocab_size, config.ngram),
+      association_(vocab_size) {
+  UW_CHECK_GE(config.association_weight, 0.0);
+  UW_CHECK_LE(config.association_weight, 1.0);
+}
+
+void HybridLm::AddSentence(std::span<const TokenId> sentence) {
+  ngram_.AddSentence(sentence);
+  association_.AddSentence(sentence);
+}
+
+void HybridLm::SetStopTokens(std::unordered_set<TokenId> stop_tokens) {
+  stop_tokens_ = std::move(stop_tokens);
+}
+
+double HybridLm::NextTokenProbability(std::span<const TokenId> context,
+                                      TokenId next) const {
+  const double ngram_p = ngram_.Probability(context, next);
+  const double mu = config_.association_weight;
+  if (mu <= 0.0) return ngram_p;
+  double assoc_sum = 0.0;
+  int informative = 0;
+  for (TokenId token : context) {
+    if (token < 0) continue;
+    if (stop_tokens_.contains(token)) continue;
+    assoc_sum += association_.Probability(token, next);
+    ++informative;
+  }
+  if (informative == 0) return ngram_p;
+  const double assoc_p = assoc_sum / static_cast<double>(informative);
+  return (1.0 - mu) * ngram_p + mu * assoc_p;
+}
+
+double HybridLm::SequenceLogProbability(
+    std::span<const TokenId> context,
+    std::span<const TokenId> tokens) const {
+  std::vector<TokenId> full(context.begin(), context.end());
+  double log_prob = 0.0;
+  for (TokenId token : tokens) {
+    const double p = NextTokenProbability(full, token);
+    log_prob += std::log(std::max(p, 1e-12));
+    full.push_back(token);
+  }
+  return log_prob;
+}
+
+void HybridLm::Finalize() {
+  association_.TruncateRows(config_.association_top_k);
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,74 @@
+#ifndef ULTRAWIKI_LM_HYBRID_LM_H_
+#define ULTRAWIKI_LM_HYBRID_LM_H_
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "lm/association.h"
+#include "lm/ngram_lm.h"
+
+namespace ultrawiki {
+
+/// Hybrid LM configuration. `association_weight` is the mixing coefficient
+/// μ of the long-range channel; 0 degrades the model to a pure n-gram LM.
+struct HybridLmConfig {
+  NgramLmConfig ngram;
+  double association_weight = 0.9;
+  /// Capacity knob for the association rows (<=0 keeps all). Smaller
+  /// values emulate smaller model sizes (Fig. 8).
+  int association_top_k = 0;
+};
+
+/// The LLaMA-7B stand-in: a local n-gram channel (syntax; what follows the
+/// template glue) interpolated with a sentence co-occurrence channel
+/// (topicality; which entities/clues belong with the prompt's tokens).
+/// Prompts therefore condition on their full content, including class
+/// names and attribute phrases injected by chain-of-thought reasoning,
+/// which is the property the paper relies on LLaMA for.
+class HybridLm {
+ public:
+  explicit HybridLm(size_t vocab_size, HybridLmConfig config = {});
+
+  HybridLm(HybridLm&&) = default;
+  HybridLm& operator=(HybridLm&&) = default;
+  HybridLm(const HybridLm&) = delete;
+  HybridLm& operator=(const HybridLm&) = delete;
+
+  /// "Further pretraining" on one sentence: feeds both channels.
+  void AddSentence(std::span<const TokenId> sentence);
+
+  /// Marks tokens (template glue, punctuation) that the association
+  /// channel ignores as conditioning evidence.
+  void SetStopTokens(std::unordered_set<TokenId> stop_tokens);
+
+  /// P(next | context): interpolation of the n-gram probability on the
+  /// context suffix and the mean association probability over the
+  /// informative context tokens.
+  double NextTokenProbability(std::span<const TokenId> context,
+                              TokenId next) const;
+
+  /// Natural-log probability of `tokens` continuing `context`.
+  double SequenceLogProbability(std::span<const TokenId> context,
+                                std::span<const TokenId> tokens) const;
+
+  /// Finalizes training (applies association truncation). Call once after
+  /// the last AddSentence.
+  void Finalize();
+
+  const NgramLm& ngram() const { return ngram_; }
+  const AssociationModel& association() const { return association_; }
+  const HybridLmConfig& lm_config() const { return config_; }
+  size_t vocab_size() const { return ngram_.vocab_size(); }
+
+ private:
+  HybridLmConfig config_;
+  NgramLm ngram_;
+  AssociationModel association_;
+  std::unordered_set<TokenId> stop_tokens_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_LM_HYBRID_LM_H_

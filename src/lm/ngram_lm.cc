@@ -1,0 +1,107 @@
+#include "lm/ngram_lm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+NgramLm::NgramLm(size_t vocab_size, NgramLmConfig config)
+    : config_(config),
+      vocab_size_(vocab_size),
+      unigram_counts_(vocab_size, 0) {
+  UW_CHECK_GE(config.order, 1);
+  UW_CHECK_GT(config.discount, 0.0);
+  UW_CHECK_LT(config.discount, 1.0);
+  contexts_.resize(static_cast<size_t>(config.order - 1));
+}
+
+uint64_t NgramLm::HashContext(std::span<const TokenId> context) {
+  // FNV-1a over the token ids plus the length, so contexts of different
+  // lengths never collide by construction.
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(context.size()));
+  for (TokenId token : context) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(token)));
+  }
+  return hash;
+}
+
+void NgramLm::AddSentence(std::span<const TokenId> sentence) {
+  for (size_t i = 0; i < sentence.size(); ++i) {
+    const TokenId next = sentence[i];
+    if (next < 0 || static_cast<size_t>(next) >= vocab_size_) continue;
+    ++unigram_counts_[static_cast<size_t>(next)];
+    ++total_tokens_;
+    const int max_len = std::min<int>(config_.order - 1, static_cast<int>(i));
+    for (int len = 1; len <= max_len; ++len) {
+      const std::span<const TokenId> context =
+          sentence.subspan(i - static_cast<size_t>(len),
+                           static_cast<size_t>(len));
+      ContextStats& stats =
+          contexts_[static_cast<size_t>(len - 1)][HashContext(context)];
+      ++stats.total;
+      ++stats.counts[next];
+    }
+  }
+}
+
+double NgramLm::BackoffProbability(std::span<const TokenId> context,
+                                   TokenId next, int length) const {
+  if (length == 0) {
+    const double alpha = config_.unigram_alpha;
+    const double numer =
+        static_cast<double>(unigram_counts_[static_cast<size_t>(next)]) +
+        alpha;
+    const double denom =
+        static_cast<double>(total_tokens_) +
+        alpha * static_cast<double>(vocab_size_);
+    return numer / denom;
+  }
+  const std::span<const TokenId> suffix =
+      context.subspan(context.size() - static_cast<size_t>(length));
+  const auto& table = contexts_[static_cast<size_t>(length - 1)];
+  const auto it = table.find(HashContext(suffix));
+  if (it == table.end() || it->second.total == 0) {
+    return BackoffProbability(context, next, length - 1);
+  }
+  const ContextStats& stats = it->second;
+  const double total = static_cast<double>(stats.total);
+  const double discount = config_.discount;
+  double count = 0.0;
+  const auto cit = stats.counts.find(next);
+  if (cit != stats.counts.end()) count = static_cast<double>(cit->second);
+  const double direct = std::max(count - discount, 0.0) / total;
+  const double backoff_mass =
+      discount * static_cast<double>(stats.counts.size()) / total;
+  return direct +
+         backoff_mass * BackoffProbability(context, next, length - 1);
+}
+
+double NgramLm::Probability(std::span<const TokenId> context,
+                            TokenId next) const {
+  if (next < 0 || static_cast<size_t>(next) >= vocab_size_) return 0.0;
+  const int max_len = std::min<int>(config_.order - 1,
+                                    static_cast<int>(context.size()));
+  return BackoffProbability(context, next, max_len);
+}
+
+double NgramLm::SequenceLogProbability(
+    std::span<const TokenId> context,
+    std::span<const TokenId> tokens) const {
+  std::vector<TokenId> full(context.begin(), context.end());
+  double log_prob = 0.0;
+  for (TokenId token : tokens) {
+    const double p = Probability(full, token);
+    log_prob += std::log(std::max(p, 1e-12));
+    full.push_back(token);
+  }
+  return log_prob;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,76 @@
+#ifndef ULTRAWIKI_LM_NGRAM_LM_H_
+#define ULTRAWIKI_LM_NGRAM_LM_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ultrawiki {
+
+/// Hyper-parameters of the backoff n-gram model.
+struct NgramLmConfig {
+  /// Maximum n-gram order (5 lets the model condition on a 1–2-token
+  /// entity name plus template glue, which is what constrained generation
+  /// needs).
+  int order = 5;
+  /// Absolute discount mass moved to the lower order.
+  double discount = 0.4;
+  /// Additive smoothing of the unigram floor.
+  double unigram_alpha = 0.5;
+};
+
+/// Count-based n-gram language model with interpolated absolute
+/// discounting (Kneser–Ney style backoff chain). Contexts are stored by
+/// 64-bit hash; with the corpus sizes this library targets, collisions are
+/// statistically negligible and the approximation is standard for
+/// hash-based LMs.
+class NgramLm {
+ public:
+  NgramLm(size_t vocab_size, NgramLmConfig config = {});
+
+  /// Accumulates counts for every n-gram (orders 1..order) of `sentence`.
+  /// A virtual begin-of-sentence context is implicit: n-grams are only
+  /// counted inside the sentence (no padding tokens are introduced).
+  void AddSentence(std::span<const TokenId> sentence);
+
+  /// P(next | context) via the interpolated backoff chain. Uses at most
+  /// the last (order-1) tokens of `context`.
+  double Probability(std::span<const TokenId> context, TokenId next) const;
+
+  /// Sum of log P over `tokens` given `context`, extending the context
+  /// with each consumed token. Natural log.
+  double SequenceLogProbability(std::span<const TokenId> context,
+                                std::span<const TokenId> tokens) const;
+
+  int64_t total_tokens() const { return total_tokens_; }
+  size_t vocab_size() const { return vocab_size_; }
+  const NgramLmConfig& config() const { return config_; }
+
+ private:
+  struct ContextStats {
+    int64_t total = 0;
+    std::unordered_map<TokenId, int32_t> counts;
+  };
+
+  static uint64_t HashContext(std::span<const TokenId> context);
+
+  /// P under the backoff chain for a context of exactly `length` tokens
+  /// (the last `length` of `context`).
+  double BackoffProbability(std::span<const TokenId> context, TokenId next,
+                            int length) const;
+
+  NgramLmConfig config_;
+  size_t vocab_size_;
+  int64_t total_tokens_ = 0;
+  std::vector<int64_t> unigram_counts_;
+  /// contexts_[k] maps hash(context of length k+1) -> stats, k in
+  /// [0, order-2].
+  std::vector<std::unordered_map<uint64_t, ContextStats>> contexts_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_LM_NGRAM_LM_H_

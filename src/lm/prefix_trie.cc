@@ -1,0 +1,55 @@
+#include "lm/prefix_trie.h"
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+PrefixTrie::PrefixTrie() { nodes_.emplace_back(); }
+
+void PrefixTrie::Insert(std::span<const TokenId> name, EntityId entity) {
+  UW_CHECK(!name.empty());
+  NodeId current = kRoot;
+  for (TokenId token : name) {
+    auto& children = nodes_[static_cast<size_t>(current)].children;
+    auto it = children.find(token);
+    if (it == children.end()) {
+      const NodeId fresh = static_cast<NodeId>(nodes_.size());
+      children.emplace(token, fresh);
+      nodes_.emplace_back();
+      current = fresh;
+    } else {
+      current = it->second;
+    }
+  }
+  Node& leaf = nodes_[static_cast<size_t>(current)];
+  if (leaf.terminal == kInvalidEntityId) {
+    leaf.terminal = entity;
+    ++entity_count_;
+  }
+}
+
+const std::unordered_map<TokenId, PrefixTrie::NodeId>&
+PrefixTrie::ChildrenOf(NodeId node) const {
+  UW_CHECK_GE(node, 0);
+  UW_CHECK_LT(static_cast<size_t>(node), nodes_.size());
+  return nodes_[static_cast<size_t>(node)].children;
+}
+
+EntityId PrefixTrie::TerminalOf(NodeId node) const {
+  UW_CHECK_GE(node, 0);
+  UW_CHECK_LT(static_cast<size_t>(node), nodes_.size());
+  return nodes_[static_cast<size_t>(node)].terminal;
+}
+
+PrefixTrie::NodeId PrefixTrie::Walk(std::span<const TokenId> tokens) const {
+  NodeId current = kRoot;
+  for (TokenId token : tokens) {
+    const auto& children = nodes_[static_cast<size_t>(current)].children;
+    const auto it = children.find(token);
+    if (it == children.end()) return -1;
+    current = it->second;
+  }
+  return current;
+}
+
+}  // namespace ultrawiki

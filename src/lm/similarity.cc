@@ -1,0 +1,51 @@
+#include "lm/similarity.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+LmEntitySimilarity::LmEntitySimilarity(const Corpus& corpus,
+                                       const HybridLm& lm)
+    : corpus_(corpus), lm_(lm) {
+  for (const char* word : {"is", "similar", "to"}) {
+    const TokenId id = corpus_.tokens().Lookup(word);
+    if (id != kInvalidTokenId) template_tokens_.push_back(id);
+  }
+}
+
+std::vector<TokenId> LmEntitySimilarity::NameTokensOf(EntityId id) const {
+  const Entity& entity = corpus_.entity(id);
+  std::vector<TokenId> tokens;
+  tokens.reserve(entity.name_tokens.size());
+  for (const std::string& word : entity.name_tokens) {
+    const TokenId token = corpus_.tokens().Lookup(word);
+    if (token != kInvalidTokenId) tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double LmEntitySimilarity::ConditionalScore(EntityId source,
+                                            EntityId target) const {
+  const std::vector<TokenId> target_tokens = NameTokensOf(target);
+  if (target_tokens.empty()) return 0.0;
+  std::vector<TokenId> context = NameTokensOf(source);
+  context.insert(context.end(), template_tokens_.begin(),
+                 template_tokens_.end());
+  const double log_prob =
+      lm_.SequenceLogProbability(context, target_tokens);
+  return std::exp(log_prob / static_cast<double>(target_tokens.size()));
+}
+
+double LmEntitySimilarity::SeedScore(std::span<const EntityId> seeds,
+                                     EntityId candidate) const {
+  if (seeds.empty()) return 0.0;
+  double sum = 0.0;
+  for (EntityId seed : seeds) {
+    sum += ConditionalScore(seed, candidate);
+  }
+  return sum / static_cast<double>(seeds.size());
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,41 @@
+#ifndef ULTRAWIKI_LM_SIMILARITY_H_
+#define ULTRAWIKI_LM_SIMILARITY_H_
+
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "lm/hybrid_lm.h"
+
+namespace ultrawiki {
+
+/// LM-based entity similarity (paper Eq. 7): the geometric mean of the
+/// conditional probability of generating e' from the template
+/// "{e} is similar to". Implements both directions used by GenExpan:
+/// selection (candidate vs positive seeds) and re-ranking (candidate vs
+/// negative seeds).
+class LmEntitySimilarity {
+ public:
+  /// `corpus` provides entity surface forms; `lm` must share its token
+  /// vocabulary. Both must outlive this object.
+  LmEntitySimilarity(const Corpus& corpus, const HybridLm& lm);
+
+  /// sqrt-free geometric mean: exp(log P(e' | "{e} is similar to") / |e'|).
+  double ConditionalScore(EntityId source, EntityId target) const;
+
+  /// Mean of ConditionalScore(seed, candidate) over `seeds` — the paper's
+  /// sco^pos / sco^neg for GenExpan.
+  double SeedScore(std::span<const EntityId> seeds, EntityId candidate) const;
+
+  /// Token-id form of an entity name.
+  std::vector<TokenId> NameTokensOf(EntityId id) const;
+
+ private:
+  const Corpus& corpus_;
+  const HybridLm& lm_;
+  std::vector<TokenId> template_tokens_;  // "is similar to"
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_LM_SIMILARITY_H_

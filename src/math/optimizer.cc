@@ -1,0 +1,57 @@
+#include "math/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+AdamOptimizer::AdamOptimizer(size_t parameter_count, AdamConfig config)
+    : config_(config), m_(parameter_count, 0.0f), v_(parameter_count, 0.0f) {}
+
+void AdamOptimizer::ApplySparse(size_t offset, std::span<float> params,
+                                std::span<const float> grad) {
+  UW_CHECK_EQ(params.size(), grad.size());
+  UW_CHECK_LE(offset + params.size(), m_.size());
+  const float lr = config_.learning_rate;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float eps = config_.epsilon;
+  // Bias correction at the current timestep.
+  const float bc1 =
+      1.0f - std::pow(b1, static_cast<float>(timestep_));
+  const float bc2 =
+      1.0f - std::pow(b2, static_cast<float>(timestep_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    const size_t j = offset + i;
+    const float g = grad[i];
+    m_[j] = b1 * m_[j] + (1.0f - b1) * g;
+    v_[j] = b2 * v_[j] + (1.0f - b2) * g * g;
+    const float m_hat = m_[j] / bc1;
+    const float v_hat = v_[j] / bc2;
+    float update = lr * m_hat / (std::sqrt(v_hat) + eps);
+    if (config_.weight_decay > 0.0f) {
+      update += lr * config_.weight_decay * params[i];
+    }
+    params[i] -= update;
+  }
+}
+
+void AdamOptimizer::Step() { ++timestep_; }
+
+void SgdOptimizer::Apply(std::span<float> params,
+                         std::span<const float> grad) const {
+  UW_CHECK_EQ(params.size(), grad.size());
+  float scale = 1.0f;
+  if (clip_norm_ > 0.0f) {
+    float norm_sq = 0.0f;
+    for (float g : grad) norm_sq += g * g;
+    const float norm = std::sqrt(norm_sq);
+    if (norm > clip_norm_) scale = clip_norm_ / norm;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i] -= learning_rate_ * scale * grad[i];
+  }
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,70 @@
+#ifndef ULTRAWIKI_MATH_OPTIMIZER_H_
+#define ULTRAWIKI_MATH_OPTIMIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ultrawiki {
+
+/// Configuration for the Adam optimizer.
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// Decoupled L2 weight decay (AdamW-style); 0 disables it.
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimizer over a flat parameter buffer. Supports sparse updates
+/// (only the touched slice pays moment-state maintenance), which matters for
+/// embedding tables where each step touches a handful of rows.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(size_t parameter_count, AdamConfig config = {});
+
+  /// Applies one Adam update for `grad` against the parameter slice
+  /// `params` which starts at global `offset` in the parameter buffer.
+  /// `params.size() == grad.size()` is required.
+  void ApplySparse(size_t offset, std::span<float> params,
+                   std::span<const float> grad);
+
+  /// Advances the global timestep; call once per optimization step (after
+  /// all ApplySparse calls for that step).
+  void Step();
+
+  size_t parameter_count() const { return m_.size(); }
+  int64_t timestep() const { return timestep_; }
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+ private:
+  AdamConfig config_;
+  int64_t timestep_ = 1;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+/// Plain SGD with optional gradient clipping; used where Adam's moment
+/// state would dominate memory (e.g. throwaway probes in tests).
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(float learning_rate, float clip_norm = 0.0f)
+      : learning_rate_(learning_rate), clip_norm_(clip_norm) {}
+
+  /// params -= lr * grad (with optional per-call gradient norm clipping).
+  void Apply(std::span<float> params, std::span<const float> grad) const;
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+ private:
+  float learning_rate_;
+  float clip_norm_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_MATH_OPTIMIZER_H_

@@ -1,0 +1,72 @@
+#include "math/sampling.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  UW_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    UW_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  UW_CHECK_GT(total, 0.0);
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  probabilities_.assign(n, 0.0);
+  aliases_.assign(n, 0);
+
+  // Scaled probabilities; partition into under- and over-full buckets.
+  std::vector<double> scaled(n);
+  std::deque<size_t> small;
+  std::deque<size_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(i);
+    } else {
+      large.push_back(i);
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.front();
+    small.pop_front();
+    const size_t l = large.front();
+    large.pop_front();
+    probabilities_[s] = scaled[s];
+    aliases_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  while (!large.empty()) {
+    probabilities_[large.front()] = 1.0;
+    large.pop_front();
+  }
+  while (!small.empty()) {
+    probabilities_[small.front()] = 1.0;
+    small.pop_front();
+  }
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t slot = rng.UniformUint64(probabilities_.size());
+  if (rng.UniformDouble() < probabilities_[slot]) return slot;
+  return aliases_[slot];
+}
+
+double AliasTable::ProbabilityOf(size_t i) const {
+  UW_CHECK_LT(i, normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,52 @@
+#ifndef ULTRAWIKI_MATH_SAMPLING_H_
+#define ULTRAWIKI_MATH_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ultrawiki {
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+/// Used for unigram-frequency negative sampling in the embedding trainer.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative `weights` (sum must be positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return probabilities_.size(); }
+
+  /// Probability mass assigned to index `i` (for testing).
+  double ProbabilityOf(size_t i) const;
+
+ private:
+  std::vector<double> probabilities_;  // Acceptance probability per slot.
+  std::vector<size_t> aliases_;        // Fallback index per slot.
+  std::vector<double> normalized_;     // Original normalized weights.
+};
+
+/// Reservoir sampling: selects `k` items uniformly from a stream presented
+/// as a vector, without materializing permutations.
+template <typename T>
+std::vector<T> ReservoirSample(const std::vector<T>& stream, size_t k,
+                               Rng& rng) {
+  std::vector<T> reservoir;
+  reservoir.reserve(k);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(stream[i]);
+    } else {
+      const size_t j = rng.UniformUint64(i + 1);
+      if (j < k) reservoir[j] = stream[i];
+    }
+  }
+  return reservoir;
+}
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_MATH_SAMPLING_H_

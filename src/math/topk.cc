@@ -1,0 +1,38 @@
+#include "math/topk.h"
+
+namespace ultrawiki {
+namespace {
+
+bool ScoreGreater(const ScoredIndex& a, const ScoredIndex& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+void SortByScoreDescending(std::vector<ScoredIndex>& pairs) {
+  std::sort(pairs.begin(), pairs.end(), ScoreGreater);
+}
+
+std::vector<ScoredIndex> TopKOfPairs(std::vector<ScoredIndex> pairs,
+                                     size_t k) {
+  if (k < pairs.size()) {
+    std::partial_sort(pairs.begin(), pairs.begin() + k, pairs.end(),
+                      ScoreGreater);
+    pairs.resize(k);
+  } else {
+    SortByScoreDescending(pairs);
+  }
+  return pairs;
+}
+
+std::vector<ScoredIndex> TopK(const std::vector<float>& scores, size_t k) {
+  std::vector<ScoredIndex> pairs;
+  pairs.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    pairs.push_back(ScoredIndex{scores[i], i});
+  }
+  return TopKOfPairs(std::move(pairs), k);
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,34 @@
+#ifndef ULTRAWIKI_MATH_TOPK_H_
+#define ULTRAWIKI_MATH_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ultrawiki {
+
+/// A (score, index) result of a top-k selection.
+struct ScoredIndex {
+  float score = 0.0f;
+  size_t index = 0;
+
+  friend bool operator==(const ScoredIndex& a, const ScoredIndex& b) {
+    return a.score == b.score && a.index == b.index;
+  }
+};
+
+/// Returns the `k` highest-scoring indices over `scores`, sorted by
+/// descending score (ties broken by ascending index for determinism).
+std::vector<ScoredIndex> TopK(const std::vector<float>& scores, size_t k);
+
+/// Like TopK but over explicit (score, index) pairs, e.g. after masking.
+std::vector<ScoredIndex> TopKOfPairs(std::vector<ScoredIndex> pairs,
+                                     size_t k);
+
+/// Sorts pairs by descending score with ascending-index tie-break.
+void SortByScoreDescending(std::vector<ScoredIndex>& pairs);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_MATH_TOPK_H_

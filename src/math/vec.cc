@@ -1,0 +1,63 @@
+#include "math/vec.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  UW_CHECK_EQ(a.size(), b.size());
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  UW_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+float Norm(std::span<const float> x) {
+  float sum = 0.0f;
+  for (float v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+void NormalizeInPlace(std::span<float> x) {
+  const float norm = Norm(x);
+  if (norm <= 0.0f) return;
+  Scale(1.0f / norm, x);
+}
+
+float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  const float na = Norm(a);
+  const float nb = Norm(b);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return Dot(a, b) / (na * nb);
+}
+
+void AccumulateInPlace(std::span<float> acc, std::span<const float> x) {
+  UW_CHECK_EQ(acc.size(), x.size());
+  for (size_t i = 0; i < acc.size(); ++i) acc[i] += x[i];
+}
+
+Vec MeanOfVectors(const std::vector<Vec>& vectors, size_t dim) {
+  Vec mean(dim, 0.0f);
+  if (vectors.empty()) return mean;
+  for (const Vec& v : vectors) {
+    AccumulateInPlace(mean, v);
+  }
+  Scale(1.0f / static_cast<float>(vectors.size()), mean);
+  return mean;
+}
+
+void ZeroInPlace(std::span<float> x) {
+  for (float& v : x) v = 0.0f;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,62 @@
+#include "text/name_generator.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+namespace {
+
+constexpr std::array<const char*, 20> kOnsets = {
+    "b", "d", "f", "g", "h", "j", "k", "l", "m", "n",
+    "p", "r", "s", "t", "v", "z", "ch", "sh", "th", "br"};
+constexpr std::array<const char*, 8> kVowels = {"a", "e", "i",  "o",
+                                                "u", "ai", "ia", "or"};
+constexpr std::array<const char*, 8> kCodas = {"", "", "n", "m",
+                                               "l", "r", "s", "k"};
+
+}  // namespace
+
+NameGenerator::NameGenerator(Rng rng) : rng_(rng) {}
+
+std::string NameGenerator::MakeWord(int syllables, int style_tag) {
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    // Style tag rotates the onset distribution so each semantic class gets a
+    // loosely coherent surface style without reducing uniqueness.
+    const size_t onset_idx =
+        (rng_.UniformUint64(kOnsets.size()) +
+         static_cast<size_t>(style_tag) * 3) %
+        kOnsets.size();
+    word += kOnsets[onset_idx];
+    word += kVowels[rng_.UniformUint64(kVowels.size())];
+    if (s + 1 == syllables) {
+      word += kCodas[rng_.UniformUint64(kCodas.size())];
+    }
+  }
+  return word;
+}
+
+std::string NameGenerator::NextName(int max_words, int style_tag,
+                                    int min_words) {
+  UW_CHECK_GE(min_words, 1);
+  UW_CHECK_GE(max_words, min_words);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const int words = rng_.UniformInt(min_words, max_words);
+    std::string name;
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) name += ' ';
+      name += MakeWord(rng_.UniformInt(2, 3), style_tag);
+    }
+    if (used_.insert(name).second) return name;
+  }
+  // Fall back to a numbered suffix if the syllable space is exhausted.
+  std::string base = MakeWord(3, style_tag);
+  int suffix = 0;
+  while (true) {
+    std::string candidate = base + " " + std::to_string(suffix++);
+    if (used_.insert(candidate).second) return candidate;
+  }
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,39 @@
+#ifndef ULTRAWIKI_TEXT_NAME_GENERATOR_H_
+#define ULTRAWIKI_TEXT_NAME_GENERATOR_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ultrawiki {
+
+/// Generates unique, pronounceable multi-token entity names from syllables
+/// (e.g. "veladora karim"). Multi-token names matter: the prefix-trie
+/// constrained decoding of GenExpan (paper Fig. 6) is only exercised when
+/// entity surface forms span several tokens that share prefixes.
+class NameGenerator {
+ public:
+  explicit NameGenerator(Rng rng);
+
+  /// Returns a fresh unique name of `min_words`–`max_words` words;
+  /// optional `style_tag` biases syllable choice so entities of one
+  /// semantic class share a loose surface style (mirrors real-world
+  /// naming regularities).
+  std::string NextName(int max_words = 2, int style_tag = 0,
+                       int min_words = 1);
+
+  /// Number of names handed out so far.
+  size_t generated_count() const { return used_.size(); }
+
+ private:
+  std::string MakeWord(int syllables, int style_tag);
+
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_TEXT_NAME_GENERATOR_H_

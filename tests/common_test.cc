@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace ultrawiki {
+namespace {
+
+// ---------------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::NotFound("missing entity");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing entity");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing entity");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::FailedPrecondition("").code(), Status::OutOfRange("").code(),
+      Status::Internal("").code(), Status::Unimplemented("").code()};
+  EXPECT_EQ(codes.size(), 6u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::OutOfRange("bad k"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+// ------------------------------------------------------------------- Rng.
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int value = rng.UniformInt(-3, 5);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.UniformDouble();
+    ASSERT_GE(value, 0.0);
+    ASSERT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double value = rng.Gaussian();
+    sum += value;
+    sum_sq += value * value;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(23);
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[static_cast<size_t>(i)] = i;
+  const std::vector<int> sample = rng.SampleWithoutReplacement(items, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementCapsAtSize) {
+  Rng rng(29);
+  std::vector<int> items = {1, 2, 3};
+  EXPECT_EQ(rng.SampleWithoutReplacement(items, 10).size(), 3u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child and parent should diverge immediately.
+  EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+// ---------------------------------------------------------- string_util.
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringUtilTest, SplitKeepEmptyPreservesStructure) {
+  EXPECT_EQ(SplitStringKeepEmpty("a,,b,", ','),
+            (std::vector<std::string>{"a", "", "b", ""}));
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  EXPECT_EQ(SplitString("token", ','),
+            (std::vector<std::string>{"token"}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  const std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(pieces, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD 123"), "mixed 123");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  padded\t\n"), "padded");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("ultrawiki", "ultra"));
+  EXPECT_FALSE(StartsWith("ultra", "ultrawiki"));
+  EXPECT_TRUE(EndsWith("ultrawiki", "wiki"));
+  EXPECT_FALSE(EndsWith("wiki", "ultrawiki"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+// --------------------------------------------------------- TablePrinter.
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table("title");
+  table.SetHeader({"a", "bb"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, SeparatorAddsLine) {
+  TablePrinter table;
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // Header line + top/bottom + separator = at least 4 dashed lines.
+  size_t dashes = 0;
+  for (size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 4u);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMustMatchHeader) {
+  TablePrinter table;
+  table.SetHeader({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+// -------------------------------------------------------------- Logging.
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(UW_CHECK_EQ(1, 2) << "boom", "Check failed");
+}
+
+TEST(LoggingTest, CheckOkPassesOnOkStatus) {
+  UW_CHECK_OK(Status::Ok());  // must not abort
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+#include "corpus/knowledge_base.h"
+#include "corpus/schema.h"
+
+namespace ultrawiki {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.seed = 5;
+  config.scale = 0.1;
+  config.min_entities_per_class = 24;
+  config.background_entity_count = 60;
+  config.sentences_per_entity = 8;
+  config.list_sentences_per_value = 4;
+  config.similarity_sentences_per_entity = 2.0;
+  return config;
+}
+
+// --------------------------------------------------------------- Schema.
+
+TEST(SchemaTest, HasTenClassesCoveringFiveCategories) {
+  const auto schema = BuildUltraWikiSchema();
+  ASSERT_EQ(schema.size(), 10u);
+  std::set<std::string> categories;
+  for (const FineClassSpec& spec : schema) {
+    categories.insert(spec.coarse_category);
+  }
+  EXPECT_EQ(categories.size(), 5u);
+}
+
+TEST(SchemaTest, PaperScaleEntityCounts) {
+  const auto schema = BuildUltraWikiSchema();
+  int total = 0;
+  for (const FineClassSpec& spec : schema) total += spec.entity_count;
+  EXPECT_EQ(total, 99 + 675 + 190 + 370 + 112 + 159 + 128 + 952 + 45 + 118);
+}
+
+TEST(SchemaTest, EveryClassHasTwoOrThreeAttributes) {
+  for (const FineClassSpec& spec : BuildUltraWikiSchema()) {
+    EXPECT_GE(spec.attributes.size(), 2u) << spec.name;
+    EXPECT_LE(spec.attributes.size(), 3u) << spec.name;
+  }
+}
+
+TEST(SchemaTest, AttributesHaveCluesForEveryValue) {
+  for (const FineClassSpec& spec : BuildUltraWikiSchema()) {
+    for (const AttributeDef& attr : spec.attributes) {
+      ASSERT_EQ(attr.clue_tokens.size(), attr.values.size());
+      ASSERT_EQ(attr.clue_variants.size(), attr.values.size());
+      for (const auto& variants : attr.clue_variants) {
+        EXPECT_GE(variants.size(), 2u);
+      }
+    }
+  }
+}
+
+TEST(SchemaTest, ValuesDistinctWithinAttribute) {
+  for (const FineClassSpec& spec : BuildUltraWikiSchema()) {
+    for (const AttributeDef& attr : spec.attributes) {
+      std::set<std::string> values(attr.values.begin(), attr.values.end());
+      EXPECT_EQ(values.size(), attr.values.size()) << attr.name;
+    }
+  }
+}
+
+TEST(SchemaTest, ValuesDistinctAcrossAttributesOfSameClass) {
+  // A value string shared by two attributes of one class would make clue
+  // paraphrases ambiguous within that class.
+  for (const FineClassSpec& spec : BuildUltraWikiSchema()) {
+    std::set<std::string> all;
+    size_t count = 0;
+    for (const AttributeDef& attr : spec.attributes) {
+      all.insert(attr.values.begin(), attr.values.end());
+      count += attr.values.size();
+    }
+    EXPECT_EQ(all.size(), count) << spec.name;
+  }
+}
+
+TEST(SchemaTest, ScaledSchemaRespectsMinimum) {
+  const auto schema = ScaledSchema(0.01, 33);
+  for (const FineClassSpec& spec : schema) {
+    EXPECT_GE(spec.entity_count, 33);
+  }
+}
+
+TEST(SchemaTest, ScaledSchemaScalesLargeClasses) {
+  const auto schema = ScaledSchema(0.5, 10);
+  EXPECT_EQ(schema[7].entity_count, 476);  // nobel laureates 952 * 0.5
+}
+
+// --------------------------------------------------------------- Corpus.
+
+TEST(CorpusTest, AddEntityAssignsDenseIds) {
+  Corpus corpus;
+  Entity e1;
+  e1.name = "alpha";
+  Entity e2;
+  e2.name = "beta";
+  EXPECT_EQ(corpus.AddEntity(std::move(e1)), 0);
+  EXPECT_EQ(corpus.AddEntity(std::move(e2)), 1);
+  EXPECT_EQ(corpus.entity(1).name, "beta");
+}
+
+TEST(CorpusTest, SentencesIndexedByEntity) {
+  Corpus corpus;
+  Entity e;
+  e.name = "x";
+  const EntityId id = corpus.AddEntity(std::move(e));
+  Sentence s;
+  s.entity = id;
+  s.tokens = corpus.InternWords({"hello", "x", "world"});
+  s.mention_begin = 1;
+  s.mention_len = 1;
+  corpus.AddSentence(std::move(s));
+  ASSERT_EQ(corpus.SentencesOf(id).size(), 1u);
+  EXPECT_EQ(corpus.sentence(0).entity, id);
+}
+
+TEST(CorpusTest, RenderRoundTrip) {
+  Corpus corpus;
+  const auto ids = corpus.InternWords({"a", "b", "c"});
+  EXPECT_EQ(corpus.Render(ids), "a b c");
+}
+
+TEST(CorpusDeathTest, SentenceMentionMustBeInBounds) {
+  Corpus corpus;
+  Entity e;
+  e.name = "x";
+  const EntityId id = corpus.AddEntity(std::move(e));
+  Sentence s;
+  s.entity = id;
+  s.tokens = corpus.InternWords({"one"});
+  s.mention_begin = 0;
+  s.mention_len = 5;  // exceeds sentence length
+  EXPECT_DEATH(corpus.AddSentence(std::move(s)), "Check failed");
+}
+
+// -------------------------------------------------------- KnowledgeBase.
+
+TEST(KnowledgeBaseTest, StoresAndReturnsEntries) {
+  KnowledgeBase kb;
+  kb.Add(0, {1, 2}, {3});
+  EXPECT_EQ(kb.IntroductionOf(0), (std::vector<TokenId>{1, 2}));
+  EXPECT_EQ(kb.WikidataAttributesOf(0), (std::vector<TokenId>{3}));
+  EXPECT_TRUE(kb.IntroductionOf(99).empty());
+  EXPECT_TRUE(kb.IntroductionOf(-1).empty());
+}
+
+// ------------------------------------------------------------ Generator.
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new GeneratedWorld(GenerateWorld(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static GeneratedWorld* world_;
+};
+
+GeneratedWorld* GeneratorTest::world_ = nullptr;
+
+TEST_F(GeneratorTest, EntityCountsMatchConfig) {
+  int in_class = 0;
+  int background = 0;
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count()); ++id) {
+    if (world_->corpus.entity(id).class_id == kBackgroundClassId) {
+      ++background;
+    } else {
+      ++in_class;
+    }
+  }
+  int expected = 0;
+  for (const FineClassSpec& spec : world_->schema) {
+    expected += spec.entity_count;
+  }
+  EXPECT_EQ(in_class, expected);
+  EXPECT_EQ(background, 60);
+  EXPECT_EQ(world_->background_entities.size(), 60u);
+}
+
+TEST_F(GeneratorTest, EveryInClassEntityHasAttributeValues) {
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count()); ++id) {
+    const Entity& entity = world_->corpus.entity(id);
+    if (entity.class_id == kBackgroundClassId) {
+      EXPECT_TRUE(entity.attribute_values.empty());
+      continue;
+    }
+    const FineClassSpec& spec =
+        world_->schema[static_cast<size_t>(entity.class_id)];
+    ASSERT_EQ(entity.attribute_values.size(), spec.attributes.size());
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      EXPECT_GE(entity.attribute_values[a], 0);
+      EXPECT_LT(entity.attribute_values[a],
+                static_cast<int>(spec.attributes[a].values.size()));
+    }
+  }
+}
+
+TEST_F(GeneratorTest, EntityNamesAreUniqueTwoWord) {
+  std::set<std::string> names;
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count()); ++id) {
+    const Entity& entity = world_->corpus.entity(id);
+    EXPECT_TRUE(names.insert(entity.name).second) << entity.name;
+    EXPECT_EQ(entity.name_tokens.size(), 2u);
+  }
+}
+
+TEST_F(GeneratorTest, MentionSpansAreValid) {
+  for (size_t s = 0; s < world_->corpus.sentence_count(); ++s) {
+    const Sentence& sentence = world_->corpus.sentence(s);
+    EXPECT_GE(sentence.mention_begin, 0);
+    EXPECT_GT(sentence.mention_len, 0);
+    EXPECT_LE(static_cast<size_t>(sentence.mention_begin +
+                                  sentence.mention_len),
+              sentence.tokens.size());
+    // The mention tokens must spell the entity's name.
+    const Entity& entity = world_->corpus.entity(sentence.entity);
+    for (int i = 0; i < sentence.mention_len; ++i) {
+      const TokenId token =
+          sentence.tokens[static_cast<size_t>(sentence.mention_begin + i)];
+      EXPECT_EQ(world_->corpus.tokens().TokenOf(token),
+                entity.name_tokens[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, LongTailEntitiesHaveFewerSentences) {
+  const GeneratorConfig config = SmallConfig();
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count()); ++id) {
+    const Entity& entity = world_->corpus.entity(id);
+    if (entity.class_id == kBackgroundClassId) continue;
+    const size_t count = world_->corpus.SentencesOf(id).size();
+    if (entity.is_long_tail) {
+      EXPECT_EQ(count, static_cast<size_t>(config.long_tail_sentences));
+    } else {
+      EXPECT_EQ(count, static_cast<size_t>(config.sentences_per_entity));
+    }
+  }
+}
+
+TEST_F(GeneratorTest, AuxiliarySentencesExist) {
+  EXPECT_GT(world_->corpus.auxiliary_sentences().size(), 100u);
+}
+
+TEST_F(GeneratorTest, EntitiesByValueIndexIsConsistent) {
+  for (size_t c = 0; c < world_->schema.size(); ++c) {
+    const FineClassSpec& spec = world_->schema[c];
+    size_t total = 0;
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      for (size_t v = 0; v < spec.attributes[a].values.size(); ++v) {
+        for (EntityId id : world_->entities_by_value[c][a][v]) {
+          EXPECT_EQ(world_->corpus.entity(id).attribute_values[a],
+                    static_cast<int>(v));
+        }
+        total += world_->entities_by_value[c][a][v].size();
+      }
+    }
+    // Each entity appears once per attribute.
+    EXPECT_EQ(total, static_cast<size_t>(spec.entity_count) *
+                         spec.attributes.size());
+  }
+}
+
+TEST_F(GeneratorTest, KnowledgeBaseCoversAllEntities) {
+  EXPECT_EQ(world_->kb.size(), world_->corpus.entity_count());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count()); ++id) {
+    EXPECT_FALSE(world_->kb.IntroductionOf(id).empty());
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForEqualSeeds) {
+  const GeneratedWorld again = GenerateWorld(SmallConfig());
+  ASSERT_EQ(again.corpus.entity_count(), world_->corpus.entity_count());
+  ASSERT_EQ(again.corpus.sentence_count(), world_->corpus.sentence_count());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count());
+       id += 17) {
+    EXPECT_EQ(again.corpus.entity(id).name, world_->corpus.entity(id).name);
+    EXPECT_EQ(again.corpus.entity(id).attribute_values,
+              world_->corpus.entity(id).attribute_values);
+  }
+  for (size_t s = 0; s < world_->corpus.sentence_count(); s += 101) {
+    EXPECT_EQ(again.corpus.sentence(s).tokens,
+              world_->corpus.sentence(s).tokens);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsProduceDifferentWorlds) {
+  GeneratorConfig other = SmallConfig();
+  other.seed = 999;
+  const GeneratedWorld different = GenerateWorld(other);
+  EXPECT_NE(different.corpus.entity(0).name,
+            world_->corpus.entity(0).name);
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,211 @@
+#include "dataset/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/annotation.h"
+#include "dataset/stats.h"
+
+namespace ultrawiki {
+namespace {
+
+/// Shared generated world + dataset, built once for the whole binary.
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig gen_config;
+    gen_config.seed = 42;
+    gen_config.scale = 0.2;
+    world_ = new GeneratedWorld(GenerateWorld(gen_config));
+    DatasetConfig config;
+    config.seed = 7;
+    auto built = BuildDataset(*world_, config);
+    ASSERT_TRUE(built.ok()) << built.status();
+    dataset_ = new UltraWikiDataset(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete world_;
+    dataset_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static GeneratedWorld* world_;
+  static UltraWikiDataset* dataset_;
+};
+
+GeneratedWorld* DatasetTest::world_ = nullptr;
+UltraWikiDataset* DatasetTest::dataset_ = nullptr;
+
+TEST_F(DatasetTest, ProducesUltraClasses) {
+  EXPECT_GT(dataset_->classes.size(), 10u);
+}
+
+TEST_F(DatasetTest, EveryClassMeetsThreshold) {
+  for (const UltraClass& ultra : dataset_->classes) {
+    EXPECT_GE(ultra.positive_targets.size(), 6u);
+    EXPECT_GE(ultra.negative_targets.size(), 6u);
+  }
+}
+
+TEST_F(DatasetTest, PositiveTargetsNeverMatchNegativeConstraint) {
+  for (const UltraClass& ultra : dataset_->classes) {
+    std::set<EntityId> negatives(ultra.negative_targets.begin(),
+                                 ultra.negative_targets.end());
+    for (EntityId id : ultra.positive_targets) {
+      EXPECT_FALSE(negatives.contains(id))
+          << "entity in both P and N for one ultra class";
+    }
+  }
+}
+
+TEST_F(DatasetTest, TargetsBelongToFineClass) {
+  for (const UltraClass& ultra : dataset_->classes) {
+    for (EntityId id : ultra.positive_targets) {
+      EXPECT_EQ(world_->corpus.entity(id).class_id, ultra.fine_class);
+    }
+    for (EntityId id : ultra.negative_targets) {
+      EXPECT_EQ(world_->corpus.entity(id).class_id, ultra.fine_class);
+    }
+  }
+}
+
+TEST_F(DatasetTest, QueriesHaveThreePerClassWithSeedBounds) {
+  ASSERT_EQ(dataset_->queries.size(), dataset_->classes.size() * 3);
+  for (const Query& query : dataset_->queries) {
+    EXPECT_GE(query.pos_seeds.size(), 3u);
+    EXPECT_LE(query.pos_seeds.size(), 5u);
+    EXPECT_GE(query.neg_seeds.size(), 3u);
+    EXPECT_LE(query.neg_seeds.size(), 5u);
+  }
+}
+
+TEST_F(DatasetTest, SeedsDrawnFromTargets) {
+  for (const Query& query : dataset_->queries) {
+    const UltraClass& ultra = dataset_->ClassOf(query);
+    std::set<EntityId> pos(ultra.positive_targets.begin(),
+                           ultra.positive_targets.end());
+    std::set<EntityId> neg(ultra.negative_targets.begin(),
+                           ultra.negative_targets.end());
+    for (EntityId id : query.pos_seeds) EXPECT_TRUE(pos.contains(id));
+    for (EntityId id : query.neg_seeds) EXPECT_TRUE(neg.contains(id));
+  }
+}
+
+TEST_F(DatasetTest, CandidatesIncludeAllInClassEntities) {
+  std::set<EntityId> candidates(dataset_->candidates.begin(),
+                                dataset_->candidates.end());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world_->corpus.entity_count()); ++id) {
+    if (world_->corpus.entity(id).class_id != kBackgroundClassId) {
+      EXPECT_TRUE(candidates.contains(id));
+    }
+  }
+}
+
+TEST_F(DatasetTest, CandidatesIncludeBackgroundHardNegatives) {
+  EXPECT_GT(dataset_->hard_negative_count, 0);
+  std::set<EntityId> candidates(dataset_->candidates.begin(),
+                                dataset_->candidates.end());
+  int background = 0;
+  for (EntityId id : dataset_->candidates) {
+    if (world_->corpus.entity(id).class_id == kBackgroundClassId) {
+      ++background;
+    }
+  }
+  EXPECT_GT(background, 0);
+}
+
+TEST_F(DatasetTest, CandidatesSortedAndUnique) {
+  for (size_t i = 1; i < dataset_->candidates.size(); ++i) {
+    EXPECT_LT(dataset_->candidates[i - 1], dataset_->candidates[i]);
+  }
+}
+
+TEST_F(DatasetTest, AnnotationKappaNearPaperValue) {
+  // Paper reports Fleiss kappa 0.90; the simulated annotators are
+  // calibrated to land in a band around it.
+  EXPECT_GT(dataset_->annotation.fleiss_kappa, 0.75);
+  EXPECT_LE(dataset_->annotation.fleiss_kappa, 1.0);
+  EXPECT_GT(dataset_->annotation.manual_cells, 0);
+  EXPECT_GT(dataset_->annotation.auto_cells, 0);
+  EXPECT_LT(dataset_->annotation.residual_error_rate, 0.02);
+}
+
+TEST_F(DatasetTest, DeterministicAcrossRebuilds) {
+  DatasetConfig config;
+  config.seed = 7;
+  auto again = BuildDataset(*world_, config);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->classes.size(), dataset_->classes.size());
+  for (size_t i = 0; i < again->classes.size(); ++i) {
+    EXPECT_EQ(again->classes[i].positive_targets,
+              dataset_->classes[i].positive_targets);
+    EXPECT_EQ(again->classes[i].negative_targets,
+              dataset_->classes[i].negative_targets);
+  }
+  ASSERT_EQ(again->queries.size(), dataset_->queries.size());
+  for (size_t i = 0; i < again->queries.size(); ++i) {
+    EXPECT_EQ(again->queries[i].pos_seeds, dataset_->queries[i].pos_seeds);
+    EXPECT_EQ(again->queries[i].neg_seeds, dataset_->queries[i].neg_seeds);
+  }
+}
+
+TEST_F(DatasetTest, StatsAreConsistent) {
+  const DatasetStats stats = ComputeDatasetStats(*world_, *dataset_);
+  EXPECT_EQ(stats.fine_class_count, 10);
+  EXPECT_EQ(stats.ultra_class_count,
+            static_cast<int>(dataset_->classes.size()));
+  EXPECT_EQ(stats.query_count, static_cast<int>(dataset_->queries.size()));
+  EXPECT_GT(stats.avg_positive_targets, 5.9);
+  EXPECT_GT(stats.avg_negative_targets, 5.9);
+  EXPECT_GT(stats.intra_fine_overlap_rate, 0.5)
+      << "ultra classes of one fine class should overlap heavily";
+  int combo_total = 0;
+  for (const auto& [combo, count] : stats.attr_combo_counts) {
+    combo_total += count;
+  }
+  EXPECT_EQ(combo_total, stats.ultra_class_count);
+  // Most classes are (1,1), as in paper Table 12.
+  const auto it = stats.attr_combo_counts.find({1, 1});
+  ASSERT_NE(it, stats.attr_combo_counts.end());
+  EXPECT_GT(it->second, combo_total / 2);
+}
+
+TEST(FleissKappaTest, PerfectAgreementIsOne) {
+  std::vector<std::vector<int>> ratings = {{3, 0}, {0, 3}, {3, 0}};
+  EXPECT_NEAR(FleissKappa(ratings), 1.0, 1e-9);
+}
+
+TEST(FleissKappaTest, KnownValueFromLiterature) {
+  // Classic Fleiss (1971)-style example, 5 categories, 14 raters would be
+  // heavy; use a small hand-computed case instead:
+  // 2 items, 2 raters, half agreement.
+  std::vector<std::vector<int>> ratings = {{2, 0}, {1, 1}};
+  // P_bar = (1 + 0) / 2 = 0.5 ; p = (3/4, 1/4); Pe = 9/16+1/16 = 0.625
+  // kappa = (0.5 - 0.625) / (1 - 0.625) = -1/3.
+  EXPECT_NEAR(FleissKappa(ratings), -1.0 / 3.0, 1e-9);
+}
+
+TEST(FleissKappaTest, EmptyRatingsDegenerate) {
+  EXPECT_DOUBLE_EQ(FleissKappa({}), 1.0);
+}
+
+TEST(DatasetConfigTest, RejectsInvalidThreshold) {
+  GeneratorConfig gen_config;
+  gen_config.scale = 0.05;
+  gen_config.min_entities_per_class = 20;
+  gen_config.background_entity_count = 20;
+  const GeneratedWorld world = GenerateWorld(gen_config);
+  DatasetConfig config;
+  config.n_thred = 0;
+  EXPECT_FALSE(BuildDataset(world, config).ok());
+  config.n_thred = 6;
+  config.min_seeds = 5;
+  config.max_seeds = 3;
+  EXPECT_FALSE(BuildDataset(world, config).ok());
+}
+
+}  // namespace
+}  // namespace ultrawiki

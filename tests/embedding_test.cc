@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.h"
+#include "embedding/contrastive.h"
+#include "embedding/encoder.h"
+#include "embedding/entity_store.h"
+#include "embedding/trainer.h"
+
+namespace ultrawiki {
+namespace {
+
+EncoderConfig TinyEncoderConfig() {
+  EncoderConfig config;
+  config.token_dim = 16;
+  config.hidden_dim = 16;
+  config.projection_dim = 8;
+  return config;
+}
+
+GeneratorConfig TinyWorldConfig() {
+  GeneratorConfig config;
+  config.seed = 9;
+  config.scale = 0.05;
+  config.min_entities_per_class = 20;
+  config.background_entity_count = 40;
+  config.sentences_per_entity = 8;
+  config.list_sentences_per_value = 3;
+  config.similarity_sentences_per_entity = 1.0;
+  return config;
+}
+
+// -------------------------------------------------------------- Encoder.
+
+TEST(EncoderTest, DeterministicInitialization) {
+  ContextEncoder a(100, 50, TinyEncoderConfig());
+  ContextEncoder b(100, 50, TinyEncoderConfig());
+  const Vec ha = a.EncodeContext(std::vector<TokenId>{1, 2, 3});
+  const Vec hb = b.EncodeContext(std::vector<TokenId>{1, 2, 3});
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(EncoderTest, HiddenValuesInTanhRange) {
+  ContextEncoder encoder(100, 50, TinyEncoderConfig());
+  const Vec hidden = encoder.EncodeContext(std::vector<TokenId>{5, 6});
+  ASSERT_EQ(hidden.size(), 16u);
+  for (float v : hidden) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(EncoderTest, EmptyContextYieldsBiasOnlyHidden) {
+  ContextEncoder encoder(100, 50, TinyEncoderConfig());
+  const Vec empty = encoder.EncodeContext(std::vector<TokenId>{});
+  const Vec from_zero_mean =
+      encoder.HiddenFromMean(Vec(16, 0.0f));
+  EXPECT_EQ(empty, from_zero_mean);
+}
+
+TEST(EncoderTest, InvalidTokensIgnored) {
+  ContextEncoder encoder(100, 50, TinyEncoderConfig());
+  const Vec with_bad =
+      encoder.EncodeContext(std::vector<TokenId>{1, -5, 2, 5000});
+  const Vec without = encoder.EncodeContext(std::vector<TokenId>{1, 2});
+  EXPECT_EQ(with_bad, without);
+}
+
+TEST(EncoderTest, TokenWeightsChangePooling) {
+  ContextEncoder encoder(10, 5, TinyEncoderConfig());
+  const Vec flat = encoder.ContextMean(std::vector<TokenId>{0, 1});
+  std::vector<float> weights(10, 1.0f);
+  weights[1] = 0.0f;  // drop token 1 entirely
+  encoder.SetTokenWeights(weights);
+  const Vec weighted = encoder.ContextMean(std::vector<TokenId>{0, 1});
+  const Vec only0 = encoder.ContextMean(std::vector<TokenId>{0});
+  EXPECT_EQ(weighted, only0);
+  EXPECT_NE(weighted, flat);
+}
+
+TEST(EncoderTest, PrefixWeightIsFractional) {
+  EncoderConfig config = TinyEncoderConfig();
+  config.augmentation_weight = 0.5f;
+  ContextEncoder encoder(10, 5, config);
+  // Prefix token 0 at weight 0.5 + context token 1 at weight 1.0.
+  const Vec mixed = encoder.ContextMeanWithPrefix(
+      std::vector<TokenId>{0}, std::vector<TokenId>{1});
+  Vec expected(16, 0.0f);
+  Axpy(0.5f, encoder.token_embeddings().Row(0), expected);
+  Axpy(1.0f, encoder.token_embeddings().Row(1), expected);
+  Scale(1.0f / 1.5f, expected);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(mixed[i], expected[i], 1e-6f);
+  }
+}
+
+TEST(EncoderTest, EntityDistributionIsProbability) {
+  ContextEncoder encoder(40, 25, TinyEncoderConfig());
+  const Vec hidden = encoder.EncodeContext(std::vector<TokenId>{1, 2, 3});
+  const Vec dist = encoder.EntityDistribution(hidden);
+  ASSERT_EQ(dist.size(), 25u);
+  double sum = 0.0;
+  for (float p : dist) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(EncoderTest, ProjectionIsUnitNorm) {
+  ContextEncoder encoder(40, 25, TinyEncoderConfig());
+  const Vec hidden = encoder.EncodeContext(std::vector<TokenId>{1, 2});
+  const Vec z = encoder.Project(hidden);
+  EXPECT_NEAR(Norm(z), 1.0f, 1e-5f);
+}
+
+TEST(EncoderTest, CloneIsDeepCopy) {
+  ContextEncoder encoder(40, 25, TinyEncoderConfig());
+  ContextEncoder clone = encoder.Clone();
+  const std::vector<TokenId> ctx = {3, 4};
+  EXPECT_EQ(encoder.EncodeContext(ctx), clone.EncodeContext(ctx));
+  // Mutating the clone must not affect the original.
+  clone.token_embeddings().At(3, 0) += 1.0f;
+  EXPECT_NE(encoder.EncodeContext(ctx), clone.EncodeContext(ctx));
+}
+
+TEST(SifWeightsTest, RareTokensWeighMore) {
+  Vocabulary vocab;
+  vocab.AddToken("the", 100000);
+  vocab.AddToken("rare", 3);
+  const std::vector<float> weights = ComputeSifTokenWeights(vocab);
+  EXPECT_LT(weights[0], weights[1]);
+  EXPECT_GT(weights[1], 0.9f);
+}
+
+// -------------------------------------------------------- MaskedContext.
+
+TEST(MaskedContextTest, DropsMentionSpan) {
+  Sentence sentence;
+  sentence.tokens = {10, 11, 12, 13, 14};
+  sentence.mention_begin = 1;
+  sentence.mention_len = 2;
+  EXPECT_EQ(MaskedContext(sentence, nullptr),
+            (std::vector<TokenId>{10, 13, 14}));
+}
+
+TEST(MaskedContextTest, PrependsPrefix) {
+  Sentence sentence;
+  sentence.tokens = {10, 11};
+  sentence.mention_begin = 0;
+  sentence.mention_len = 1;
+  const std::vector<TokenId> prefix = {1, 2};
+  EXPECT_EQ(MaskedContext(sentence, &prefix),
+            (std::vector<TokenId>{1, 2, 11}));
+}
+
+// ------------------------------------------------------------- Trainer.
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new GeneratedWorld(GenerateWorld(TinyWorldConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static GeneratedWorld* world_;
+};
+
+GeneratedWorld* TrainerTest::world_ = nullptr;
+
+TEST_F(TrainerTest, TrainingReducesLoss) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  encoder.SetTokenWeights(
+      ComputeSifTokenWeights(world_->corpus.tokens()));
+  EntityPredictionTrainConfig one_epoch;
+  one_epoch.epochs = 1;
+  const TrainStats first =
+      TrainEntityPrediction(world_->corpus, encoder, one_epoch);
+  EntityPredictionTrainConfig more;
+  more.epochs = 4;
+  more.seed = 77;
+  const TrainStats later =
+      TrainEntityPrediction(world_->corpus, encoder, more);
+  EXPECT_LT(later.final_loss, first.final_loss);
+  EXPECT_GT(later.steps, 0);
+}
+
+TEST_F(TrainerTest, TrainingIsDeterministic) {
+  auto train_once = [&]() {
+    ContextEncoder encoder(world_->corpus.tokens().size(),
+                           world_->corpus.entity_count(),
+                           TinyEncoderConfig());
+    EntityPredictionTrainConfig config;
+    config.epochs = 1;
+    TrainEntityPrediction(world_->corpus, encoder, config);
+    return encoder.EncodeContext(std::vector<TokenId>{1, 2, 3});
+  };
+  EXPECT_EQ(train_once(), train_once());
+}
+
+TEST_F(TrainerTest, StoreBuildsCenteredRepresentations) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  EntityPredictionTrainConfig config;
+  config.epochs = 1;
+  TrainEntityPrediction(world_->corpus, encoder, config);
+  const std::vector<EntityId> entities = world_->corpus.AllEntityIds();
+  EntityStoreConfig store_config;
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, entities, store_config);
+  // Centering: representations should roughly sum to zero.
+  Vec sum(store.dim(), 0.0f);
+  int built = 0;
+  for (EntityId id : entities) {
+    if (!store.Has(id)) continue;
+    AccumulateInPlace(sum, store.HiddenOf(id));
+    ++built;
+  }
+  ASSERT_GT(built, 0);
+  EXPECT_LT(Norm(sum) / static_cast<float>(built), 1e-4f);
+}
+
+TEST_F(TrainerTest, StoreSimilaritySelfIsOne) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  const std::vector<EntityId> entities = {0, 1, 2};
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, entities, {});
+  EXPECT_NEAR(store.Similarity(0, 0), 1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(store.Similarity(0, 999999), 0.0f);
+}
+
+TEST_F(TrainerTest, SparseDistributionsTruncated) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  const std::vector<EntityId> entities = {0, 1, 2, 3};
+  EntityStoreConfig config;
+  config.max_sentences_per_entity = 2;
+  const auto sparse = BuildSparseDistributions(world_->corpus, encoder,
+                                               entities, config, 5);
+  for (EntityId id : entities) {
+    const SparseVec& v = sparse[static_cast<size_t>(id)];
+    EXPECT_LE(v.entries.size(), 5u);
+    EXPECT_GT(v.norm, 0.0f);
+    // Entries sorted by index.
+    for (size_t i = 1; i < v.entries.size(); ++i) {
+      EXPECT_LT(v.entries[i - 1].first, v.entries[i].first);
+    }
+  }
+}
+
+TEST_F(TrainerTest, SparseCosineMatchesDenseOnIdenticalVectors) {
+  SparseVec a;
+  a.entries = {{0, 0.6f}, {2, 0.8f}};
+  a.norm = 1.0f;
+  EXPECT_NEAR(SparseCosine(a, a), 1.0f, 1e-6f);
+  SparseVec b;
+  b.entries = {{1, 1.0f}};
+  b.norm = 1.0f;
+  EXPECT_FLOAT_EQ(SparseCosine(a, b), 0.0f);
+}
+
+TEST_F(TrainerTest, ContrastiveTrainingRunsAndMovesParameters) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  EntityPredictionTrainConfig warmup;
+  warmup.epochs = 1;
+  TrainEntityPrediction(world_->corpus, encoder, warmup);
+  const Vec before = encoder.EncodeContext(std::vector<TokenId>{1, 2, 3});
+
+  ContrastiveData data;
+  ContrastiveGroup group;
+  const std::vector<EntityId> members =
+      world_->corpus.EntitiesOfClass(0);
+  ASSERT_GE(members.size(), 8u);
+  group.l_pos = {members[0], members[1], members[2]};
+  group.l_neg = {members[3], members[4], members[5]};
+  group.other_class = world_->corpus.EntitiesOfClass(1);
+  data.groups.push_back(group);
+
+  ContrastiveTrainConfig config;
+  config.epochs = 2;
+  const TrainStats stats =
+      TrainContrastive(world_->corpus, encoder, data, config);
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_NE(encoder.EncodeContext(std::vector<TokenId>{1, 2, 3}), before);
+}
+
+TEST_F(TrainerTest, ContrastiveWithoutNegativesIsNoop) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  ContrastiveData data;
+  data.groups.emplace_back();
+  ContrastiveTrainConfig config;
+  config.use_hard_negatives = false;
+  config.use_normal_negatives = false;
+  const TrainStats stats =
+      TrainContrastive(world_->corpus, encoder, data, config);
+  EXPECT_EQ(stats.steps, 0);
+}
+
+}  // namespace
+}  // namespace ultrawiki

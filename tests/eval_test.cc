@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "llm_oracle/oracle.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace ultrawiki {
+namespace {
+
+// -------------------------------------------------------------- Metrics.
+
+TEST(PrecisionTest, CountsHitsOverK) {
+  const std::vector<EntityId> ranking = {1, 2, 3, 4};
+  const TargetSet targets = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, targets, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, targets, 4), 0.5);
+}
+
+TEST(PrecisionTest, ShortRankingPenalized) {
+  const std::vector<EntityId> ranking = {1};
+  const TargetSet targets = {1};
+  // Denominator is k, not the ranking length.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, targets, 10), 0.1);
+}
+
+TEST(PrecisionTest, EmptyTargets) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, {}, 2), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  const std::vector<EntityId> ranking = {5, 6, 7};
+  const TargetSet targets = {5, 6, 7};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranking, targets, 3), 1.0);
+}
+
+TEST(AveragePrecisionTest, HandComputedCase) {
+  // Relevant at positions 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  const std::vector<EntityId> ranking = {10, 11, 12};
+  const TargetSet targets = {10, 12};
+  EXPECT_NEAR(AveragePrecisionAtK(ranking, targets, 3), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NormalizesByMinKTargets) {
+  // Only 1 of 5 targets can appear in the top-2 window; normalization by
+  // min(K, |targets|) = 2.
+  const std::vector<EntityId> ranking = {1, 99};
+  const TargetSet targets = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(AveragePrecisionAtK(ranking, targets, 2), 0.5, 1e-12);
+}
+
+TEST(AveragePrecisionTest, RankAwareness) {
+  const TargetSet targets = {1};
+  EXPECT_GT(AveragePrecisionAtK({1, 2, 3}, targets, 3),
+            AveragePrecisionAtK({2, 3, 1}, targets, 3));
+}
+
+TEST(AveragePrecisionTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({}, {1}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK({1}, {}, 5), 0.0);
+}
+
+TEST(AveragePrecisionTest, HallucinationsNeverMatch) {
+  const std::vector<EntityId> ranking = {kHallucinatedEntityId, 1};
+  const TargetSet targets = {1};
+  EXPECT_NEAR(AveragePrecisionAtK(ranking, targets, 2), 0.5, 1e-12);
+}
+
+TEST(CombineMetricTest, Formula) {
+  EXPECT_DOUBLE_EQ(CombineMetric(60.0, 20.0), 70.0);
+  EXPECT_DOUBLE_EQ(CombineMetric(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(CombineMetric(100.0, 0.0), 100.0);
+}
+
+// ------------------------------------------------------------ Evaluator.
+
+/// Mock expander returning a fixed ranking list per query class.
+class FixedExpander : public Expander {
+ public:
+  explicit FixedExpander(std::vector<EntityId> ranking)
+      : ranking_(std::move(ranking)) {}
+  std::vector<EntityId> Expand(const Query&, size_t k) override {
+    std::vector<EntityId> out = ranking_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::vector<EntityId> ranking_;
+};
+
+UltraWikiDataset MakeToyDataset() {
+  UltraWikiDataset dataset;
+  UltraClass ultra;
+  ultra.fine_class = 0;
+  ultra.positive_targets = {10, 11, 12};
+  ultra.negative_targets = {20, 21};
+  dataset.classes.push_back(ultra);
+  Query query;
+  query.ultra_class = 0;
+  query.pos_seeds = {10};
+  query.neg_seeds = {20};
+  dataset.queries.push_back(query);
+  dataset.candidates = {10, 11, 12, 20, 21, 30, 31};
+  return dataset;
+}
+
+TEST(EvaluatorTest, SeedExclusionFromTargets) {
+  const UltraWikiDataset dataset = MakeToyDataset();
+  // Ranking contains the remaining positives first, then a negative.
+  FixedExpander expander({11, 12, 21, 30});
+  EvalConfig config;
+  config.ks = {2, 4};
+  const EvalResult result = EvaluateExpander(expander, dataset, config);
+  EXPECT_EQ(result.query_count, 1);
+  // Pos targets after seed exclusion: {11, 12} -> perfect P@2.
+  EXPECT_DOUBLE_EQ(result.pos_p.at(2), 100.0);
+  EXPECT_DOUBLE_EQ(result.pos_map.at(2), 100.0);
+  // Neg targets after seed exclusion: {21} at rank 3.
+  EXPECT_DOUBLE_EQ(result.neg_p.at(2), 0.0);
+  EXPECT_DOUBLE_EQ(result.neg_p.at(4), 25.0);
+}
+
+TEST(EvaluatorTest, CombValues) {
+  const UltraWikiDataset dataset = MakeToyDataset();
+  FixedExpander expander({11, 21});
+  EvalConfig config;
+  config.ks = {2};
+  const EvalResult result = EvaluateExpander(expander, dataset, config);
+  EXPECT_DOUBLE_EQ(result.CombP(2),
+                   (result.pos_p.at(2) + 100.0 - result.neg_p.at(2)) / 2.0);
+}
+
+TEST(EvaluatorTest, QueryFilterSkipsQueries) {
+  UltraWikiDataset dataset = MakeToyDataset();
+  dataset.queries.push_back(dataset.queries[0]);
+  FixedExpander expander({11});
+  EvalConfig config;
+  config.ks = {2};
+  int calls = 0;
+  config.query_filter = [&calls](const Query&, const UltraClass&) {
+    return ++calls == 1;  // keep only the first query
+  };
+  const EvalResult result = EvaluateExpander(expander, dataset, config);
+  EXPECT_EQ(result.query_count, 1);
+}
+
+TEST(EvaluatorTest, AveragesAcrossQueries) {
+  UltraWikiDataset dataset = MakeToyDataset();
+  // Add a second ultra class whose targets the fixed ranking misses.
+  UltraClass miss;
+  miss.fine_class = 0;
+  miss.positive_targets = {40, 41, 42, 43};
+  miss.negative_targets = {50, 51};
+  dataset.classes.push_back(miss);
+  Query query;
+  query.ultra_class = 1;
+  query.pos_seeds = {40};
+  query.neg_seeds = {50};
+  dataset.queries.push_back(query);
+
+  FixedExpander expander({11, 12});
+  EvalConfig config;
+  config.ks = {2};
+  const EvalResult result = EvaluateExpander(expander, dataset, config);
+  EXPECT_EQ(result.query_count, 2);
+  // First query scores 100, second 0 -> mean 50.
+  EXPECT_DOUBLE_EQ(result.pos_p.at(2), 50.0);
+}
+
+TEST(EvalResultTest, RowAverages) {
+  EvalResult result;
+  result.pos_map = {{10, 40.0}, {20, 60.0}};
+  result.pos_p = {{10, 20.0}, {20, 40.0}};
+  result.neg_map = {{10, 10.0}, {20, 10.0}};
+  result.neg_p = {{10, 20.0}, {20, 20.0}};
+  EXPECT_DOUBLE_EQ(result.AvgPosMap(), 50.0);
+  EXPECT_DOUBLE_EQ(result.AvgPos(), 40.0);
+  EXPECT_DOUBLE_EQ(result.AvgNeg(), 15.0);
+  EXPECT_DOUBLE_EQ(result.AvgComb(), (40.0 + 100.0 - 15.0) / 2.0);
+}
+
+// --------------------------------------------------------------- Report.
+
+TEST(ReportTest, ResultTableHasThreeRowsPerMethod) {
+  TablePrinter table = MakeResultTable("t", /*map_only=*/true);
+  EvalResult result;
+  for (int k : {10, 20, 50, 100}) {
+    result.pos_map[k] = 50.0;
+    result.neg_map[k] = 10.0;
+    result.pos_p[k] = 50.0;
+    result.neg_p[k] = 10.0;
+  }
+  AddResultRows(table, "m", result, /*map_only=*/true);
+  // Three metric rows plus the trailing separator row.
+  EXPECT_EQ(table.row_count(), 4u);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Pos"), std::string::npos);
+  EXPECT_NE(out.find("70.00"), std::string::npos);  // Comb value
+}
+
+TEST(ReportTest, FullTableIncludesPColumns) {
+  TablePrinter table = MakeResultTable("t", /*map_only=*/false);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("P@100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "expand/contrastive_miner.h"
+#include "expand/pipeline.h"
+#include "expand/rerank.h"
+#include "expand/retrieval_augmentation.h"
+
+namespace ultrawiki {
+namespace {
+
+// ------------------------------------------------------ SegmentedRerank.
+
+TEST(RerankTest, OutputIsPermutation) {
+  const std::vector<EntityId> initial = {5, 3, 9, 1, 7};
+  const auto out = SegmentedRerank(
+      initial, [](EntityId id) { return static_cast<double>(id); }, 2);
+  std::vector<EntityId> sorted_in = initial;
+  std::vector<EntityId> sorted_out = out;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+}
+
+TEST(RerankTest, SortsWithinSegmentsAscending) {
+  const std::vector<EntityId> initial = {4, 1, 9, 2};
+  const auto out = SegmentedRerank(
+      initial, [](EntityId id) { return static_cast<double>(id); }, 2);
+  // Segments [4,1] and [9,2] each sorted ascending by score.
+  EXPECT_EQ(out, (std::vector<EntityId>{1, 4, 2, 9}));
+}
+
+TEST(RerankTest, SegmentBoundariesAreRespected) {
+  // A very negative-scoring entity in the last segment must not jump to
+  // the global front.
+  const std::vector<EntityId> initial = {10, 11, 12, 13};
+  const auto out = SegmentedRerank(
+      initial,
+      [](EntityId id) { return id == 13 ? -100.0 : 0.0; }, 2);
+  EXPECT_EQ(out[0], 10);  // first segment untouched order (stable ties)
+  EXPECT_EQ(out[2], 13);  // 13 moves to front of its own segment only
+}
+
+TEST(RerankTest, SegmentLargerThanListIsGlobalSort) {
+  const std::vector<EntityId> initial = {3, 1, 2};
+  const auto out = SegmentedRerank(
+      initial, [](EntityId id) { return static_cast<double>(id); }, 100);
+  EXPECT_EQ(out, (std::vector<EntityId>{1, 2, 3}));
+}
+
+TEST(RerankTest, StableOnTies) {
+  const std::vector<EntityId> initial = {7, 5, 6};
+  const auto out =
+      SegmentedRerank(initial, [](EntityId) { return 1.0; }, 3);
+  EXPECT_EQ(out, initial);
+}
+
+TEST(RerankTest, EmptyInput) {
+  EXPECT_TRUE(
+      SegmentedRerank({}, [](EntityId) { return 0.0; }, 5).empty());
+}
+
+TEST(RerankTest, PositionalVariantHandlesDuplicates) {
+  const std::vector<EntityId> initial = {-2, 4, -2, 3};
+  const std::vector<double> scores = {0.9, 0.1, 0.5, 0.2};
+  const auto out = SegmentedRerankByPosition(initial, scores, 4);
+  EXPECT_EQ(out, (std::vector<EntityId>{4, 3, -2, -2}));
+}
+
+// ------------------------------------------------- Tiny pipeline fixture.
+
+class ExpandTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new Pipeline(Pipeline::Build(PipelineConfig::Tiny()));
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static Pipeline* pipeline_;
+};
+
+Pipeline* ExpandTest::pipeline_ = nullptr;
+
+TEST_F(ExpandTest, RetExpanExcludesSeedsAndBoundsK) {
+  auto method = pipeline_->MakeRetExpan();
+  for (size_t q = 0; q < 5 && q < pipeline_->dataset().queries.size();
+       ++q) {
+    const Query& query = pipeline_->dataset().queries[q];
+    const auto ranking = method->Expand(query, 30);
+    EXPECT_LE(ranking.size(), 30u);
+    const std::vector<EntityId> seeds = SortedSeedsOf(query);
+    for (EntityId id : ranking) {
+      EXPECT_FALSE(std::binary_search(seeds.begin(), seeds.end(), id));
+    }
+  }
+}
+
+TEST_F(ExpandTest, RetExpanRankingIsDeterministic) {
+  auto method = pipeline_->MakeRetExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  EXPECT_EQ(method->Expand(query, 50), method->Expand(query, 50));
+}
+
+TEST_F(ExpandTest, RetExpanRerankChangesOrderNotSet) {
+  RetExpanConfig with;
+  RetExpanConfig without;
+  without.use_negative_rerank = false;
+  auto a = pipeline_->MakeRetExpan(with);
+  auto b = pipeline_->MakeRetExpan(without);
+  const Query& query = pipeline_->dataset().queries.front();
+  auto ra = a->Expand(query, 40);
+  auto rb = b->Expand(query, 40);
+  std::sort(ra.begin(), ra.end());
+  std::sort(rb.begin(), rb.end());
+  EXPECT_EQ(ra, rb) << "re-ranking must permute, not change membership";
+}
+
+TEST_F(ExpandTest, InitialExpansionRespectsSize) {
+  auto method = pipeline_->MakeRetExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  EXPECT_EQ(method->InitialExpansion(query, 25).size(), 25u);
+}
+
+TEST_F(ExpandTest, GenExpanProducesCandidatesOnly) {
+  auto method = pipeline_->MakeGenExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  const auto ranking = method->Expand(query, 30);
+  EXPECT_FALSE(ranking.empty());
+  std::set<EntityId> candidates(pipeline_->candidates().begin(),
+                                pipeline_->candidates().end());
+  for (EntityId id : ranking) {
+    EXPECT_TRUE(candidates.contains(id))
+        << "prefix constraint must keep generations in the vocabulary";
+  }
+}
+
+TEST_F(ExpandTest, GenExpanNoDuplicates) {
+  auto method = pipeline_->MakeGenExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  const auto ranking = method->Expand(query, 40);
+  std::set<EntityId> unique(ranking.begin(), ranking.end());
+  EXPECT_EQ(unique.size(), ranking.size());
+}
+
+TEST_F(ExpandTest, GenExpanUnconstrainedEmitsHallucinations) {
+  GenExpanConfig config;
+  config.use_prefix_constraint = false;
+  config.unconstrained_invalid_rate = 0.6;
+  auto method = pipeline_->MakeGenExpan(config);
+  int hallucinated = 0;
+  for (size_t q = 0; q < 5 && q < pipeline_->dataset().queries.size();
+       ++q) {
+    for (EntityId id :
+         method->Expand(pipeline_->dataset().queries[q], 40)) {
+      if (id == kHallucinatedEntityId) ++hallucinated;
+    }
+  }
+  EXPECT_GT(hallucinated, 0);
+}
+
+TEST_F(ExpandTest, GenExpanDeterministic) {
+  auto method = pipeline_->MakeGenExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  EXPECT_EQ(method->Expand(query, 30), method->Expand(query, 30));
+}
+
+TEST_F(ExpandTest, RaPrefixesCoverSources) {
+  for (RaSource source :
+       {RaSource::kIntroduction, RaSource::kWikidataAttributes,
+        RaSource::kGroundTruthAttributes}) {
+    const auto prefixes = BuildEntityPrefixes(pipeline_->world(), source);
+    ASSERT_EQ(prefixes.size(), pipeline_->world().corpus.entity_count());
+    int non_empty = 0;
+    for (const auto& prefix : prefixes) {
+      if (!prefix.empty()) ++non_empty;
+    }
+    EXPECT_GT(non_empty, 0) << RaSourceName(source);
+  }
+  const auto none = BuildEntityPrefixes(pipeline_->world(), RaSource::kNone);
+  for (const auto& prefix : none) EXPECT_TRUE(prefix.empty());
+}
+
+TEST_F(ExpandTest, RaIntroPrefixMasksOwnMention) {
+  const auto prefixes =
+      BuildEntityPrefixes(pipeline_->world(), RaSource::kIntroduction);
+  const Corpus& corpus = pipeline_->world().corpus;
+  for (EntityId id = 0; id < 20; ++id) {
+    const Entity& entity = corpus.entity(id);
+    for (TokenId token : prefixes[static_cast<size_t>(id)]) {
+      for (const std::string& word : entity.name_tokens) {
+        EXPECT_NE(corpus.tokens().TokenOf(token), word);
+      }
+    }
+  }
+}
+
+TEST_F(ExpandTest, MinerProducesGroupsPerQuery) {
+  RetExpan base(&pipeline_->store(), &pipeline_->candidates());
+  MinerConfig config;
+  const ContrastiveData data =
+      MineContrastiveData(pipeline_->world(), pipeline_->dataset(), base,
+                          pipeline_->oracle(), config);
+  ASSERT_EQ(data.groups.size(), pipeline_->dataset().queries.size());
+  for (size_t g = 0; g < data.groups.size(); ++g) {
+    const ContrastiveGroup& group = data.groups[g];
+    // Seeds are merged in, so l_pos/l_neg are never empty.
+    EXPECT_FALSE(group.l_pos.empty());
+    EXPECT_FALSE(group.l_neg.empty());
+    EXPECT_FALSE(group.conditioning.empty());
+    // No entity appears on both sides.
+    std::set<EntityId> neg(group.l_neg.begin(), group.l_neg.end());
+    for (EntityId id : group.l_pos) {
+      EXPECT_FALSE(neg.contains(id));
+    }
+  }
+}
+
+TEST_F(ExpandTest, MinerOtherClassEntitiesAreOtherClass) {
+  RetExpan base(&pipeline_->store(), &pipeline_->candidates());
+  const ContrastiveData data =
+      MineContrastiveData(pipeline_->world(), pipeline_->dataset(), base,
+                          pipeline_->oracle(), MinerConfig{});
+  for (size_t g = 0; g < data.groups.size(); ++g) {
+    const ClassId query_class =
+        pipeline_->dataset().ClassOf(pipeline_->dataset().queries[g])
+            .fine_class;
+    for (EntityId id : data.groups[g].other_class) {
+      EXPECT_NE(pipeline_->world().corpus.entity(id).class_id, query_class);
+    }
+  }
+}
+
+TEST_F(ExpandTest, InteractionExpandersRun) {
+  for (InteractionOrder order :
+       {InteractionOrder::kRetThenGen, InteractionOrder::kGenThenRet}) {
+    InteractionConfig config;
+    config.recall_size = 120;
+    auto method = pipeline_->MakeInteraction(order, config);
+    const Query& query = pipeline_->dataset().queries.front();
+    const auto ranking = method->Expand(query, 20);
+    EXPECT_FALSE(ranking.empty());
+    EXPECT_LE(ranking.size(), 20u);
+    const std::vector<EntityId> seeds = SortedSeedsOf(query);
+    for (EntityId id : ranking) {
+      if (id == kHallucinatedEntityId) continue;
+      EXPECT_FALSE(std::binary_search(seeds.begin(), seeds.end(), id));
+    }
+  }
+}
+
+TEST_F(ExpandTest, ContrastStoreDiffersFromBase) {
+  const EntityStore& base = pipeline_->store();
+  const EntityStore& tuned = pipeline_->contrast_store();
+  const EntityId probe = pipeline_->candidates().front();
+  EXPECT_NE(base.HiddenOf(probe), tuned.HiddenOf(probe));
+}
+
+TEST_F(ExpandTest, CotPrefixedGenExpanDiffersFromBase) {
+  auto base = pipeline_->MakeGenExpan();
+  GenExpanConfig config;
+  config.cot = CotMode::kGenClassNameGtPos;
+  auto cot = pipeline_->MakeGenExpan(config);
+  const Query& query = pipeline_->dataset().queries.front();
+  // Different prompts should (almost always) change the ranking.
+  EXPECT_NE(base->Expand(query, 40), cot->Expand(query, 40));
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "index/bm25.h"
+#include "index/inverted_index.h"
+
+namespace ultrawiki {
+namespace {
+
+// -------------------------------------------------------- InvertedIndex.
+
+TEST(InvertedIndexTest, DenseDocIds) {
+  InvertedIndex index;
+  EXPECT_EQ(index.AddDocument({1, 2, 3}), 0);
+  EXPECT_EQ(index.AddDocument({2, 2}), 1);
+  EXPECT_EQ(index.document_count(), 2u);
+}
+
+TEST(InvertedIndexTest, DocumentLengths) {
+  InvertedIndex index;
+  index.AddDocument({1, 2, 3});
+  index.AddDocument({4});
+  EXPECT_EQ(index.DocumentLength(0), 3);
+  EXPECT_EQ(index.DocumentLength(1), 1);
+  EXPECT_DOUBLE_EQ(index.AverageDocumentLength(), 2.0);
+}
+
+TEST(InvertedIndexTest, EmptyIndexAverageLength) {
+  InvertedIndex index;
+  EXPECT_DOUBLE_EQ(index.AverageDocumentLength(), 0.0);
+}
+
+TEST(InvertedIndexTest, TermFrequenciesAggregated) {
+  InvertedIndex index;
+  index.AddDocument({5, 5, 5, 7});
+  const auto& postings = index.PostingsOf(5);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].term_frequency, 3);
+}
+
+TEST(InvertedIndexTest, DocumentFrequency) {
+  InvertedIndex index;
+  index.AddDocument({1, 2});
+  index.AddDocument({1, 3});
+  index.AddDocument({4});
+  EXPECT_EQ(index.DocumentFrequency(1), 2);
+  EXPECT_EQ(index.DocumentFrequency(4), 1);
+  EXPECT_EQ(index.DocumentFrequency(99), 0);
+  EXPECT_TRUE(index.PostingsOf(99).empty());
+}
+
+// ----------------------------------------------------------------- BM25.
+
+TEST(Bm25Test, IdfDecreasesWithDocumentFrequency) {
+  InvertedIndex index;
+  index.AddDocument({1, 2});
+  index.AddDocument({1, 3});
+  index.AddDocument({1, 4});
+  index.AddDocument({5});
+  Bm25Scorer scorer(&index);
+  EXPECT_GT(scorer.Idf(5), scorer.Idf(1));
+  EXPECT_GT(scorer.Idf(99), scorer.Idf(5));  // unseen term: max idf
+}
+
+TEST(Bm25Test, ExactMatchOutranksPartial) {
+  InvertedIndex index;
+  index.AddDocument({1, 2, 3});  // full match for query {1,2,3}
+  index.AddDocument({1, 9, 9});  // partial
+  index.AddDocument({8, 9, 7});  // none
+  Bm25Scorer scorer(&index);
+  const std::vector<float> scores = scorer.ScoreAll({1, 2, 3});
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_FLOAT_EQ(scores[2], 0.0f);
+}
+
+TEST(Bm25Test, SearchReturnsSortedTopK) {
+  InvertedIndex index;
+  index.AddDocument({1});
+  index.AddDocument({1, 1, 1});
+  index.AddDocument({2});
+  Bm25Scorer scorer(&index);
+  const auto hits = scorer.Search({1}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_GE(hits[0].score, hits[1].score);
+}
+
+TEST(Bm25Test, TermFrequencySaturates) {
+  // BM25's k1 saturation: tripling tf should not triple the score.
+  InvertedIndex index;
+  index.AddDocument({1, 9, 9, 9, 9, 9});
+  index.AddDocument({1, 1, 1, 9, 9, 9});
+  index.AddDocument({7});
+  Bm25Scorer scorer(&index);
+  const std::vector<float> scores = scorer.ScoreAll({1});
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_LT(scores[1], 3.0f * scores[0]);
+}
+
+TEST(Bm25Test, LengthNormalizationPenalizesLongDocs) {
+  InvertedIndex index;
+  index.AddDocument({1, 2});
+  index.AddDocument({1, 2, 9, 9, 9, 9, 9, 9, 9, 9});
+  Bm25Scorer scorer(&index);
+  const std::vector<float> scores = scorer.ScoreAll({1});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(Bm25Test, EmptyQueryScoresZero) {
+  InvertedIndex index;
+  index.AddDocument({1, 2});
+  Bm25Scorer scorer(&index);
+  for (float s : scorer.ScoreAll({})) {
+    EXPECT_FLOAT_EQ(s, 0.0f);
+  }
+}
+
+TEST(Bm25Test, DuplicateQueryTermsScaleContribution) {
+  InvertedIndex index;
+  index.AddDocument({1, 3});
+  index.AddDocument({2, 3});
+  Bm25Scorer scorer(&index);
+  const std::vector<float> once = scorer.ScoreAll({1});
+  const std::vector<float> twice = scorer.ScoreAll({1, 1});
+  EXPECT_NEAR(twice[0], 2.0f * once[0], 1e-5f);
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eval/evaluator.h"
+#include "expand/interaction.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace {
+
+class InteractionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config = PipelineConfig::Tiny();
+    config.generator.scale = 0.14;
+    pipeline_ = new Pipeline(Pipeline::Build(config));
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static Pipeline* pipeline_;
+};
+
+Pipeline* InteractionTest::pipeline_ = nullptr;
+
+TEST_F(InteractionTest, NamesIdentifyOrder) {
+  auto rg = pipeline_->MakeInteraction(InteractionOrder::kRetThenGen);
+  auto gr = pipeline_->MakeInteraction(InteractionOrder::kGenThenRet);
+  EXPECT_EQ(rg->name(), "RetExpan+GenExpan");
+  EXPECT_EQ(gr->name(), "GenExpan+RetExpan");
+}
+
+TEST_F(InteractionTest, StageBRestrictedToStageARecall) {
+  // Every non-hallucinated result of Ret->Gen must come from RetExpan's
+  // recall subset of the configured size.
+  InteractionConfig config;
+  config.recall_size = 60;
+  auto method = pipeline_->MakeInteraction(InteractionOrder::kRetThenGen,
+                                           config);
+  RetExpan recall(&pipeline_->store(), &pipeline_->candidates());
+  for (size_t q = 0; q < 3; ++q) {
+    const Query& query = pipeline_->dataset().queries[q];
+    const std::vector<EntityId> subset =
+        recall.InitialExpansion(query, 60);
+    const std::set<EntityId> allowed(subset.begin(), subset.end());
+    for (EntityId id : method->Expand(query, 30)) {
+      if (id == kHallucinatedEntityId) continue;
+      EXPECT_TRUE(allowed.contains(id));
+    }
+  }
+}
+
+TEST_F(InteractionTest, DeterministicAcrossCalls) {
+  for (InteractionOrder order :
+       {InteractionOrder::kRetThenGen, InteractionOrder::kGenThenRet}) {
+    auto method = pipeline_->MakeInteraction(order);
+    const Query& query = pipeline_->dataset().queries.front();
+    EXPECT_EQ(method->Expand(query, 25), method->Expand(query, 25));
+  }
+}
+
+TEST_F(InteractionTest, FusionKeepsSeedExclusion) {
+  for (InteractionOrder order :
+       {InteractionOrder::kRetThenGen, InteractionOrder::kGenThenRet}) {
+    auto method = pipeline_->MakeInteraction(order);
+    for (size_t q = 0; q < 4; ++q) {
+      const Query& query = pipeline_->dataset().queries[q];
+      const std::vector<EntityId> seeds = SortedSeedsOf(query);
+      for (EntityId id : method->Expand(query, 40)) {
+        if (id == kHallucinatedEntityId) continue;
+        EXPECT_FALSE(std::binary_search(seeds.begin(), seeds.end(), id));
+      }
+    }
+  }
+}
+
+TEST_F(InteractionTest, SmallRecallStillProducesResults) {
+  InteractionConfig config;
+  config.recall_size = 15;
+  for (InteractionOrder order :
+       {InteractionOrder::kRetThenGen, InteractionOrder::kGenThenRet}) {
+    auto method = pipeline_->MakeInteraction(order, config);
+    const Query& query = pipeline_->dataset().queries.front();
+    EXPECT_FALSE(method->Expand(query, 10).empty());
+  }
+}
+
+TEST_F(InteractionTest, InteractionNotWorseThanWeakerMember) {
+  // The ensemble should land at or above the weaker of its two members
+  // (the paper's Table 10 finding, checked loosely at the tiny scale).
+  auto retexpan = pipeline_->MakeRetExpan();
+  auto genexpan = pipeline_->MakeGenExpan();
+  auto gen_ret = pipeline_->MakeInteraction(InteractionOrder::kGenThenRet);
+  const double ret =
+      EvaluateExpander(*retexpan, pipeline_->dataset()).AvgCombMap();
+  const double gen =
+      EvaluateExpander(*genexpan, pipeline_->dataset()).AvgCombMap();
+  const double both =
+      EvaluateExpander(*gen_ret, pipeline_->dataset()).AvgCombMap();
+  EXPECT_GT(both, std::min(ret, gen) - 1.0);
+}
+
+}  // namespace
+}  // namespace ultrawiki

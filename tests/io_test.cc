@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "dataset/dataset.h"
+#include "io/corpus_io.h"
+#include "io/dataset_io.h"
+#include "io/model_io.h"
+#include "embedding/trainer.h"
+
+namespace ultrawiki {
+namespace {
+
+GeneratorConfig TinyConfig() {
+  GeneratorConfig config;
+  config.seed = 77;
+  config.scale = 0.05;
+  config.min_entities_per_class = 20;
+  config.background_entity_count = 30;
+  config.sentences_per_entity = 6;
+  config.list_sentences_per_value = 2;
+  config.similarity_sentences_per_entity = 1.0;
+  return config;
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new GeneratedWorld(GenerateWorld(TinyConfig()));
+    DatasetConfig config;
+    config.ultra_class_scale = 0.1;
+    auto built = BuildDataset(*world_, config);
+    ASSERT_TRUE(built.ok());
+    dataset_ = new UltraWikiDataset(std::move(built).value());
+    dir_ = std::filesystem::temp_directory_path() / "ultrawiki_io_test";
+    std::filesystem::remove_all(dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(dir_);
+    delete dataset_;
+    delete world_;
+    dataset_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static GeneratedWorld* world_;
+  static UltraWikiDataset* dataset_;
+  static std::filesystem::path dir_;
+};
+
+GeneratedWorld* IoTest::world_ = nullptr;
+UltraWikiDataset* IoTest::dataset_ = nullptr;
+std::filesystem::path IoTest::dir_;
+
+TEST_F(IoTest, WorldRoundTrip) {
+  ASSERT_TRUE(SaveWorld(*world_, dir_.string()).ok());
+  auto loaded = LoadWorld(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const GeneratedWorld& world = *loaded;
+
+  // Schema survives.
+  ASSERT_EQ(world.schema.size(), world_->schema.size());
+  for (size_t c = 0; c < world.schema.size(); ++c) {
+    EXPECT_EQ(world.schema[c].name, world_->schema[c].name);
+    ASSERT_EQ(world.schema[c].attributes.size(),
+              world_->schema[c].attributes.size());
+    for (size_t a = 0; a < world.schema[c].attributes.size(); ++a) {
+      EXPECT_EQ(world.schema[c].attributes[a].values,
+                world_->schema[c].attributes[a].values);
+      EXPECT_EQ(world.schema[c].attributes[a].clue_tokens,
+                world_->schema[c].attributes[a].clue_tokens);
+      EXPECT_EQ(world.schema[c].attributes[a].clue_variants,
+                world_->schema[c].attributes[a].clue_variants);
+    }
+  }
+
+  // Entities survive.
+  ASSERT_EQ(world.corpus.entity_count(), world_->corpus.entity_count());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
+    EXPECT_EQ(world.corpus.entity(id).name, world_->corpus.entity(id).name);
+    EXPECT_EQ(world.corpus.entity(id).class_id,
+              world_->corpus.entity(id).class_id);
+    EXPECT_EQ(world.corpus.entity(id).attribute_values,
+              world_->corpus.entity(id).attribute_values);
+    EXPECT_EQ(world.corpus.entity(id).is_long_tail,
+              world_->corpus.entity(id).is_long_tail);
+  }
+  EXPECT_EQ(world.background_entities, world_->background_entities);
+
+  // Sentences survive (surface forms, spans, ownership).
+  ASSERT_EQ(world.corpus.sentence_count(), world_->corpus.sentence_count());
+  for (size_t s = 0; s < world.corpus.sentence_count(); s += 7) {
+    const Sentence& got = world.corpus.sentence(s);
+    const Sentence& want = world_->corpus.sentence(s);
+    EXPECT_EQ(got.entity, want.entity);
+    EXPECT_EQ(got.mention_begin, want.mention_begin);
+    EXPECT_EQ(got.mention_len, want.mention_len);
+    EXPECT_EQ(world.corpus.Render(got.tokens),
+              world_->corpus.Render(want.tokens));
+  }
+  EXPECT_EQ(world.corpus.auxiliary_sentences().size(),
+            world_->corpus.auxiliary_sentences().size());
+
+  // Knowledge base survives.
+  EXPECT_EQ(world.kb.size(), world_->kb.size());
+  EXPECT_EQ(world.corpus.Render(world.kb.IntroductionOf(3)),
+            world_->corpus.Render(world_->kb.IntroductionOf(3)));
+
+  // Per-value index rebuilt consistently.
+  ASSERT_EQ(world.entities_by_value.size(),
+            world_->entities_by_value.size());
+  EXPECT_EQ(world.entities_by_value[0][0],
+            world_->entities_by_value[0][0]);
+}
+
+TEST_F(IoTest, DatasetRoundTrip) {
+  ASSERT_TRUE(SaveWorld(*world_, dir_.string()).ok());
+  ASSERT_TRUE(SaveDataset(*dataset_, dir_.string()).ok());
+  auto loaded = LoadDataset(*world_, dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const UltraWikiDataset& dataset = *loaded;
+  ASSERT_EQ(dataset.classes.size(), dataset_->classes.size());
+  for (size_t i = 0; i < dataset.classes.size(); ++i) {
+    EXPECT_EQ(dataset.classes[i].fine_class,
+              dataset_->classes[i].fine_class);
+    EXPECT_EQ(dataset.classes[i].pos_attrs, dataset_->classes[i].pos_attrs);
+    EXPECT_EQ(dataset.classes[i].neg_values,
+              dataset_->classes[i].neg_values);
+    EXPECT_EQ(dataset.classes[i].positive_targets,
+              dataset_->classes[i].positive_targets);
+    EXPECT_EQ(dataset.classes[i].negative_targets,
+              dataset_->classes[i].negative_targets);
+    EXPECT_EQ(dataset.classes[i].attrs_identical,
+              dataset_->classes[i].attrs_identical);
+  }
+  ASSERT_EQ(dataset.queries.size(), dataset_->queries.size());
+  for (size_t i = 0; i < dataset.queries.size(); ++i) {
+    EXPECT_EQ(dataset.queries[i].ultra_class,
+              dataset_->queries[i].ultra_class);
+    EXPECT_EQ(dataset.queries[i].pos_seeds, dataset_->queries[i].pos_seeds);
+    EXPECT_EQ(dataset.queries[i].neg_seeds, dataset_->queries[i].neg_seeds);
+  }
+  EXPECT_EQ(dataset.candidates, dataset_->candidates);
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  auto loaded = LoadWorld("/nonexistent/ultrawiki");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, LoadRejectsCorruptEntityFile) {
+  const auto corrupt_dir =
+      std::filesystem::temp_directory_path() / "ultrawiki_io_corrupt";
+  std::filesystem::remove_all(corrupt_dir);
+  ASSERT_TRUE(SaveWorld(*world_, corrupt_dir.string()).ok());
+  // Truncate the entity file to a malformed line.
+  {
+    std::ofstream out(corrupt_dir / "entities.tsv", std::ios::trunc);
+    out << "0\tbroken line without enough fields\n";
+  }
+  auto loaded = LoadWorld(corrupt_dir.string());
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove_all(corrupt_dir);
+}
+
+TEST_F(IoTest, EncoderRoundTrip) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), EncoderConfig{});
+  encoder.SetTokenWeights(ComputeSifTokenWeights(world_->corpus.tokens()));
+  EntityPredictionTrainConfig train;
+  train.epochs = 1;
+  TrainEntityPrediction(world_->corpus, encoder, train);
+
+  const auto path = dir_ / "encoder.bin";
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(SaveEncoder(encoder, path.string()).ok());
+  auto loaded = LoadEncoder(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Identical behaviour on arbitrary contexts and heads.
+  const std::vector<TokenId> context = {1, 5, 9, 2};
+  EXPECT_EQ(encoder.EncodeContext(context), loaded->EncodeContext(context));
+  const Vec hidden = encoder.EncodeContext(context);
+  EXPECT_EQ(encoder.EntityDistribution(hidden),
+            loaded->EntityDistribution(hidden));
+  EXPECT_EQ(encoder.Project(hidden), loaded->Project(hidden));
+  EXPECT_FLOAT_EQ(encoder.TokenWeight(3), loaded->TokenWeight(3));
+  EXPECT_EQ(loaded->config().token_dim, encoder.config().token_dim);
+}
+
+TEST_F(IoTest, LoadEncoderRejectsGarbage) {
+  const auto path = dir_ / "garbage.bin";
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an encoder";
+  }
+  auto loaded = LoadEncoder(path.string());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(IoTest, LoadEncoderMissingFile) {
+  auto loaded = LoadEncoder("/nonexistent/enc.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lm/association.h"
+#include "lm/beam_search.h"
+#include "lm/hybrid_lm.h"
+#include "lm/ngram_lm.h"
+#include "lm/prefix_trie.h"
+
+namespace ultrawiki {
+namespace {
+
+// -------------------------------------------------------------- NgramLm.
+
+TEST(NgramLmTest, UnigramFloorSumsToOne) {
+  NgramLm lm(4);
+  lm.AddSentence(std::vector<TokenId>{0, 1, 2, 3});
+  double sum = 0.0;
+  for (TokenId t = 0; t < 4; ++t) {
+    sum += lm.Probability({}, t);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NgramLmTest, ConditionalDistributionSumsToOne) {
+  NgramLm lm(5);
+  lm.AddSentence(std::vector<TokenId>{0, 1, 2});
+  lm.AddSentence(std::vector<TokenId>{0, 1, 3});
+  lm.AddSentence(std::vector<TokenId>{0, 4, 2});
+  const std::vector<TokenId> context = {0, 1};
+  double sum = 0.0;
+  for (TokenId t = 0; t < 5; ++t) sum += lm.Probability(context, t);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(NgramLmTest, SeenContinuationOutweighsUnseen) {
+  NgramLm lm(6);
+  for (int i = 0; i < 10; ++i) {
+    lm.AddSentence(std::vector<TokenId>{0, 1, 2});
+  }
+  const std::vector<TokenId> context = {0, 1};
+  EXPECT_GT(lm.Probability(context, 2), lm.Probability(context, 3));
+}
+
+TEST(NgramLmTest, BacksOffToShorterContext) {
+  NgramLm lm(6);
+  lm.AddSentence(std::vector<TokenId>{1, 2});
+  lm.AddSentence(std::vector<TokenId>{3, 1, 4});
+  // Context {5, 1} unseen at order 2 with prefix 5; backs off to {1},
+  // where 2 and 4 were both seen.
+  const std::vector<TokenId> unseen_context = {5, 1};
+  EXPECT_GT(lm.Probability(unseen_context, 2),
+            lm.Probability(unseen_context, 0));
+}
+
+TEST(NgramLmTest, InvalidTokenHasZeroProbability) {
+  NgramLm lm(3);
+  lm.AddSentence(std::vector<TokenId>{0, 1});
+  EXPECT_DOUBLE_EQ(lm.Probability({}, -1), 0.0);
+  EXPECT_DOUBLE_EQ(lm.Probability({}, 99), 0.0);
+}
+
+TEST(NgramLmTest, SequenceLogProbabilityAccumulates) {
+  NgramLm lm(4);
+  lm.AddSentence(std::vector<TokenId>{0, 1, 2});
+  const std::vector<TokenId> context = {0};
+  const std::vector<TokenId> tokens = {1, 2};
+  const std::vector<TokenId> c0 = {0};
+  const std::vector<TokenId> c01 = {0, 1};
+  const double expected =
+      std::log(lm.Probability(c0, 1)) + std::log(lm.Probability(c01, 2));
+  EXPECT_NEAR(lm.SequenceLogProbability(context, tokens), expected, 1e-9);
+}
+
+TEST(NgramLmTest, TracksTotalTokens) {
+  NgramLm lm(5);
+  lm.AddSentence(std::vector<TokenId>{0, 1, 2});
+  lm.AddSentence(std::vector<TokenId>{3});
+  EXPECT_EQ(lm.total_tokens(), 4);
+}
+
+// ----------------------------------------------------- AssociationModel.
+
+TEST(AssociationTest, CooccurrenceRaisesProbability) {
+  AssociationModel assoc(10);
+  for (int i = 0; i < 5; ++i) {
+    assoc.AddSentence(std::vector<TokenId>{1, 2, 3});
+  }
+  EXPECT_GT(assoc.Probability(1, 2), assoc.Probability(1, 7));
+}
+
+TEST(AssociationTest, UnseenContextReturnsUniformFloor) {
+  AssociationModel assoc(10);
+  assoc.AddSentence(std::vector<TokenId>{1, 2});
+  EXPECT_DOUBLE_EQ(assoc.Probability(9, 2), 0.1);
+}
+
+TEST(AssociationTest, PairCountMatchesSentenceCombinatorics) {
+  AssociationModel assoc(10);
+  assoc.AddSentence(std::vector<TokenId>{1, 2, 3});  // 3*2 ordered pairs
+  EXPECT_EQ(assoc.pair_count(), 6);
+}
+
+TEST(AssociationTest, TruncateKeepsStrongestTargets) {
+  AssociationModel assoc(10);
+  for (int i = 0; i < 9; ++i) assoc.AddSentence(std::vector<TokenId>{1, 2});
+  assoc.AddSentence(std::vector<TokenId>{1, 3});
+  assoc.TruncateRows(1);
+  EXPECT_GT(assoc.Probability(1, 2), assoc.Probability(1, 3));
+  // Token 3 fell out of the truncated row: it only keeps the floor mass.
+  EXPECT_NEAR(assoc.Probability(1, 3), 0.05 * 0.1, 1e-9);
+}
+
+TEST(AssociationTest, TruncateZeroIsNoop) {
+  AssociationModel assoc(10);
+  assoc.AddSentence(std::vector<TokenId>{1, 2});
+  const double before = assoc.Probability(1, 2);
+  assoc.TruncateRows(0);
+  EXPECT_DOUBLE_EQ(assoc.Probability(1, 2), before);
+}
+
+// ------------------------------------------------------------- HybridLm.
+
+TEST(HybridLmTest, ZeroWeightEqualsNgram) {
+  HybridLmConfig config;
+  config.association_weight = 0.0;
+  HybridLm hybrid(10, config);
+  NgramLm ngram(10, config.ngram);
+  const std::vector<TokenId> sentence = {0, 1, 2, 3};
+  hybrid.AddSentence(sentence);
+  ngram.AddSentence(sentence);
+  const std::vector<TokenId> context = {0, 1};
+  EXPECT_DOUBLE_EQ(hybrid.NextTokenProbability(context, 2),
+                   ngram.Probability(context, 2));
+}
+
+TEST(HybridLmTest, AssociationChannelConditionsOnDistantTokens) {
+  HybridLmConfig config;
+  config.association_weight = 0.9;
+  HybridLm lm(20, config);
+  // Token 7 co-occurs with 11; token 8 co-occurs with 12.
+  for (int i = 0; i < 20; ++i) {
+    lm.AddSentence(std::vector<TokenId>{7, 5, 11});
+    lm.AddSentence(std::vector<TokenId>{8, 5, 12});
+  }
+  lm.Finalize();
+  // Distant conditioning token 7 vs 8 changes the next-token ranking
+  // even though the local (last-token) context is identical.
+  const std::vector<TokenId> ctx7 = {7, 5};
+  const std::vector<TokenId> ctx8 = {8, 5};
+  EXPECT_GT(lm.NextTokenProbability(ctx7, 11),
+            lm.NextTokenProbability(ctx7, 12));
+  EXPECT_GT(lm.NextTokenProbability(ctx8, 12),
+            lm.NextTokenProbability(ctx8, 11));
+}
+
+TEST(HybridLmTest, StopTokensAreIgnoredAsEvidence) {
+  HybridLmConfig config;
+  config.association_weight = 1.0;
+  HybridLm lm(20, config);
+  // 3 votes for 4, 6 votes for 5; the shared glue token 0 keeps the local
+  // n-gram context identical.
+  for (int i = 0; i < 10; ++i) {
+    lm.AddSentence(std::vector<TokenId>{3, 0, 4});
+    lm.AddSentence(std::vector<TokenId>{6, 0, 5});
+  }
+  lm.Finalize();
+  const std::vector<TokenId> context = {6, 3, 0};
+  // Without stop tokens, 3 and 6 vote symmetrically: a tie.
+  EXPECT_NEAR(lm.NextTokenProbability(context, 4),
+              lm.NextTokenProbability(context, 5), 1e-9);
+  // Marking 3 (and the glue 0) as stop tokens leaves only 6's vote.
+  lm.SetStopTokens({3, 0});
+  EXPECT_GT(lm.NextTokenProbability(context, 5),
+            lm.NextTokenProbability(context, 4));
+}
+
+// ----------------------------------------------------------- PrefixTrie.
+
+TEST(PrefixTrieTest, InsertAndWalk) {
+  PrefixTrie trie;
+  trie.Insert(std::vector<TokenId>{1, 2}, 100);
+  trie.Insert(std::vector<TokenId>{1, 3}, 200);
+  EXPECT_EQ(trie.entity_count(), 2u);
+  const auto node12 = trie.Walk(std::vector<TokenId>{1, 2});
+  ASSERT_GE(node12, 0);
+  EXPECT_EQ(trie.TerminalOf(node12), 100);
+  EXPECT_EQ(trie.Walk(std::vector<TokenId>{9}), -1);
+}
+
+TEST(PrefixTrieTest, SharedPrefixSharesNodes) {
+  PrefixTrie trie;
+  trie.Insert(std::vector<TokenId>{1, 2}, 100);
+  trie.Insert(std::vector<TokenId>{1, 3}, 200);
+  // Root + node(1) + node(1,2) + node(1,3) = 4 nodes.
+  EXPECT_EQ(trie.node_count(), 4u);
+  EXPECT_EQ(trie.ChildrenOf(PrefixTrie::kRoot).size(), 1u);
+}
+
+TEST(PrefixTrieTest, InternalTerminals) {
+  PrefixTrie trie;
+  trie.Insert(std::vector<TokenId>{1}, 10);
+  trie.Insert(std::vector<TokenId>{1, 2}, 20);
+  const auto node1 = trie.Walk(std::vector<TokenId>{1});
+  EXPECT_EQ(trie.TerminalOf(node1), 10);
+  const auto node12 = trie.Walk(std::vector<TokenId>{1, 2});
+  EXPECT_EQ(trie.TerminalOf(node12), 20);
+}
+
+TEST(PrefixTrieTest, DuplicateInsertKeepsFirst) {
+  PrefixTrie trie;
+  trie.Insert(std::vector<TokenId>{1, 2}, 100);
+  trie.Insert(std::vector<TokenId>{1, 2}, 999);
+  EXPECT_EQ(trie.entity_count(), 1u);
+  EXPECT_EQ(trie.TerminalOf(trie.Walk(std::vector<TokenId>{1, 2})), 100);
+}
+
+// ----------------------------------------------------------- BeamSearch.
+
+class BeamSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lm_ = std::make_unique<HybridLm>(20, HybridLmConfig{});
+    // Entity surface forms: {10 11}, {10 12}, {13}.
+    // Context token 5 predicts 10 11; token 6 predicts 10 12.
+    for (int i = 0; i < 30; ++i) {
+      lm_->AddSentence(std::vector<TokenId>{5, 10, 11});
+      lm_->AddSentence(std::vector<TokenId>{6, 10, 12});
+      lm_->AddSentence(std::vector<TokenId>{7, 13});
+    }
+    lm_->Finalize();
+    trie_.Insert(std::vector<TokenId>{10, 11}, 1);
+    trie_.Insert(std::vector<TokenId>{10, 12}, 2);
+    trie_.Insert(std::vector<TokenId>{13}, 3);
+  }
+
+  std::unique_ptr<HybridLm> lm_;
+  PrefixTrie trie_;
+};
+
+TEST_F(BeamSearchTest, OnlyCandidateEntitiesGenerated) {
+  const auto results = ConstrainedBeamSearch(
+      *lm_, trie_, std::vector<TokenId>{5}, BeamSearchConfig{});
+  ASSERT_FALSE(results.empty());
+  for (const GeneratedEntity& g : results) {
+    EXPECT_TRUE(g.entity == 1 || g.entity == 2 || g.entity == 3);
+  }
+}
+
+TEST_F(BeamSearchTest, ContextSteersRanking) {
+  const auto from5 = ConstrainedBeamSearch(
+      *lm_, trie_, std::vector<TokenId>{5}, BeamSearchConfig{});
+  ASSERT_FALSE(from5.empty());
+  EXPECT_EQ(from5.front().entity, 1);
+  const auto from6 = ConstrainedBeamSearch(
+      *lm_, trie_, std::vector<TokenId>{6}, BeamSearchConfig{});
+  EXPECT_EQ(from6.front().entity, 2);
+}
+
+TEST_F(BeamSearchTest, BeamWidthBoundsResults) {
+  BeamSearchConfig config;
+  config.beam_width = 2;
+  const auto results =
+      ConstrainedBeamSearch(*lm_, trie_, std::vector<TokenId>{5}, config);
+  EXPECT_LE(results.size(), 2u);
+}
+
+TEST_F(BeamSearchTest, ScoresSortedDescending) {
+  const auto results = ConstrainedBeamSearch(
+      *lm_, trie_, std::vector<TokenId>{5}, BeamSearchConfig{});
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST_F(BeamSearchTest, EmptyTrieYieldsNothing) {
+  PrefixTrie empty;
+  EXPECT_TRUE(ConstrainedBeamSearch(*lm_, empty, std::vector<TokenId>{5},
+                                    BeamSearchConfig{})
+                  .empty());
+}
+
+}  // namespace
+}  // namespace ultrawiki

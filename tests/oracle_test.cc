@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/dataset.h"
+#include "llm_oracle/oracle.h"
+
+namespace ultrawiki {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig gen;
+    gen.seed = 3;
+    gen.scale = 0.1;
+    gen.min_entities_per_class = 24;
+    gen.background_entity_count = 60;
+    gen.sentences_per_entity = 6;
+    world_ = new GeneratedWorld(GenerateWorld(gen));
+    DatasetConfig dataset_config;
+    dataset_config.ultra_class_scale = 0.1;
+    auto built = BuildDataset(*world_, dataset_config);
+    ASSERT_TRUE(built.ok());
+    dataset_ = new UltraWikiDataset(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete world_;
+    dataset_ = nullptr;
+    world_ = nullptr;
+  }
+
+  /// Seeds sharing a known attribute value within class 0.
+  std::vector<EntityId> SeedsWithSharedValue(int attr, int value,
+                                             size_t count) const {
+    std::vector<EntityId> seeds;
+    for (EntityId id :
+         world_->entities_by_value[0][static_cast<size_t>(attr)]
+                                  [static_cast<size_t>(value)]) {
+      seeds.push_back(id);
+      if (seeds.size() == count) break;
+    }
+    return seeds;
+  }
+
+  static GeneratedWorld* world_;
+  static UltraWikiDataset* dataset_;
+};
+
+GeneratedWorld* OracleTest::world_ = nullptr;
+UltraWikiDataset* OracleTest::dataset_ = nullptr;
+
+TEST_F(OracleTest, TrueSharedAttributesFindsTheSharedValue) {
+  LlmOracle oracle(world_);
+  const std::vector<EntityId> seeds = SeedsWithSharedValue(0, 0, 4);
+  ASSERT_GE(seeds.size(), 3u);
+  const auto shared = oracle.TrueSharedAttributes(seeds);
+  bool found = false;
+  for (const auto& [attr, value] : shared) {
+    if (attr == 0 && value == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(OracleTest, TrueSharedAttributesEmptyForMixedClasses) {
+  LlmOracle oracle(world_);
+  const EntityId a = world_->corpus.EntitiesOfClass(0)[0];
+  const EntityId b = world_->corpus.EntitiesOfClass(1)[0];
+  EXPECT_TRUE(
+      oracle.TrueSharedAttributes(std::vector<EntityId>{a, b}).empty());
+}
+
+TEST_F(OracleTest, JudgeConsistentIsDeterministic) {
+  LlmOracle oracle(world_);
+  const std::vector<EntityId> seeds = SeedsWithSharedValue(0, 0, 3);
+  const EntityId candidate = world_->corpus.EntitiesOfClass(0).back();
+  const bool first = oracle.JudgeConsistent(seeds, candidate);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(oracle.JudgeConsistent(seeds, candidate), first);
+  }
+}
+
+TEST_F(OracleTest, JudgeAccuracyBeatsChanceButIsNoisy) {
+  OracleConfig config;
+  config.base_error_rate = 0.1;
+  LlmOracle oracle(world_, config);
+  const std::vector<EntityId> seeds = SeedsWithSharedValue(0, 0, 3);
+  int correct = 0;
+  int total = 0;
+  int wrong = 0;
+  for (EntityId id : world_->corpus.EntitiesOfClass(0)) {
+    const bool truth = world_->corpus.entity(id).attribute_values[0] == 0;
+    const bool judged = oracle.JudgeConsistent(seeds, id);
+    ++total;
+    if (judged == truth) {
+      ++correct;
+    } else {
+      ++wrong;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.55);
+  // The oracle must err sometimes (it is not a ground-truth shortcut).
+  EXPECT_GT(wrong, 0);
+}
+
+TEST_F(OracleTest, ClassNameInferenceMostlyRight) {
+  OracleConfig config;
+  config.cot_class_name_error = 0.1;
+  LlmOracle oracle(world_, config);
+  int right = 0;
+  int total = 0;
+  for (const Query& query : dataset_->queries) {
+    const ClassId truth = dataset_->ClassOf(query).fine_class;
+    if (oracle.InferClassName(query.pos_seeds) == truth) ++right;
+    ++total;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(right) / total, 0.75);
+  EXPECT_LT(static_cast<double>(right) / total, 1.0);
+}
+
+TEST_F(OracleTest, NegativeAttributeInferenceIsNoisierThanPositive) {
+  LlmOracle oracle(world_);
+  int pos_correct = 0;
+  int neg_correct = 0;
+  int total = 0;
+  for (const Query& query : dataset_->queries) {
+    const auto truth_pos = oracle.TrueSharedAttributes(query.pos_seeds);
+    const auto truth_neg = oracle.TrueSharedAttributes(query.neg_seeds);
+    if (truth_pos.empty() || truth_neg.empty()) continue;
+    if (oracle.InferSharedAttributes(query.pos_seeds, false) == truth_pos) {
+      ++pos_correct;
+    }
+    if (oracle.InferSharedAttributes(query.neg_seeds, true) == truth_neg) {
+      ++neg_correct;
+    }
+    ++total;
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(pos_correct, neg_correct);
+}
+
+TEST_F(OracleTest, GenerativeExpansionExcludesSeeds) {
+  LlmOracle oracle(world_);
+  const Query& query = dataset_->queries.front();
+  const auto ranking = oracle.ExpandGenerative(query, *dataset_, 100);
+  std::set<EntityId> seeds(query.pos_seeds.begin(), query.pos_seeds.end());
+  seeds.insert(query.neg_seeds.begin(), query.neg_seeds.end());
+  for (EntityId id : ranking) {
+    EXPECT_FALSE(seeds.contains(id));
+  }
+}
+
+TEST_F(OracleTest, GenerativeExpansionHallucinates) {
+  OracleConfig config;
+  config.hallucination_rate = 0.3;
+  LlmOracle oracle(world_, config);
+  int hallucinated = 0;
+  for (const Query& query : dataset_->queries) {
+    for (EntityId id : oracle.ExpandGenerative(query, *dataset_, 50)) {
+      if (id == kHallucinatedEntityId) ++hallucinated;
+    }
+  }
+  EXPECT_GT(hallucinated, 0);
+}
+
+TEST_F(OracleTest, GenerativeExpansionRanksTargetsAboveRandom) {
+  LlmOracle oracle(world_);
+  double hits_at_20 = 0.0;
+  int queries = 0;
+  for (const Query& query : dataset_->queries) {
+    const UltraClass& ultra = dataset_->ClassOf(query);
+    std::set<EntityId> targets(ultra.positive_targets.begin(),
+                               ultra.positive_targets.end());
+    const auto ranking = oracle.ExpandGenerative(query, *dataset_, 20);
+    for (EntityId id : ranking) {
+      if (targets.contains(id)) hits_at_20 += 1.0;
+    }
+    ++queries;
+  }
+  const double mean_hits = hits_at_20 / queries;
+  // Random over the vocabulary would give well under 1 hit in the top 20.
+  EXPECT_GT(mean_hits, 3.0);
+}
+
+TEST_F(OracleTest, GenerativeExpansionDeterministic) {
+  LlmOracle oracle(world_);
+  const Query& query = dataset_->queries.front();
+  EXPECT_EQ(oracle.ExpandGenerative(query, *dataset_, 30),
+            oracle.ExpandGenerative(query, *dataset_, 30));
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "llm_oracle/prompts.h"
+
+namespace ultrawiki {
+namespace {
+
+class PromptsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config;
+    config.seed = 4;
+    config.scale = 0.05;
+    config.min_entities_per_class = 20;
+    config.background_entity_count = 20;
+    config.sentences_per_entity = 4;
+    world_ = new GeneratedWorld(GenerateWorld(config));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static GeneratedWorld* world_;
+};
+
+GeneratedWorld* PromptsTest::world_ = nullptr;
+
+TEST_F(PromptsTest, ClassificationPromptMentionsAllEntities) {
+  const std::vector<EntityId> seeds = {0, 1, 2};
+  const std::vector<EntityId> candidates = {3, 4};
+  const std::string prompt =
+      RenderClassificationPrompt(*world_, seeds, candidates);
+  for (EntityId id : {0, 1, 2, 3, 4}) {
+    EXPECT_NE(prompt.find(world_->corpus.entity(id).name),
+              std::string::npos);
+  }
+  EXPECT_NE(prompt.find("total 2 entities"), std::string::npos);
+  EXPECT_NE(prompt.find("seed attributes"), std::string::npos);
+}
+
+TEST_F(PromptsTest, GenerationPromptHasFewShotExamples) {
+  const std::string prompt = RenderGenerationPrompt(*world_, {0, 1, 2});
+  // The Table-14 few-shot preamble.
+  EXPECT_NE(prompt.find("iron, copper, aluminum and zinc."),
+            std::string::npos);
+  EXPECT_NE(prompt.find("math, physics, chemistry and biology."),
+            std::string::npos);
+  // The blank slot the LLM completes.
+  EXPECT_NE(prompt.find(" and ____"), std::string::npos);
+  EXPECT_NE(prompt.find(world_->corpus.entity(2).name), std::string::npos);
+}
+
+TEST_F(PromptsTest, ClassNamePromptHasInductionExamples) {
+  const std::string prompt = RenderClassNamePrompt(*world_, {5, 6, 7});
+  EXPECT_NE(prompt.find("Big Cats"), std::string::npos);
+  EXPECT_NE(prompt.find("Famous Authors"), std::string::npos);
+  EXPECT_NE(prompt.find(world_->corpus.entity(5).name), std::string::npos);
+  EXPECT_NE(prompt.find("-> ____"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ultrawiki

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "eval/significance.h"
+
+namespace ultrawiki {
+namespace {
+
+TEST(BootstrapTest, IdenticalSamplesAreInsignificant) {
+  const std::vector<double> a = {50, 60, 70, 40, 55};
+  const BootstrapResult result = PairedBootstrap(a, a, 500);
+  EXPECT_DOUBLE_EQ(result.mean_a, result.mean_b);
+  // Deltas are all zero; "B better" never happens.
+  EXPECT_DOUBLE_EQ(result.prob_b_better, 0.0);
+}
+
+TEST(BootstrapTest, ClearDominanceIsSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(40.0 + (i % 7));
+    b.push_back(55.0 + (i % 5));
+  }
+  const BootstrapResult result = PairedBootstrap(a, b, 1000);
+  EXPECT_GT(result.mean_b, result.mean_a);
+  EXPECT_GT(result.prob_b_better, 0.99);
+  EXPECT_LT(result.two_sided_p, 0.05);
+}
+
+TEST(BootstrapTest, NoisyTieIsInsignificant) {
+  Rng rng(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 80; ++i) {
+    a.push_back(rng.UniformDouble() * 100.0);
+    b.push_back(rng.UniformDouble() * 100.0);
+  }
+  const BootstrapResult result = PairedBootstrap(a, b, 1000);
+  EXPECT_GT(result.two_sided_p, 0.05);
+}
+
+TEST(BootstrapTest, DeterministicForFixedSeed) {
+  const std::vector<double> a = {10, 20, 30, 40};
+  const std::vector<double> b = {12, 19, 33, 41};
+  const BootstrapResult r1 = PairedBootstrap(a, b, 300, 9);
+  const BootstrapResult r2 = PairedBootstrap(a, b, 300, 9);
+  EXPECT_DOUBLE_EQ(r1.prob_b_better, r2.prob_b_better);
+}
+
+TEST(BootstrapTest, EmptyInputIsNeutral) {
+  const BootstrapResult result = PairedBootstrap({}, {}, 100);
+  EXPECT_EQ(result.query_count, 0);
+  EXPECT_DOUBLE_EQ(result.two_sided_p, 1.0);
+}
+
+TEST(BootstrapDeathTest, MismatchedSizesAbort) {
+  EXPECT_DEATH(PairedBootstrap({1.0}, {1.0, 2.0}, 10), "Check failed");
+}
+
+}  // namespace
+}  // namespace ultrawiki
