@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_attr_same_diff.dir/bench_table4_attr_same_diff.cc.o"
+  "CMakeFiles/bench_table4_attr_same_diff.dir/bench_table4_attr_same_diff.cc.o.d"
+  "bench_table4_attr_same_diff"
+  "bench_table4_attr_same_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_attr_same_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_retrieval_augmentation.dir/bench_table8_retrieval_augmentation.cc.o"
+  "CMakeFiles/bench_table8_retrieval_augmentation.dir/bench_table8_retrieval_augmentation.cc.o.d"
+  "bench_table8_retrieval_augmentation"
+  "bench_table8_retrieval_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_retrieval_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_cot.dir/bench_table9_cot.cc.o"
+  "CMakeFiles/bench_table9_cot.dir/bench_table9_cot.cc.o.d"
+  "bench_table9_cot"
+  "bench_table9_cot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_cot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_export_dataset.dir/export_dataset.cc.o"
+  "CMakeFiles/example_export_dataset.dir/export_dataset.cc.o.d"
+  "example_export_dataset"
+  "example_export_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_export_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_phone_brands.dir/phone_brands.cc.o"
+  "CMakeFiles/example_phone_brands.dir/phone_brands.cc.o.d"
+  "example_phone_brands"
+  "example_phone_brands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_phone_brands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

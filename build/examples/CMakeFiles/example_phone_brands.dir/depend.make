@@ -1,0 +1,2 @@
+# Empty dependencies file for example_phone_brands.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ultrawiki_query.dir/ultrawiki_query.cc.o"
+  "CMakeFiles/example_ultrawiki_query.dir/ultrawiki_query.cc.o.d"
+  "example_ultrawiki_query"
+  "example_ultrawiki_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ultrawiki_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

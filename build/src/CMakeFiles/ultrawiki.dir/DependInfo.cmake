@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/case.cc" "src/CMakeFiles/ultrawiki.dir/baselines/case.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/baselines/case.cc.o.d"
+  "/root/repo/src/baselines/cgexpan.cc" "src/CMakeFiles/ultrawiki.dir/baselines/cgexpan.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/baselines/cgexpan.cc.o.d"
+  "/root/repo/src/baselines/gpt4_baseline.cc" "src/CMakeFiles/ultrawiki.dir/baselines/gpt4_baseline.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/baselines/gpt4_baseline.cc.o.d"
+  "/root/repo/src/baselines/probexpan.cc" "src/CMakeFiles/ultrawiki.dir/baselines/probexpan.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/baselines/probexpan.cc.o.d"
+  "/root/repo/src/baselines/setexpan.cc" "src/CMakeFiles/ultrawiki.dir/baselines/setexpan.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/baselines/setexpan.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ultrawiki.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ultrawiki.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ultrawiki.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/ultrawiki.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/ultrawiki.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/ultrawiki.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/CMakeFiles/ultrawiki.dir/corpus/generator.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/corpus/knowledge_base.cc" "src/CMakeFiles/ultrawiki.dir/corpus/knowledge_base.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/corpus/knowledge_base.cc.o.d"
+  "/root/repo/src/corpus/schema.cc" "src/CMakeFiles/ultrawiki.dir/corpus/schema.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/corpus/schema.cc.o.d"
+  "/root/repo/src/dataset/annotation.cc" "src/CMakeFiles/ultrawiki.dir/dataset/annotation.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/dataset/annotation.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "src/CMakeFiles/ultrawiki.dir/dataset/dataset.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/dataset/dataset.cc.o.d"
+  "/root/repo/src/dataset/stats.cc" "src/CMakeFiles/ultrawiki.dir/dataset/stats.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/dataset/stats.cc.o.d"
+  "/root/repo/src/embedding/contrastive.cc" "src/CMakeFiles/ultrawiki.dir/embedding/contrastive.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/embedding/contrastive.cc.o.d"
+  "/root/repo/src/embedding/encoder.cc" "src/CMakeFiles/ultrawiki.dir/embedding/encoder.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/embedding/encoder.cc.o.d"
+  "/root/repo/src/embedding/entity_store.cc" "src/CMakeFiles/ultrawiki.dir/embedding/entity_store.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/embedding/entity_store.cc.o.d"
+  "/root/repo/src/embedding/trainer.cc" "src/CMakeFiles/ultrawiki.dir/embedding/trainer.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/embedding/trainer.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/ultrawiki.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/ultrawiki.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/ultrawiki.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/CMakeFiles/ultrawiki.dir/eval/significance.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/eval/significance.cc.o.d"
+  "/root/repo/src/expand/contrastive_miner.cc" "src/CMakeFiles/ultrawiki.dir/expand/contrastive_miner.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/contrastive_miner.cc.o.d"
+  "/root/repo/src/expand/expander.cc" "src/CMakeFiles/ultrawiki.dir/expand/expander.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/expander.cc.o.d"
+  "/root/repo/src/expand/genexpan.cc" "src/CMakeFiles/ultrawiki.dir/expand/genexpan.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/genexpan.cc.o.d"
+  "/root/repo/src/expand/interaction.cc" "src/CMakeFiles/ultrawiki.dir/expand/interaction.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/interaction.cc.o.d"
+  "/root/repo/src/expand/pipeline.cc" "src/CMakeFiles/ultrawiki.dir/expand/pipeline.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/pipeline.cc.o.d"
+  "/root/repo/src/expand/rerank.cc" "src/CMakeFiles/ultrawiki.dir/expand/rerank.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/rerank.cc.o.d"
+  "/root/repo/src/expand/retexpan.cc" "src/CMakeFiles/ultrawiki.dir/expand/retexpan.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/retexpan.cc.o.d"
+  "/root/repo/src/expand/retrieval_augmentation.cc" "src/CMakeFiles/ultrawiki.dir/expand/retrieval_augmentation.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/expand/retrieval_augmentation.cc.o.d"
+  "/root/repo/src/index/bm25.cc" "src/CMakeFiles/ultrawiki.dir/index/bm25.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/index/bm25.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/ultrawiki.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/io/corpus_io.cc" "src/CMakeFiles/ultrawiki.dir/io/corpus_io.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/io/corpus_io.cc.o.d"
+  "/root/repo/src/io/dataset_io.cc" "src/CMakeFiles/ultrawiki.dir/io/dataset_io.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/io/dataset_io.cc.o.d"
+  "/root/repo/src/io/model_io.cc" "src/CMakeFiles/ultrawiki.dir/io/model_io.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/io/model_io.cc.o.d"
+  "/root/repo/src/llm_oracle/oracle.cc" "src/CMakeFiles/ultrawiki.dir/llm_oracle/oracle.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/llm_oracle/oracle.cc.o.d"
+  "/root/repo/src/llm_oracle/prompts.cc" "src/CMakeFiles/ultrawiki.dir/llm_oracle/prompts.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/llm_oracle/prompts.cc.o.d"
+  "/root/repo/src/lm/association.cc" "src/CMakeFiles/ultrawiki.dir/lm/association.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/lm/association.cc.o.d"
+  "/root/repo/src/lm/beam_search.cc" "src/CMakeFiles/ultrawiki.dir/lm/beam_search.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/lm/beam_search.cc.o.d"
+  "/root/repo/src/lm/hybrid_lm.cc" "src/CMakeFiles/ultrawiki.dir/lm/hybrid_lm.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/lm/hybrid_lm.cc.o.d"
+  "/root/repo/src/lm/ngram_lm.cc" "src/CMakeFiles/ultrawiki.dir/lm/ngram_lm.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/lm/ngram_lm.cc.o.d"
+  "/root/repo/src/lm/prefix_trie.cc" "src/CMakeFiles/ultrawiki.dir/lm/prefix_trie.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/lm/prefix_trie.cc.o.d"
+  "/root/repo/src/lm/similarity.cc" "src/CMakeFiles/ultrawiki.dir/lm/similarity.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/lm/similarity.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/ultrawiki.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/optimizer.cc" "src/CMakeFiles/ultrawiki.dir/math/optimizer.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/math/optimizer.cc.o.d"
+  "/root/repo/src/math/sampling.cc" "src/CMakeFiles/ultrawiki.dir/math/sampling.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/math/sampling.cc.o.d"
+  "/root/repo/src/math/softmax.cc" "src/CMakeFiles/ultrawiki.dir/math/softmax.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/math/softmax.cc.o.d"
+  "/root/repo/src/math/topk.cc" "src/CMakeFiles/ultrawiki.dir/math/topk.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/math/topk.cc.o.d"
+  "/root/repo/src/math/vec.cc" "src/CMakeFiles/ultrawiki.dir/math/vec.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/math/vec.cc.o.d"
+  "/root/repo/src/text/name_generator.cc" "src/CMakeFiles/ultrawiki.dir/text/name_generator.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/text/name_generator.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/ultrawiki.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/ultrawiki.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/ultrawiki.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ultrawiki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prompts_test.dir/prompts_test.cc.o"
+  "CMakeFiles/prompts_test.dir/prompts_test.cc.o.d"
+  "prompts_test"
+  "prompts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prompts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
