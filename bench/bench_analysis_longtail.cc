@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "eval/evaluator.h"
@@ -78,6 +80,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("analysis_longtail");
   ultrawiki::Run();
   return 0;
 }

@@ -1,0 +1,44 @@
+#ifndef ULTRAWIKI_BENCH_BENCH_ENV_H_
+#define ULTRAWIKI_BENCH_BENCH_ENV_H_
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/thread_pool.h"
+
+namespace ultrawiki {
+
+/// Shared harness glue for the table/figure binaries: announces the lane
+/// count the global pool resolved from UW_THREADS and reports wall-clock
+/// on exit, so the parallel speedup of each table is visible (and
+/// regressions against the UW_THREADS=1 baseline are easy to spot).
+/// Output goes to stderr; table output on stdout stays byte-identical
+/// across thread counts.
+class BenchTimer {
+ public:
+  explicit BenchTimer(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {
+    std::fprintf(stderr, "[%s] running with %d thread(s) (UW_THREADS)\n",
+                 name_, ThreadPool::Global().thread_count());
+  }
+
+  ~BenchTimer() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::fprintf(stderr, "[%s] wall-clock %.2fs on %d thread(s)\n", name_,
+                 seconds, ThreadPool::Global().thread_count());
+  }
+
+  BenchTimer(const BenchTimer&) = delete;
+  BenchTimer& operator=(const BenchTimer&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_BENCH_BENCH_ENV_H_

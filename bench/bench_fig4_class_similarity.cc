@@ -5,6 +5,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "expand/pipeline.h"
@@ -84,6 +86,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("fig4_class_similarity");
   ultrawiki::Run();
   return 0;
 }

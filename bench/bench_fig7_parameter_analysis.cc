@@ -6,6 +6,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "eval/evaluator.h"
@@ -109,6 +111,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("fig7_parameter_analysis");
   ultrawiki::Run();
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "eval/evaluator.h"
@@ -61,6 +63,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("fig8_model_size");
   ultrawiki::Run();
   return 0;
 }

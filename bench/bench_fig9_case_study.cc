@@ -7,6 +7,8 @@
 #include <iostream>
 #include <set>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "expand/pipeline.h"
 
@@ -106,6 +108,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("fig9_case_study");
   ultrawiki::Run();
   return 0;
 }

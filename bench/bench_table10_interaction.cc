@@ -4,6 +4,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "eval/report.h"
 #include "expand/pipeline.h"
 
@@ -46,6 +48,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table10_interaction");
   ultrawiki::Run();
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "dataset/stats.h"
@@ -98,6 +100,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table1_dataset_stats");
   ultrawiki::Run();
   return 0;
 }

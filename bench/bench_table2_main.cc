@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "eval/report.h"
 #include "expand/pipeline.h"
@@ -70,6 +72,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table2_main");
   ultrawiki::Run();
   return 0;
 }

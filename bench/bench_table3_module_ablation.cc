@@ -5,6 +5,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "eval/report.h"
 #include "expand/pipeline.h"
 
@@ -60,6 +62,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table3_module_ablation");
   ultrawiki::Run();
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "eval/report.h"
 #include "expand/pipeline.h"
 
@@ -56,6 +58,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table4_attr_same_diff");
   ultrawiki::Run();
   return 0;
 }

@@ -3,6 +3,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "common/string_util.h"
 #include "eval/report.h"
 #include "expand/pipeline.h"
@@ -99,6 +101,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table5_rerank_ablation");
   ultrawiki::Run();
   return 0;
 }

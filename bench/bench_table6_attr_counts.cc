@@ -3,6 +3,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "eval/report.h"
 #include "expand/pipeline.h"
 
@@ -43,6 +45,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table6_attr_counts");
   ultrawiki::Run();
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include <iostream>
 
+#include "bench_env.h"
+
 #include "eval/report.h"
 #include "expand/pipeline.h"
 
@@ -41,6 +43,7 @@ void Run() {
 }  // namespace ultrawiki
 
 int main() {
+  ultrawiki::BenchTimer timer("table8_retrieval_augmentation");
   ultrawiki::Run();
   return 0;
 }

@@ -279,6 +279,8 @@ StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
     }
     Bm25Scorer scorer(&index);
     std::vector<float> best_scores(pool.size(), 0.0f);
+    std::vector<std::vector<TokenId>> class_queries;
+    class_queries.reserve(world.schema.size());
     for (const FineClassSpec& spec : world.schema) {
       std::vector<TokenId> query;
       const Vocabulary& vocab = world.corpus.tokens();
@@ -288,7 +290,13 @@ StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
         const TokenId t = vocab.Lookup(topic);
         if (t != kInvalidTokenId) query.push_back(t);
       }
-      const std::vector<float> scores = scorer.ScoreAll(query);
+      class_queries.push_back(std::move(query));
+    }
+    // All class queries scored in one parallel batch; the max-reduction
+    // runs in schema order afterwards.
+    const std::vector<std::vector<float>> per_class =
+        scorer.ScoreAllBatch(class_queries);
+    for (const std::vector<float>& scores : per_class) {
       for (size_t i = 0; i < scores.size(); ++i) {
         best_scores[i] = std::max(best_scores[i], scores[i]);
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "math/vec.h"
 
 namespace ultrawiki {
@@ -63,23 +64,34 @@ EntityStore EntityStore::Build(const Corpus& corpus,
   for (EntityId id : entities) {
     UW_CHECK_GE(id, 0);
     UW_CHECK_LT(static_cast<size_t>(id), corpus.entity_count());
-    Vec sum(store.dim_, 0.0f);
-    int used = 0;
-    ForEachCappedSentence(
-        corpus, id, config.max_sentences_per_entity,
-        [&](const Sentence& sentence) {
-          const std::vector<TokenId> context = MaskedContext(sentence, nullptr);
-          const std::vector<TokenId>* prefix = PrefixFor(config, id);
-          static const std::vector<TokenId> kNoPrefix;
-          const Vec hidden = encoder.EncodeWithPrefix(
-              prefix != nullptr ? *prefix : kNoPrefix, context);
-          AccumulateInPlace(sum, hidden);
-          ++used;
-        });
-    if (used > 0) {
-      Scale(1.0f / static_cast<float>(used), sum);
-      store.hidden_[static_cast<size_t>(id)] = std::move(sum);
-    }
+  }
+  // Each entity's representation is an independent encode-and-average;
+  // slots are written back sequentially in `entities` order, so the store
+  // is identical at every thread count.
+  std::vector<Vec> built = ThreadPool::Global().ParallelMap<Vec>(
+      static_cast<int64_t>(entities.size()), [&](int64_t e) {
+        const EntityId id = entities[static_cast<size_t>(e)];
+        Vec sum(store.dim_, 0.0f);
+        int used = 0;
+        ForEachCappedSentence(
+            corpus, id, config.max_sentences_per_entity,
+            [&](const Sentence& sentence) {
+              const std::vector<TokenId> context =
+                  MaskedContext(sentence, nullptr);
+              const std::vector<TokenId>* prefix = PrefixFor(config, id);
+              static const std::vector<TokenId> kNoPrefix;
+              const Vec hidden = encoder.EncodeWithPrefix(
+                  prefix != nullptr ? *prefix : kNoPrefix, context);
+              AccumulateInPlace(sum, hidden);
+              ++used;
+            });
+        if (used == 0) return Vec();
+        Scale(1.0f / static_cast<float>(used), sum);
+        return sum;
+      });
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (built[e].empty()) continue;
+    store.hidden_[static_cast<size_t>(entities[e])] = std::move(built[e]);
   }
   if (config.center) {
     Vec mean(store.dim_, 0.0f);
@@ -144,8 +156,12 @@ std::vector<SparseVec> BuildSparseDistributions(
   const std::vector<Vec> dense =
       BuildDistributionRepresentations(corpus, encoder, entities, config);
   std::vector<SparseVec> result(dense.size());
-  for (size_t e = 0; e < dense.size(); ++e) {
-    if (dense[e].empty()) continue;
+  // Sparsification is per-row independent: parallel over rows, each
+  // writing only its own SparseVec.
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(dense.size()), /*grain=*/0, [&](int64_t row) {
+    const size_t e = static_cast<size_t>(row);
+    if (dense[e].empty()) return;
     // Top-k by mass, then re-sorted by index for the merge-based cosine.
     std::vector<std::pair<int32_t, float>> entries;
     entries.reserve(dense[e].size());
@@ -168,7 +184,7 @@ std::vector<SparseVec> BuildSparseDistributions(
       norm_sq += static_cast<double>(value) * static_cast<double>(value);
     }
     sparse.norm = static_cast<float>(std::sqrt(norm_sq));
-  }
+  });
   return result;
 }
 
@@ -176,29 +192,37 @@ std::vector<Vec> BuildDistributionRepresentations(
     const Corpus& corpus, const ContextEncoder& encoder,
     const std::vector<EntityId>& entities, const EntityStoreConfig& config) {
   std::vector<Vec> result(corpus.entity_count());
-  for (EntityId id : entities) {
-    Vec sum(encoder.entity_vocab_size(), 0.0f);
-    int used = 0;
-    ForEachCappedSentence(
-        corpus, id, config.max_sentences_per_entity,
-        [&](const Sentence& sentence) {
-          const std::vector<TokenId> context = MaskedContext(sentence, nullptr);
-          const std::vector<TokenId>* prefix = PrefixFor(config, id);
-          static const std::vector<TokenId> kNoPrefix;
-          Vec hidden = encoder.EncodeWithPrefix(
-              prefix != nullptr ? *prefix : kNoPrefix, context);
-          if (config.distribution_temperature != 1.0f &&
-              config.distribution_temperature > 0.0f) {
-            Scale(1.0f / config.distribution_temperature, hidden);
-          }
-          const Vec dist = encoder.EntityDistribution(hidden);
-          AccumulateInPlace(sum, dist);
-          ++used;
-        });
-    if (used > 0) {
-      Scale(1.0f / static_cast<float>(used), sum);
-      result[static_cast<size_t>(id)] = std::move(sum);
-    }
+  // Same parallel shape as EntityStore::Build: independent per-entity
+  // work into per-index slots, sequential write-back in `entities` order.
+  std::vector<Vec> built = ThreadPool::Global().ParallelMap<Vec>(
+      static_cast<int64_t>(entities.size()), [&](int64_t e) {
+        const EntityId id = entities[static_cast<size_t>(e)];
+        Vec sum(encoder.entity_vocab_size(), 0.0f);
+        int used = 0;
+        ForEachCappedSentence(
+            corpus, id, config.max_sentences_per_entity,
+            [&](const Sentence& sentence) {
+              const std::vector<TokenId> context =
+                  MaskedContext(sentence, nullptr);
+              const std::vector<TokenId>* prefix = PrefixFor(config, id);
+              static const std::vector<TokenId> kNoPrefix;
+              Vec hidden = encoder.EncodeWithPrefix(
+                  prefix != nullptr ? *prefix : kNoPrefix, context);
+              if (config.distribution_temperature != 1.0f &&
+                  config.distribution_temperature > 0.0f) {
+                Scale(1.0f / config.distribution_temperature, hidden);
+              }
+              const Vec dist = encoder.EntityDistribution(hidden);
+              AccumulateInPlace(sum, dist);
+              ++used;
+            });
+        if (used == 0) return Vec();
+        Scale(1.0f / static_cast<float>(used), sum);
+        return sum;
+      });
+  for (size_t e = 0; e < entities.size(); ++e) {
+    if (built[e].empty()) continue;
+    result[static_cast<size_t>(entities[e])] = std::move(built[e]);
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ultrawiki {
 namespace {
@@ -62,23 +63,58 @@ EvalResult EvaluateExpander(Expander& expander,
     result.neg_p[k] = 0.0;
   }
 
-  for (const Query& query : dataset.queries) {
-    const UltraClass& ultra = dataset.ClassOf(query);
-    if (config.query_filter && !config.query_filter(query, ultra)) continue;
-    const std::vector<EntityId> ranking =
-        expander.Expand(query, static_cast<size_t>(max_k));
-    const TargetSet pos_targets =
-        MakeTargets(ultra.positive_targets, query.pos_seeds);
-    std::vector<EntityId> all_seeds = query.pos_seeds;
-    all_seeds.insert(all_seeds.end(), query.neg_seeds.begin(),
-                     query.neg_seeds.end());
-    const TargetSet neg_targets =
-        MakeTargets(ultra.negative_targets, all_seeds);
-    for (int k : config.ks) {
-      result.pos_map[k] += AveragePrecisionAtK(ranking, pos_targets, k);
-      result.neg_map[k] += AveragePrecisionAtK(ranking, neg_targets, k);
-      result.pos_p[k] += PrecisionAtK(ranking, pos_targets, k);
-      result.neg_p[k] += PrecisionAtK(ranking, neg_targets, k);
+  // The filter runs sequentially in query order first (it may be
+  // stateful); only the selected queries are expanded in parallel.
+  std::vector<size_t> selected;
+  selected.reserve(dataset.queries.size());
+  for (size_t qi = 0; qi < dataset.queries.size(); ++qi) {
+    const Query& query = dataset.queries[qi];
+    if (config.query_filter &&
+        !config.query_filter(query, dataset.ClassOf(query))) {
+      continue;
+    }
+    selected.push_back(qi);
+  }
+
+  // Per-query scores land in per-index slots; the reduction below adds
+  // them in query order, so the totals match the sequential path bit for
+  // bit at any UW_THREADS.
+  struct QueryScores {
+    std::vector<double> pos_map, neg_map, pos_p, neg_p;
+  };
+  const std::vector<QueryScores> per_query =
+      ThreadPool::Global().ParallelMap<QueryScores>(
+          static_cast<int64_t>(selected.size()), [&](int64_t i) {
+            const Query& query =
+                dataset.queries[selected[static_cast<size_t>(i)]];
+            const UltraClass& ultra = dataset.ClassOf(query);
+            const std::vector<EntityId> ranking =
+                expander.Expand(query, static_cast<size_t>(max_k));
+            const TargetSet pos_targets =
+                MakeTargets(ultra.positive_targets, query.pos_seeds);
+            std::vector<EntityId> all_seeds = query.pos_seeds;
+            all_seeds.insert(all_seeds.end(), query.neg_seeds.begin(),
+                             query.neg_seeds.end());
+            const TargetSet neg_targets =
+                MakeTargets(ultra.negative_targets, all_seeds);
+            QueryScores scores;
+            for (int k : config.ks) {
+              scores.pos_map.push_back(
+                  AveragePrecisionAtK(ranking, pos_targets, k));
+              scores.neg_map.push_back(
+                  AveragePrecisionAtK(ranking, neg_targets, k));
+              scores.pos_p.push_back(PrecisionAtK(ranking, pos_targets, k));
+              scores.neg_p.push_back(PrecisionAtK(ranking, neg_targets, k));
+            }
+            return scores;
+          });
+  for (const QueryScores& scores : per_query) {
+    for (size_t ki = 0; ki < config.ks.size(); ++ki) {
+      const int k = config.ks[ki];
+      result.pos_map[k] += scores.pos_map[ki];
+      result.neg_map[k] += scores.neg_map[ki];
+      result.pos_p[k] += scores.pos_p[ki];
+      result.neg_p[k] += scores.neg_p[ki];
     }
     ++result.query_count;
   }
@@ -97,22 +133,26 @@ EvalResult EvaluateExpander(Expander& expander,
 double EvaluateFineGrainedMap(Expander& expander,
                               const UltraWikiDataset& dataset,
                               const GeneratedWorld& world, int k) {
+  const std::vector<double> per_query =
+      ThreadPool::Global().ParallelMap<double>(
+          static_cast<int64_t>(dataset.queries.size()), [&](int64_t qi) {
+            const Query& query = dataset.queries[static_cast<size_t>(qi)];
+            const UltraClass& ultra = dataset.ClassOf(query);
+            const std::vector<EntityId> fine_members =
+                world.corpus.EntitiesOfClass(ultra.fine_class);
+            std::vector<EntityId> all_seeds = query.pos_seeds;
+            all_seeds.insert(all_seeds.end(), query.neg_seeds.begin(),
+                             query.neg_seeds.end());
+            const TargetSet targets = MakeTargets(fine_members, all_seeds);
+            const std::vector<EntityId> ranking =
+                expander.Expand(query, static_cast<size_t>(k));
+            return AveragePrecisionAtK(ranking, targets, k);
+          });
   double sum = 0.0;
-  int count = 0;
-  for (const Query& query : dataset.queries) {
-    const UltraClass& ultra = dataset.ClassOf(query);
-    const std::vector<EntityId> fine_members =
-        world.corpus.EntitiesOfClass(ultra.fine_class);
-    std::vector<EntityId> all_seeds = query.pos_seeds;
-    all_seeds.insert(all_seeds.end(), query.neg_seeds.begin(),
-                     query.neg_seeds.end());
-    const TargetSet targets = MakeTargets(fine_members, all_seeds);
-    const std::vector<EntityId> ranking =
-        expander.Expand(query, static_cast<size_t>(k));
-    sum += AveragePrecisionAtK(ranking, targets, k);
-    ++count;
-  }
-  return count > 0 ? 100.0 * sum / static_cast<double>(count) : 0.0;
+  for (double score : per_query) sum += score;
+  return per_query.empty()
+             ? 0.0
+             : 100.0 * sum / static_cast<double>(per_query.size());
 }
 
 }  // namespace ultrawiki

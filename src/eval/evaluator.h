@@ -44,6 +44,10 @@ struct EvalResult {
 /// Runs `expander` over every query of `dataset` (or the filtered subset)
 /// and aggregates Pos/Neg MAP@K and P@K. Positive targets are P minus the
 /// query's seeds; negative targets are N minus the query's seeds.
+/// Queries are expanded in parallel on the global ThreadPool (UW_THREADS
+/// lanes) with an ordered reduction, so results are bit-identical to the
+/// sequential path; `query_filter` is always invoked sequentially in
+/// query order and may be stateful.
 EvalResult EvaluateExpander(Expander& expander,
                             const UltraWikiDataset& dataset,
                             const EvalConfig& config = {});

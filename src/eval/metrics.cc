@@ -1,18 +1,43 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/logging.h"
 
 namespace ultrawiki {
+namespace {
+
+/// Rankings are supposed to be duplicate-free, but buggy or generative
+/// expanders can emit the same entity twice; counting both occurrences
+/// would credit a single target more than once. Deduplicate to the first
+/// occurrence before any hit counting. Negative sentinel ids (e.g.
+/// kHallucinatedEntityId) are *distinct* fake entities that happen to
+/// share an id, so each occurrence keeps its rank slot.
+std::vector<EntityId> DedupedPrefix(const std::vector<EntityId>& ranking,
+                                    int k) {
+  const size_t limit =
+      std::min<size_t>(static_cast<size_t>(k), ranking.size());
+  std::vector<EntityId> prefix;
+  prefix.reserve(limit);
+  std::unordered_set<EntityId> seen;
+  for (EntityId id : ranking) {
+    if (prefix.size() >= limit) break;
+    if (id >= 0 && !seen.insert(id).second) continue;
+    prefix.push_back(id);
+  }
+  return prefix;
+}
+
+}  // namespace
 
 double PrecisionAtK(const std::vector<EntityId>& ranking,
                     const TargetSet& targets, int k) {
   UW_CHECK_GT(k, 0);
-  const int limit = std::min<int>(k, static_cast<int>(ranking.size()));
+  const std::vector<EntityId> prefix = DedupedPrefix(ranking, k);
   int hits = 0;
-  for (int i = 0; i < limit; ++i) {
-    if (targets.contains(ranking[static_cast<size_t>(i)])) ++hits;
+  for (EntityId id : prefix) {
+    if (targets.contains(id)) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(k);
 }
@@ -21,11 +46,11 @@ double AveragePrecisionAtK(const std::vector<EntityId>& ranking,
                            const TargetSet& targets, int k) {
   UW_CHECK_GT(k, 0);
   if (targets.empty()) return 0.0;
-  const int limit = std::min<int>(k, static_cast<int>(ranking.size()));
+  const std::vector<EntityId> prefix = DedupedPrefix(ranking, k);
   int hits = 0;
   double precision_sum = 0.0;
-  for (int i = 0; i < limit; ++i) {
-    if (targets.contains(ranking[static_cast<size_t>(i)])) {
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (targets.contains(prefix[i])) {
       ++hits;
       precision_sum +=
           static_cast<double>(hits) / static_cast<double>(i + 1);

@@ -13,13 +13,15 @@ using TargetSet = std::unordered_set<EntityId>;
 
 /// Precision of the first min(k, |ranking|) entries against `targets`.
 /// Per the paper's P@K definition, the denominator is k (a short ranking
-/// is penalized).
+/// is penalized). Duplicate entity ids are collapsed to their first
+/// occurrence before counting, so a repeated target is never credited
+/// twice; negative sentinel ids (hallucinations) keep every slot.
 double PrecisionAtK(const std::vector<EntityId>& ranking,
                     const TargetSet& targets, int k);
 
 /// Average precision at cutoff `k`: mean of precision@i over the relevant
 /// positions i <= k, normalized by min(k, |targets|). This is the AP_K of
-/// paper Eq. 8.
+/// paper Eq. 8. Duplicates are collapsed as in PrecisionAtK.
 double AveragePrecisionAtK(const std::vector<EntityId>& ranking,
                            const TargetSet& targets, int k);
 

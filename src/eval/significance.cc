@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "eval/metrics.h"
 
 namespace ultrawiki {
@@ -11,24 +12,25 @@ namespace ultrawiki {
 std::vector<double> PerQueryCombMap(Expander& method,
                                     const UltraWikiDataset& dataset,
                                     int k) {
-  std::vector<double> scores;
-  scores.reserve(dataset.queries.size());
-  for (const Query& query : dataset.queries) {
-    const UltraClass& ultra = dataset.ClassOf(query);
-    const std::vector<EntityId> ranking =
-        method.Expand(query, static_cast<size_t>(k));
-    TargetSet pos(ultra.positive_targets.begin(),
-                  ultra.positive_targets.end());
-    for (EntityId seed : query.pos_seeds) pos.erase(seed);
-    TargetSet neg(ultra.negative_targets.begin(),
-                  ultra.negative_targets.end());
-    for (EntityId seed : query.pos_seeds) neg.erase(seed);
-    for (EntityId seed : query.neg_seeds) neg.erase(seed);
-    const double pos_map = 100.0 * AveragePrecisionAtK(ranking, pos, k);
-    const double neg_map = 100.0 * AveragePrecisionAtK(ranking, neg, k);
-    scores.push_back(CombineMetric(pos_map, neg_map));
-  }
-  return scores;
+  // Each query is scored independently and written to its own slot, so
+  // the returned vector is identical for every UW_THREADS value.
+  return ThreadPool::Global().ParallelMap<double>(
+      static_cast<int64_t>(dataset.queries.size()), [&](int64_t qi) {
+        const Query& query = dataset.queries[static_cast<size_t>(qi)];
+        const UltraClass& ultra = dataset.ClassOf(query);
+        const std::vector<EntityId> ranking =
+            method.Expand(query, static_cast<size_t>(k));
+        TargetSet pos(ultra.positive_targets.begin(),
+                      ultra.positive_targets.end());
+        for (EntityId seed : query.pos_seeds) pos.erase(seed);
+        TargetSet neg(ultra.negative_targets.begin(),
+                      ultra.negative_targets.end());
+        for (EntityId seed : query.pos_seeds) neg.erase(seed);
+        for (EntityId seed : query.neg_seeds) neg.erase(seed);
+        const double pos_map = 100.0 * AveragePrecisionAtK(ranking, pos, k);
+        const double neg_map = 100.0 * AveragePrecisionAtK(ranking, neg, k);
+        return CombineMetric(pos_map, neg_map);
+      });
 }
 
 BootstrapResult PairedBootstrap(const std::vector<double>& a,
@@ -51,6 +53,7 @@ BootstrapResult PairedBootstrap(const std::vector<double>& a,
 
   Rng rng(seed);
   int b_better = 0;
+  int a_better = 0;
   for (int r = 0; r < resamples; ++r) {
     double delta = 0.0;
     for (size_t i = 0; i < a.size(); ++i) {
@@ -58,11 +61,19 @@ BootstrapResult PairedBootstrap(const std::vector<double>& a,
       delta += b[pick] - a[pick];
     }
     if (delta > 0.0) ++b_better;
+    if (delta < 0.0) ++a_better;
   }
   result.prob_b_better =
       static_cast<double>(b_better) / static_cast<double>(resamples);
-  result.two_sided_p =
-      2.0 * std::min(result.prob_b_better, 1.0 - result.prob_b_better);
+  // Add-one smoothed tail probabilities: a finite resample count can never
+  // certify p == 0, and ties (delta == 0) weaken both tails rather than
+  // counting as evidence for either method.
+  const double denom = static_cast<double>(resamples) + 1.0;
+  const double upper_tail =
+      static_cast<double>(resamples - a_better + 1) / denom;
+  const double lower_tail =
+      static_cast<double>(resamples - b_better + 1) / denom;
+  result.two_sided_p = std::min(1.0, 2.0 * std::min(upper_tail, lower_tail));
   return result;
 }
 

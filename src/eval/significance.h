@@ -15,8 +15,12 @@ struct BootstrapResult {
   double mean_b = 0.0;
   /// Fraction of bootstrap resamples in which B's mean exceeded A's —
   /// close to 1 means B is consistently better, close to 0 consistently
-  /// worse; the two-sided p-value is 2·min(p, 1-p).
+  /// worse.
   double prob_b_better = 0.5;
+  /// Two-sided p-value from add-one smoothed tails,
+  /// 2·min((#(Δ≥0)+1), (#(Δ≤0)+1))/(resamples+1) capped at 1: a finite
+  /// resample count can never report exactly 0, and tied resamples count
+  /// toward both tails (pure ties ⇒ p = 1).
   double two_sided_p = 1.0;
   int query_count = 0;
 };

@@ -11,6 +11,12 @@ namespace ultrawiki {
 /// negative seeds), return a ranked entity list of up to `k` entries.
 /// Implementations must never return the query's own seed entities.
 /// Entries may include kHallucinatedEntityId (generative baselines).
+///
+/// Concurrency contract: the evaluator and the bench harness call
+/// `Expand` from multiple threads at once (one query per task), so
+/// implementations must keep `Expand` logically const — precompute
+/// indices in the constructor and derive any randomness per call (e.g.
+/// an Rng seeded from the query), never from shared mutable state.
 class Expander {
  public:
   virtual ~Expander() = default;

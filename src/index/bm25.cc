@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ultrawiki {
 
@@ -46,6 +47,13 @@ std::vector<float> Bm25Scorer::ScoreAll(
     }
   }
   return scores;
+}
+
+std::vector<std::vector<float>> Bm25Scorer::ScoreAllBatch(
+    const std::vector<std::vector<TokenId>>& queries) const {
+  return ThreadPool::Global().ParallelMap<std::vector<float>>(
+      static_cast<int64_t>(queries.size()),
+      [&](int64_t q) { return ScoreAll(queries[static_cast<size_t>(q)]); });
 }
 
 std::vector<ScoredIndex> Bm25Scorer::Search(const std::vector<TokenId>& query,

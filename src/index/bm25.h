@@ -27,6 +27,12 @@ class Bm25Scorer {
   /// dense score vector indexed by DocId (0 for documents sharing no term).
   std::vector<float> ScoreAll(const std::vector<TokenId>& query) const;
 
+  /// ScoreAll for a whole query set at once, one result row per query in
+  /// input order. Queries are scored in parallel on the global ThreadPool
+  /// (each row is independent, so output is identical at any UW_THREADS).
+  std::vector<std::vector<float>> ScoreAllBatch(
+      const std::vector<std::vector<TokenId>>& queries) const;
+
   /// Top-k documents for `query`, sorted by descending score.
   std::vector<ScoredIndex> Search(const std::vector<TokenId>& query,
                                   size_t k) const;

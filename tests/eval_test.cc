@@ -28,6 +28,24 @@ TEST(PrecisionTest, EmptyTargets) {
   EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, {}, 2), 0.0);
 }
 
+TEST(PrecisionTest, DuplicateTargetCountedOnce) {
+  // Regression: entity 2 appears twice; the duplicate used to add a
+  // second hit (P@4 = 0.5). The prefix is deduplicated to {2, 3, 4}.
+  const std::vector<EntityId> ranking = {2, 2, 3, 4};
+  const TargetSet targets = {2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, targets, 4), 0.25);
+}
+
+TEST(PrecisionTest, RepeatedHallucinationsKeepTheirSlots) {
+  // Hallucinated entries share a sentinel id but are distinct fake
+  // entities; deduplication must not compact them upward.
+  const std::vector<EntityId> ranking = {kHallucinatedEntityId,
+                                         kHallucinatedEntityId, 1};
+  const TargetSet targets = {1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, targets, 2), 0.0);
+  EXPECT_NEAR(PrecisionAtK(ranking, targets, 3), 1.0 / 3.0, 1e-12);
+}
+
 TEST(AveragePrecisionTest, PerfectRankingIsOne) {
   const std::vector<EntityId> ranking = {5, 6, 7};
   const TargetSet targets = {5, 6, 7};
@@ -53,6 +71,14 @@ TEST(AveragePrecisionTest, RankAwareness) {
   const TargetSet targets = {1};
   EXPECT_GT(AveragePrecisionAtK({1, 2, 3}, targets, 3),
             AveragePrecisionAtK({2, 3, 1}, targets, 3));
+}
+
+TEST(AveragePrecisionTest, DuplicateTargetCountedOnce) {
+  // Regression: with the duplicate credited twice this came out at 1.5 —
+  // above the metric's ceiling. Deduped prefix {1, 2}: (1/1 + 2/2) / 2.
+  const std::vector<EntityId> ranking = {1, 1, 2};
+  const TargetSet targets = {1, 2};
+  EXPECT_DOUBLE_EQ(AveragePrecisionAtK(ranking, targets, 3), 1.0);
 }
 
 TEST(AveragePrecisionTest, EmptyInputs) {

@@ -11,6 +11,25 @@ TEST(BootstrapTest, IdenticalSamplesAreInsignificant) {
   EXPECT_DOUBLE_EQ(result.mean_a, result.mean_b);
   // Deltas are all zero; "B better" never happens.
   EXPECT_DOUBLE_EQ(result.prob_b_better, 0.0);
+  // Ties count toward both tails: identical samples are maximally
+  // insignificant, not "significant in A's favour".
+  EXPECT_DOUBLE_EQ(result.two_sided_p, 1.0);
+}
+
+TEST(BootstrapTest, SmoothedPNeverZero) {
+  // Regression: B wins every one of the 1000 resamples. The unsmoothed
+  // p-value was exactly 0.0, impossible for a finite resample count; the
+  // add-one smoothed two-sided value is 2 / (resamples + 1).
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(10.0 + (i % 3));
+    b.push_back(90.0 + (i % 3));
+  }
+  const BootstrapResult result = PairedBootstrap(a, b, 1000);
+  EXPECT_DOUBLE_EQ(result.prob_b_better, 1.0);
+  EXPECT_GT(result.two_sided_p, 0.0);
+  EXPECT_DOUBLE_EQ(result.two_sided_p, 2.0 / 1001.0);
 }
 
 TEST(BootstrapTest, ClearDominanceIsSignificant) {

@@ -1,0 +1,178 @@
+// Unit tests for the work-stealing ThreadPool plus the PR's central
+// guarantee: every parallel stage (entity-store build, per-query
+// evaluation, batched BM25) produces bit-identical results at
+// UW_THREADS=1 and UW_THREADS=8.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "eval/evaluator.h"
+#include "eval/significance.h"
+#include "expand/pipeline.h"
+#include "index/bm25.h"
+
+namespace ultrawiki {
+namespace {
+
+// ------------------------------------------------------------ Pool unit.
+
+TEST(ThreadPoolTest, DefaultThreadCountReadsEnv) {
+  ASSERT_EQ(setenv("UW_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("UW_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  ASSERT_EQ(unsetenv("UW_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kN = 10000;
+    std::vector<std::atomic<int>> visits(kN);
+    for (auto& v : visits) v.store(0);
+    pool.ParallelFor(0, kN, /*grain=*/7,
+                     [&](int64_t i) { visits[static_cast<size_t>(i)]++; });
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(3, 4, 0, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  for (int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    const std::vector<int64_t> out = pool.ParallelMap<int64_t>(
+        5000, [](int64_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 5000u);
+    for (int64_t i = 0; i < 5000; ++i) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], i * i);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<int64_t> totals = pool.ParallelMap<int64_t>(32, [&](int64_t) {
+    // Re-entering the pool from a pool task must not deadlock; the inner
+    // loop runs inline on the current lane.
+    int64_t inner = 0;
+    pool.ParallelFor(0, 100, 10, [&](int64_t j) { inner += j; });
+    return inner;
+  });
+  for (int64_t total : totals) EXPECT_EQ(total, 4950);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  int64_t sum = 0;  // safe without atomics: exact sequential fallback
+  pool.ParallelFor(0, 1000, 0, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 499500);
+}
+
+// ------------------------------------------- End-to-end determinism.
+
+class PoolDeterminismTest : public ::testing::Test {
+ protected:
+  ~PoolDeterminismTest() override {
+    ThreadPool::SetGlobalThreadCount(0);  // restore the default pool
+  }
+
+  /// Everything a Tiny run produces through the parallel stages: the
+  /// per-query rankings, CombMAP values, aggregate eval maps, and a
+  /// batched BM25 score matrix.
+  struct RunOutputs {
+    std::vector<std::vector<EntityId>> rankings;
+    std::vector<double> comb_map;
+    EvalResult eval;
+  };
+
+  static RunOutputs RunTiny(int threads) {
+    ThreadPool::SetGlobalThreadCount(threads);
+    // The pipeline build itself exercises EntityStore::Build and the
+    // batched BM25 hard-negative mining under `threads` lanes.
+    Pipeline pipeline = Pipeline::Build(PipelineConfig::Tiny());
+    auto retexpan = pipeline.MakeRetExpan();
+    RunOutputs out;
+    for (const Query& query : pipeline.dataset().queries) {
+      out.rankings.push_back(retexpan->Expand(query, 50));
+    }
+    out.comb_map = PerQueryCombMap(*retexpan, pipeline.dataset(), 50);
+    out.eval = EvaluateExpander(*retexpan, pipeline.dataset());
+    return out;
+  }
+};
+
+TEST_F(PoolDeterminismTest, TinyRunBitIdenticalAcrossThreadCounts) {
+  const RunOutputs seq = RunTiny(1);
+  const RunOutputs par = RunTiny(8);
+
+  ASSERT_FALSE(seq.rankings.empty());
+  ASSERT_EQ(seq.rankings.size(), par.rankings.size());
+  for (size_t q = 0; q < seq.rankings.size(); ++q) {
+    ASSERT_EQ(seq.rankings[q], par.rankings[q]) << "query " << q;
+  }
+
+  ASSERT_EQ(seq.comb_map.size(), par.comb_map.size());
+  for (size_t q = 0; q < seq.comb_map.size(); ++q) {
+    // Exact equality on purpose: the ordered reduction must make the
+    // parallel path bit-identical, not merely close.
+    ASSERT_EQ(seq.comb_map[q], par.comb_map[q]) << "query " << q;
+  }
+
+  EXPECT_EQ(seq.eval.query_count, par.eval.query_count);
+  for (const auto& [k, v] : seq.eval.pos_map) {
+    ASSERT_EQ(v, par.eval.pos_map.at(k)) << "pos_map@" << k;
+    ASSERT_EQ(seq.eval.neg_map.at(k), par.eval.neg_map.at(k));
+    ASSERT_EQ(seq.eval.pos_p.at(k), par.eval.pos_p.at(k));
+    ASSERT_EQ(seq.eval.neg_p.at(k), par.eval.neg_p.at(k));
+  }
+}
+
+TEST_F(PoolDeterminismTest, BatchedBm25MatchesPerQueryScores) {
+  ThreadPool::SetGlobalThreadCount(8);
+  InvertedIndex index;
+  Rng rng(123);
+  for (int d = 0; d < 200; ++d) {
+    std::vector<TokenId> doc;
+    const int len = 5 + static_cast<int>(rng.UniformUint64(40));
+    for (int t = 0; t < len; ++t) {
+      doc.push_back(static_cast<TokenId>(rng.UniformUint64(64)));
+    }
+    index.AddDocument(doc);
+  }
+  Bm25Scorer scorer(&index);
+  std::vector<std::vector<TokenId>> queries;
+  for (int q = 0; q < 37; ++q) {
+    std::vector<TokenId> query;
+    for (int t = 0; t < 4; ++t) {
+      query.push_back(static_cast<TokenId>(rng.UniformUint64(64)));
+    }
+    queries.push_back(std::move(query));
+  }
+  const std::vector<std::vector<float>> batch = scorer.ScoreAllBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(batch[q], scorer.ScoreAll(queries[q])) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace ultrawiki
