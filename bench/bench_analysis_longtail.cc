@@ -19,7 +19,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   auto gpt4 = pipeline.MakeGpt4Baseline();
   auto genexpan = pipeline.MakeGenExpan();
 

@@ -3,17 +3,33 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/thread_pool.h"
+#include "expand/pipeline.h"
+#include "obs/export.h"
 
 namespace ultrawiki {
 
+/// Pipeline scale for bench binaries: the full Bench() config by default,
+/// or Tiny() when `UW_BENCH_TINY` is set non-empty (CI smoke runs). The
+/// stdout tables differ between the two scales, but each scale stays
+/// byte-identical across thread counts and trace settings.
+inline PipelineConfig BenchPipelineConfig() {
+  const char* env = std::getenv("UW_BENCH_TINY");
+  if (env != nullptr && *env != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return PipelineConfig::Tiny();
+  }
+  return PipelineConfig::Bench();
+}
+
 /// Shared harness glue for the table/figure binaries: announces the lane
-/// count the global pool resolved from UW_THREADS and reports wall-clock
-/// on exit, so the parallel speedup of each table is visible (and
-/// regressions against the UW_THREADS=1 baseline are easy to spot).
-/// Output goes to stderr; table output on stdout stays byte-identical
-/// across thread counts.
+/// count the global pool resolved from UW_THREADS, reports wall-clock on
+/// exit, and writes a machine-readable metrics + profile snapshot (see
+/// obs::WriteBenchSnapshot; path from `UW_BENCH_JSON`, default
+/// `bench_<name>.json`, `off` to suppress). Diagnostics go to stderr and
+/// the snapshot to a file; table output on stdout stays byte-identical
+/// across thread counts and trace settings.
 class BenchTimer {
  public:
   explicit BenchTimer(const char* name)
@@ -29,6 +45,12 @@ class BenchTimer {
             .count();
     std::fprintf(stderr, "[%s] wall-clock %.2fs on %d thread(s)\n", name_,
                  seconds, ThreadPool::Global().thread_count());
+    const std::string path = obs::WriteBenchSnapshot(
+        name_, ThreadPool::Global().thread_count(), seconds);
+    if (!path.empty()) {
+      std::fprintf(stderr, "[%s] metrics snapshot -> %s\n", name_,
+                   path.c_str());
+    }
   }
 
   BenchTimer(const BenchTimer&) = delete;

@@ -15,7 +15,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   const GeneratedWorld& world = pipeline.world();
   const EntityStore& store = pipeline.store();
   const size_t classes = world.schema.size();

@@ -33,7 +33,7 @@ TablePrinter MakeSweepTable(const std::string& title) {
 }
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
 
   // (a) Label smoothing η: retrain the encoder per value.
   {

@@ -25,7 +25,7 @@ struct LmVariantSpec {
 };
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table(
       "Fig. 8: GenExpan with different LM families and sizes");
   table.SetHeader({"backbone", "PosMAP avg", "NegMAP avg", "CombMAP avg"});

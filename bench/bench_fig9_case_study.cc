@@ -74,7 +74,7 @@ void PrintCase(Pipeline& pipeline, const Query& query, Expander& method) {
 }
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   const UltraWikiDataset& dataset = pipeline.dataset();
 
   // Pick one china-cities query (class index 1) and one countries query

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_env.h"
 #include "embedding/entity_store.h"
 #include "embedding/trainer.h"
 #include "eval/metrics.h"
@@ -118,4 +119,15 @@ BENCHMARK(BM_AveragePrecisionAtK);
 }  // namespace
 }  // namespace ultrawiki
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a BenchTimer wrapped around the run so
+// this binary also writes the standard metrics + profile snapshot.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    ::ultrawiki::BenchTimer timer("micro_substrates");
+    ::benchmark::RunSpecifiedBenchmarks();
+  }
+  ::benchmark::Shutdown();
+  return 0;
+}

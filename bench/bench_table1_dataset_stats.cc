@@ -17,7 +17,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  const PipelineConfig config = PipelineConfig::Bench();
+  const PipelineConfig config = BenchPipelineConfig();
   const GeneratedWorld world = GenerateWorld(config.generator);
   auto built = BuildDataset(world, config.dataset);
   UW_CHECK(built.ok()) << built.status();

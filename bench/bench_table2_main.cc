@@ -17,7 +17,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table = MakeResultTable(
       "Table 2: main experiment results (Pos ^ higher is better, "
       "Neg v lower is better)",

@@ -14,7 +14,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table("Table 3: module ablations (Comb MAP)");
   table.SetHeader(
       {"Method", "MAP@10", "MAP@20", "MAP@50", "MAP@100", "Avg"});

@@ -38,7 +38,7 @@ void RunBlock(Pipeline& pipeline, bool identical, TablePrinter& table) {
 }
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   {
     TablePrinter table = MakeResultTable(
         "Table 4 (top): A_pos = A_neg (emphasis regime)", /*map_only=*/true);

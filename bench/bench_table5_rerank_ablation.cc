@@ -47,7 +47,7 @@ void AddDeltaRows(TablePrinter& table, const EvalResult& base,
 }
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table = MakeResultTable(
       "Table 5: ablation of the negative-seed entity re-ranking module",
       /*map_only=*/false);

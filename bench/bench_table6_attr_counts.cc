@@ -12,7 +12,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table = MakeResultTable(
       "Table 6: semantic classes by (|A_pos|, |A_neg|)", /*map_only=*/true);
   auto method = pipeline.MakeRetExpan();

@@ -14,7 +14,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table = MakeResultTable(
       "Table 7: contrastive-learning training-data ablation",
       /*map_only=*/true);

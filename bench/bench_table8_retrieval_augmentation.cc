@@ -13,7 +13,7 @@ namespace ultrawiki {
 namespace {
 
 void Run() {
-  Pipeline pipeline = Pipeline::Build(PipelineConfig::Bench());
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   TablePrinter table = MakeResultTable(
       "Table 8: retrieval augmentation knowledge sources",
       /*map_only=*/true);

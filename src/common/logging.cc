@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace ultrawiki {
 namespace {
-
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,6 +24,43 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int ParseLogLevelEnv() {
+  const char* env = std::getenv("UW_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') return env[0] - '0';
+  auto matches = [env](const char* name) {
+    for (size_t i = 0; name[i] != '\0' || env[i] != '\0'; ++i) {
+      const char c = static_cast<char>(
+          env[i] >= 'A' && env[i] <= 'Z' ? env[i] - 'A' + 'a' : env[i]);
+      if (c != name[i]) return false;
+    }
+    return true;
+  };
+  if (matches("debug")) return static_cast<int>(LogLevel::kDebug);
+  if (matches("info")) return static_cast<int>(LogLevel::kInfo);
+  if (matches("warning") || matches("warn")) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (matches("error")) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+/// Threshold; initialized from UW_LOG_LEVEL on first use (-1 = unread).
+std::atomic<int> g_min_level{-1};
+
+int MinLevel() {
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    int expected = -1;
+    g_min_level.compare_exchange_strong(expected, ParseLogLevelEnv(),
+                                        std::memory_order_relaxed);
+    level = g_min_level.load(std::memory_order_relaxed);
+  }
+  return level;
+}
+
 const char* Basename(const char* path) {
   const char* base = path;
   for (const char* p = path; *p != '\0'; ++p) {
@@ -31,38 +69,66 @@ const char* Basename(const char* path) {
   return base;
 }
 
+/// Small sequential thread ids: readable and stable within a process,
+/// unlike the opaque std::thread::id representation.
+int LocalThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Serializes the final write so concurrent UW_LOG lines from pool
+/// workers cannot interleave mid-line. Leaky: logging must work during
+/// static destruction.
+std::mutex& EmitMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+/// ISO-8601 UTC wall-clock with millisecond resolution, e.g.
+/// "2026-08-05T12:34:56.789Z".
+void FormatTimestamp(char* buffer, size_t size) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm utc{};
+  gmtime_r(&ts.tv_sec, &utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buffer, size, "%s.%03ldZ", date, ts.tv_nsec / 1000000);
+}
+
+void Emit(const char* level, const char* file, int line,
+          const std::string& message) {
+  char timestamp[48];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %s t%d %s:%d] %s\n", timestamp, level,
+               LocalThreadId(), Basename(file), line, message.c_str());
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
-}
+LogLevel GetLogLevel() { return static_cast<LogLevel>(MinLevel()); }
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (static_cast<int>(level_) < MinLevel()) return;
+  Emit(LevelName(level_), file_, line_, stream_.str());
 }
 
-FatalLogMessage::FatalLogMessage(const char* file, int line) {
-  stream_ << "[F " << Basename(file) << ":" << line << "] ";
-}
+FatalLogMessage::FatalLogMessage(const char* file, int line)
+    : file_(file), line_(line) {}
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  Emit("F", file_, line_, stream_.str());
   std::abort();
 }
 

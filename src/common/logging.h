@@ -1,6 +1,8 @@
 #ifndef ULTRAWIKI_COMMON_LOGGING_H_
 #define ULTRAWIKI_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -10,7 +12,10 @@ namespace ultrawiki {
 /// are suppressed.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum severity that is emitted. Defaults to kInfo.
+/// Sets the minimum severity that is emitted. Defaults to the
+/// `UW_LOG_LEVEL` environment variable (a name — debug, info, warning,
+/// error — or the numeric value 0-3), read once at startup; kInfo when
+/// unset or unparseable.
 void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum severity.
@@ -31,6 +36,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -46,6 +53,8 @@ class FatalLogMessage {
   std::ostringstream& stream() { return stream_; }
 
  private:
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -56,6 +65,24 @@ class FatalLogMessage {
   ::ultrawiki::internal_logging::LogMessage(                      \
       ::ultrawiki::LogLevel::k##level, __FILE__, __LINE__)        \
       .stream()
+
+#define UW_LOG_CONCAT_INNER(a, b) a##b
+#define UW_LOG_CONCAT(a, b) UW_LOG_CONCAT_INNER(a, b)
+
+/// Rate-limited UW_LOG for per-item diagnostics inside (possibly
+/// parallel) loops: emits the 1st, (n+1)th, (2n+1)th, ... occurrence of
+/// this call site, counted with one atomic shared across all threads, so
+/// a warning that fires per candidate cannot flood stderr. Must be used
+/// as a standalone statement (it declares a static counter).
+#define UW_LOG_EVERY_N(level, n)                                          \
+  static ::std::atomic<int64_t> UW_LOG_CONCAT(uw_log_occurrences_,        \
+                                              __LINE__){0};               \
+  if (UW_LOG_CONCAT(uw_log_occurrences_, __LINE__)                        \
+              .fetch_add(1, ::std::memory_order_relaxed) %                \
+          (n) !=                                                          \
+      0) {                                                                \
+  } else                                                                  \
+    UW_LOG(level)
 
 /// Aborts with a message when `cond` is false. Active in all build modes:
 /// these guard library invariants, not user errors (which return Status).

@@ -4,12 +4,31 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ultrawiki {
 namespace {
 
 /// Set while a pool task runs on this thread; nested ParallelFor calls
 /// detect it and run inline instead of re-entering the pool.
 thread_local bool tl_inside_pool_task = false;
+
+/// Pool utilization metrics (see README "Observability"). The sequential
+/// fallback path (one lane, nested calls, single-index ranges) is
+/// deliberately uninstrumented: no tasks exist there.
+struct PoolMetrics {
+  obs::Counter& tasks_submitted = obs::GetCounter("pool.tasks_submitted");
+  obs::Counter& tasks_run = obs::GetCounter("pool.tasks_run");
+  obs::Counter& steals = obs::GetCounter("pool.steals");
+  obs::Counter& assist_runs = obs::GetCounter("pool.assist_runs");
+  obs::Gauge& peak_queue_depth = obs::GetGauge("pool.peak_queue_depth");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
 
 std::mutex& GlobalPoolMutex() {
   static std::mutex mutex;
@@ -45,6 +64,9 @@ void ThreadPool::SetGlobalThreadCount(int thread_count) {
 }
 
 ThreadPool::ThreadPool(int thread_count) {
+  // Register the pool metrics eagerly so snapshots list them (at zero)
+  // even for runs that never leave the sequential fallback.
+  Metrics();
   thread_count_ = thread_count > 0 ? thread_count : DefaultThreadCount();
   const int worker_count = thread_count_ - 1;
   queues_.reserve(static_cast<size_t>(worker_count));
@@ -81,10 +103,18 @@ bool ThreadPool::TryRunOneTask(int self) {
     } else {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
+      // The submitting thread helping out is expected; a worker raiding
+      // another worker's queue is load imbalance worth watching.
+      if (self < 0) {
+        Metrics().assist_runs.Increment();
+      } else {
+        Metrics().steals.Increment();
+      }
     }
     queued_tasks_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (!task) return false;
+  Metrics().tasks_run.Increment();
   tl_inside_pool_task = true;
   task();
   tl_inside_pool_task = false;
@@ -128,10 +158,24 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   auto state = std::make_shared<BatchState>();
   state->remaining.store(chunk_count, std::memory_order_relaxed);
 
+  // When tracing, tasks re-root their spans under the span path open on
+  // this (submitting) thread, so worker-side spans nest under the stage
+  // that spawned them instead of dangling at the root.
+  std::shared_ptr<const std::vector<std::string>> trace_path;
+  if (obs::TraceEnabled()) {
+    std::vector<std::string> path = obs::CurrentSpanPath();
+    if (!path.empty()) {
+      trace_path = std::make_shared<const std::vector<std::string>>(
+          std::move(path));
+    }
+  }
+  Metrics().tasks_submitted.Increment(chunk_count);
+
   for (int64_t c = 0; c < chunk_count; ++c) {
     const int64_t chunk_begin = begin + c * grain;
     const int64_t chunk_end = std::min<int64_t>(chunk_begin + grain, end);
-    Task task = [state, chunk_begin, chunk_end, &fn] {
+    Task task = [state, chunk_begin, chunk_end, &fn, trace_path] {
+      obs::ScopedTaskParent trace_parent(trace_path.get());
       for (int64_t i = chunk_begin; i < chunk_end; ++i) fn(i);
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Take the lock so the submitter cannot miss the final notify
@@ -146,7 +190,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
       std::lock_guard<std::mutex> lock(q.mutex);
       q.tasks.push_back(std::move(task));
     }
-    queued_tasks_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().peak_queue_depth.UpdateMax(
+        queued_tasks_.fetch_add(1, std::memory_order_relaxed) + 1);
   }
   {
     // Pair the notify with the workers' wait predicate.

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "math/vec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -58,6 +60,12 @@ EntityStore EntityStore::Build(const Corpus& corpus,
                                const ContextEncoder& encoder,
                                const std::vector<EntityId>& entities,
                                const EntityStoreConfig& config) {
+  UW_SPAN("entity_store.build");
+  static obs::Counter& entities_built =
+      obs::GetCounter("entity_store.entities_built");
+  static obs::Counter& sentences_encoded =
+      obs::GetCounter("entity_store.sentences_encoded");
+  entities_built.Increment(static_cast<int64_t>(entities.size()));
   EntityStore store(static_cast<size_t>(encoder.config().hidden_dim));
   store.zero_.assign(store.dim_, 0.0f);
   store.hidden_.resize(corpus.entity_count());
@@ -85,6 +93,7 @@ EntityStore EntityStore::Build(const Corpus& corpus,
               AccumulateInPlace(sum, hidden);
               ++used;
             });
+        sentences_encoded.Increment(used);
         if (used == 0) return Vec();
         Scale(1.0f / static_cast<float>(used), sum);
         return sum;
@@ -191,6 +200,7 @@ std::vector<SparseVec> BuildSparseDistributions(
 std::vector<Vec> BuildDistributionRepresentations(
     const Corpus& corpus, const ContextEncoder& encoder,
     const std::vector<EntityId>& entities, const EntityStoreConfig& config) {
+  UW_SPAN("entity_store.distributions");
   std::vector<Vec> result(corpus.entity_count());
   // Same parallel shape as EntityStore::Build: independent per-entity
   // work into per-index slots, sequential write-back in `entities` order.

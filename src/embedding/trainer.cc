@@ -8,6 +8,8 @@
 #include "math/sampling.h"
 #include "math/softmax.h"
 #include "math/vec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -18,6 +20,7 @@ TrainStats TrainEntityPrediction(const Corpus& corpus,
   UW_CHECK_GT(config.negative_samples, 0);
   UW_CHECK_GE(config.label_smoothing, 0.0f);
   UW_CHECK_LT(config.label_smoothing, 1.0f);
+  UW_SPAN("train_entity_prediction");
   Rng rng(config.seed);
   TrainStats stats;
   stats.epochs = config.epochs;
@@ -197,6 +200,11 @@ TrainStats TrainEntityPrediction(const Corpus& corpus,
   }
   stats.final_loss =
       epoch_loss / static_cast<double>(corpus.sentence_count());
+  obs::GetCounter("trainer.steps").Increment(stats.steps);
+  obs::GetCounter("trainer.epochs").Increment(stats.epochs);
+  // Loss is a double; store micro-units so the snapshot stays integral.
+  obs::GetGauge("trainer.final_loss_micros")
+      .Set(static_cast<int64_t>(stats.final_loss * 1e6));
   return stats;
 }
 

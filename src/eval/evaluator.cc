@@ -1,9 +1,12 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 namespace {
@@ -53,6 +56,11 @@ double EvalResult::AvgCombMap() const {
 EvalResult EvaluateExpander(Expander& expander,
                             const UltraWikiDataset& dataset,
                             const EvalConfig& config) {
+  UW_SPAN("evaluate_expander");
+  static obs::Histogram& query_latency = obs::GetHistogram(
+      "eval.query_latency_us", obs::LatencyBoundsUs());
+  static obs::Counter& queries_evaluated =
+      obs::GetCounter("eval.queries_evaluated");
   EvalResult result;
   UW_CHECK(!config.ks.empty());
   const int max_k = *std::max_element(config.ks.begin(), config.ks.end());
@@ -88,8 +96,14 @@ EvalResult EvaluateExpander(Expander& expander,
             const Query& query =
                 dataset.queries[selected[static_cast<size_t>(i)]];
             const UltraClass& ultra = dataset.ClassOf(query);
+            const auto start = std::chrono::steady_clock::now();
             const std::vector<EntityId> ranking =
                 expander.Expand(query, static_cast<size_t>(max_k));
+            query_latency.Observe(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            queries_evaluated.Increment();
             const TargetSet pos_targets =
                 MakeTargets(ultra.positive_targets, query.pos_seeds);
             std::vector<EntityId> all_seeds = query.pos_seeds;
@@ -133,6 +147,7 @@ EvalResult EvaluateExpander(Expander& expander,
 double EvaluateFineGrainedMap(Expander& expander,
                               const UltraWikiDataset& dataset,
                               const GeneratedWorld& world, int k) {
+  UW_SPAN("evaluate_fine_grained_map");
   const std::vector<double> per_query =
       ThreadPool::Global().ParallelMap<double>(
           static_cast<int64_t>(dataset.queries.size()), [&](int64_t qi) {

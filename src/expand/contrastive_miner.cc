@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -11,6 +13,7 @@ ContrastiveData MineContrastiveData(const GeneratedWorld& world,
                                     const RetExpan& base_expander,
                                     const LlmOracle& oracle,
                                     const MinerConfig& config) {
+  UW_SPAN("mine_contrastive_data");
   ContrastiveData data;
   Rng rng(config.seed);
 
@@ -84,8 +87,14 @@ ContrastiveData MineContrastiveData(const GeneratedWorld& world,
     for (EntityId id : query.pos_seeds) name_tokens(id, &group.conditioning);
     for (EntityId id : query.neg_seeds) name_tokens(id, &group.conditioning);
 
+    obs::GetCounter("miner.pos_pairs_mined")
+        .Increment(static_cast<int64_t>(group.l_pos.size()));
+    obs::GetCounter("miner.neg_pairs_mined")
+        .Increment(static_cast<int64_t>(group.l_neg.size()));
     data.groups.push_back(std::move(group));
   }
+  obs::GetCounter("miner.groups_mined")
+      .Increment(static_cast<int64_t>(data.groups.size()));
   return data;
 }
 

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "expand/rerank.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -282,6 +284,8 @@ double GenExpan::ClueMatchScore(EntityId id,
 }
 
 std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
+  UW_SPAN("genexpan.expand");
+  obs::GetCounter("genexpan.queries").Increment();
   Rng rng(config_.seed ^ QueryHash(query));
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
   std::set<EntityId> seen(seeds.begin(), seeds.end());
@@ -315,10 +319,13 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
     }
     const std::vector<TokenId> prompt = BuildPrompt(query, prompt_seeds);
 
+    obs::GetCounter("genexpan.rounds").Increment();
     BeamSearchConfig beam_config;
     beam_config.beam_width = config_.beam_width;
     std::vector<GeneratedEntity> generated =
         ConstrainedBeamSearch(*lm_, *trie_, prompt, beam_config);
+    obs::GetCounter("genexpan.generated")
+        .Increment(static_cast<int64_t>(generated.size()));
 
     // New entities only.
     std::vector<GeneratedEntity> fresh;
@@ -355,10 +362,12 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
       // enter the ranked list as hallucinations.
       if (!config_.use_prefix_constraint &&
           rng.Bernoulli(config_.unconstrained_invalid_rate)) {
+        obs::GetCounter("genexpan.hallucinations").Increment();
         expansion.push_back(
             Admitted{kHallucinatedEntityId, round, scored[i].first});
         continue;
       }
+      obs::GetCounter("genexpan.admitted").Increment();
       expansion.push_back(Admitted{id, round, scored[i].first});
       expansion_pool.push_back(id);
     }
@@ -379,6 +388,7 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
   // clues when available), scale-free via rank fusion.
   if (config_.use_negative_rerank && !query.neg_seeds.empty() &&
       !list.empty()) {
+    UW_SPAN("genexpan.rerank");
     const std::vector<TokenId> neg_clues = CotNegativeClues(query);
     std::vector<double> seed_scores;
     std::vector<double> clue_scores;

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "lm/prefix_trie.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -76,19 +78,32 @@ std::vector<EntityId> FuseRankings(const std::vector<EntityId>& a,
 
 std::vector<EntityId> InteractionExpander::ExpandRetThenGen(
     const Query& query, size_t k) {
+  UW_SPAN("interaction.ret_then_gen");
+  obs::GetCounter("interaction.queries").Increment();
   // Stage A: RetExpan recall over the full vocabulary.
   RetExpan recall(store_, candidates_, config_.retexpan);
   const std::vector<EntityId> subset = recall.InitialExpansion(
       query, static_cast<size_t>(config_.recall_size));
   // Stage B: GenExpan constrained to a query-local trie over the subset.
   PrefixTrie trie;
-  for (EntityId id : subset) {
-    std::vector<TokenId> name;
-    for (const std::string& word : world_->corpus.entity(id).name_tokens) {
-      const TokenId token = world_->corpus.tokens().Lookup(word);
-      if (token != kInvalidTokenId) name.push_back(token);
+  {
+    UW_SPAN("interaction.build_subset_trie");
+    for (EntityId id : subset) {
+      std::vector<TokenId> name;
+      for (const std::string& word :
+           world_->corpus.entity(id).name_tokens) {
+        const TokenId token = world_->corpus.tokens().Lookup(word);
+        if (token != kInvalidTokenId) name.push_back(token);
+      }
+      if (name.empty()) {
+        UW_LOG_EVERY_N(Warning, 100)
+            << "recalled entity " << id
+            << " has no in-vocabulary name tokens; stage B cannot "
+               "generate it";
+        continue;
+      }
+      trie.Insert(name, id);
     }
-    if (!name.empty()) trie.Insert(name, id);
   }
   GenExpan generator(world_, lm_, &trie, similarity_, oracle_,
                      config_.genexpan, "GenExpan(stage B)");
@@ -98,15 +113,28 @@ std::vector<EntityId> InteractionExpander::ExpandRetThenGen(
 
 std::vector<EntityId> InteractionExpander::ExpandGenThenRet(
     const Query& query, size_t k) {
+  UW_SPAN("interaction.gen_then_ret");
+  obs::GetCounter("interaction.queries").Increment();
   // Stage A: GenExpan recall over the full trie.
   PrefixTrie trie;
-  for (EntityId id : *candidates_) {
-    std::vector<TokenId> name;
-    for (const std::string& word : world_->corpus.entity(id).name_tokens) {
-      const TokenId token = world_->corpus.tokens().Lookup(word);
-      if (token != kInvalidTokenId) name.push_back(token);
+  {
+    UW_SPAN("interaction.build_full_trie");
+    for (EntityId id : *candidates_) {
+      std::vector<TokenId> name;
+      for (const std::string& word :
+           world_->corpus.entity(id).name_tokens) {
+        const TokenId token = world_->corpus.tokens().Lookup(word);
+        if (token != kInvalidTokenId) name.push_back(token);
+      }
+      if (name.empty()) {
+        UW_LOG_EVERY_N(Warning, 100)
+            << "candidate entity " << id
+            << " has no in-vocabulary name tokens; stage A cannot "
+               "generate it";
+        continue;
+      }
+      trie.Insert(name, id);
     }
-    if (!name.empty()) trie.Insert(name, id);
   }
   GenExpanConfig recall_config = config_.genexpan;
   recall_config.use_negative_rerank = false;  // recall stage only

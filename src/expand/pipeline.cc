@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -37,10 +39,17 @@ Pipeline::Pipeline(const PipelineConfig& config, GeneratedWorld world)
     : config_(config), world_(std::move(world)) {}
 
 Pipeline Pipeline::Build(const PipelineConfig& config) {
-  Pipeline pipeline(config, GenerateWorld(config.generator));
-  auto built = BuildDataset(pipeline.world_, config.dataset);
-  UW_CHECK(built.ok()) << built.status();
-  pipeline.dataset_ = std::move(built).value();
+  UW_SPAN("pipeline.build");
+  Pipeline pipeline = [&config] {
+    UW_SPAN("generate_world");
+    return Pipeline(config, GenerateWorld(config.generator));
+  }();
+  {
+    UW_SPAN("build_dataset");
+    auto built = BuildDataset(pipeline.world_, config.dataset);
+    UW_CHECK(built.ok()) << built.status();
+    pipeline.dataset_ = std::move(built).value();
+  }
 
   pipeline.oracle_ =
       std::make_unique<LlmOracle>(&pipeline.world_, config.oracle);
@@ -50,29 +59,51 @@ Pipeline Pipeline::Build(const PipelineConfig& config) {
   pipeline.encoder_ = std::make_unique<ContextEncoder>(
       corpus.tokens().size(), corpus.entity_count(), config.encoder);
   pipeline.encoder_->SetTokenWeights(ComputeSifTokenWeights(corpus.tokens()));
-  TrainEntityPrediction(corpus, *pipeline.encoder_, config.encoder_train);
-  pipeline.store_ = std::make_unique<EntityStore>(EntityStore::Build(
-      corpus, *pipeline.encoder_, pipeline.dataset_.candidates,
-      config.store));
+  {
+    UW_SPAN("train_encoder");
+    TrainEntityPrediction(corpus, *pipeline.encoder_, config.encoder_train);
+  }
+  {
+    UW_SPAN("entity_store");
+    pipeline.store_ = std::make_unique<EntityStore>(EntityStore::Build(
+        corpus, *pipeline.encoder_, pipeline.dataset_.candidates,
+        config.store));
+  }
 
   // Language model: "further pretraining" on the corpus.
-  pipeline.lm_ =
-      std::make_unique<HybridLm>(corpus.tokens().size(), config.lm);
-  pipeline.lm_->SetStopTokens(pipeline.StopTokens());
-  pipeline.TrainLmOn(*pipeline.lm_, config.lm_pretrain_fraction);
+  {
+    UW_SPAN("lm_pretrain");
+    pipeline.lm_ =
+        std::make_unique<HybridLm>(corpus.tokens().size(), config.lm);
+    pipeline.lm_->SetStopTokens(pipeline.StopTokens());
+    pipeline.TrainLmOn(*pipeline.lm_, config.lm_pretrain_fraction);
+  }
 
   // Prefix trie over candidate surface forms.
-  pipeline.trie_ = std::make_unique<PrefixTrie>();
-  for (EntityId id : pipeline.dataset_.candidates) {
-    std::vector<TokenId> name;
-    for (const std::string& word : corpus.entity(id).name_tokens) {
-      const TokenId token = corpus.tokens().Lookup(word);
-      if (token != kInvalidTokenId) name.push_back(token);
+  {
+    UW_SPAN("build_trie");
+    pipeline.trie_ = std::make_unique<PrefixTrie>();
+    for (EntityId id : pipeline.dataset_.candidates) {
+      std::vector<TokenId> name;
+      for (const std::string& word : corpus.entity(id).name_tokens) {
+        const TokenId token = corpus.tokens().Lookup(word);
+        if (token != kInvalidTokenId) name.push_back(token);
+      }
+      if (name.empty()) {
+        UW_LOG_EVERY_N(Warning, 100)
+            << "candidate entity " << id
+            << " has no in-vocabulary name tokens; skipping trie insert";
+        continue;
+      }
+      pipeline.trie_->Insert(name, id);
     }
-    if (!name.empty()) pipeline.trie_->Insert(name, id);
   }
   pipeline.similarity_ =
       std::make_unique<LmEntitySimilarity>(corpus, *pipeline.lm_);
+  obs::GetGauge("pipeline.candidates").Set(
+      static_cast<int64_t>(pipeline.dataset_.candidates.size()));
+  obs::GetGauge("pipeline.corpus_sentences")
+      .Set(static_cast<int64_t>(corpus.sentence_count()));
   return pipeline;
 }
 
@@ -112,6 +143,7 @@ std::unordered_set<TokenId> Pipeline::StopTokens() const {
 
 const EntityStore& Pipeline::weak_store() {
   if (weak_store_ == nullptr) {
+    UW_SPAN("pipeline.weak_store");
     const Corpus& corpus = world_.corpus;
     EncoderConfig weak_config = config_.encoder;
     weak_config.seed = config_.encoder.seed ^ 0x5151;
@@ -128,6 +160,7 @@ const EntityStore& Pipeline::weak_store() {
 
 const EntityStore& Pipeline::static_store() {
   if (static_store_ == nullptr) {
+    UW_SPAN("pipeline.static_store");
     const Corpus& corpus = world_.corpus;
     EncoderConfig static_config = config_.encoder;
     static_config.seed = config_.encoder.seed ^ 0x9292;
@@ -148,6 +181,7 @@ const EntityStore& Pipeline::static_store() {
 
 const EntityStore& Pipeline::contrast_store() {
   if (contrast_store_ == nullptr) {
+    UW_SPAN("pipeline.contrast_store");
     contrast_store_ = BuildContrastStore(config_.contrast, config_.miner);
   }
   return *contrast_store_;
@@ -182,6 +216,7 @@ const EntityStore& Pipeline::ra_store(RaSource source) {
   const size_t index = static_cast<size_t>(source);
   UW_CHECK_LT(index, 4u);
   if (ra_stores_[index] == nullptr) {
+    UW_SPAN("pipeline.ra_store");
     // Retrain a fresh encoder with the augmentation prefixes applied to
     // every training sentence, then extract representations with the same
     // prefixes (paper §5.1.3: "during both training and inference").
@@ -207,6 +242,7 @@ const EntityStore& Pipeline::ra_store(RaSource source) {
 
 const std::vector<SparseVec>& Pipeline::distributions() {
   if (distributions_ == nullptr) {
+    UW_SPAN("pipeline.distributions");
     EntityStoreConfig config = config_.store;
     config.max_sentences_per_entity =
         std::min(config.max_sentences_per_entity, 3);

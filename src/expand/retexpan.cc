@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "expand/rerank.h"
 #include "math/topk.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 
@@ -31,6 +33,7 @@ double RetExpan::SeedSimilarity(const std::vector<EntityId>& seeds,
 
 std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
                                                  size_t size) const {
+  UW_SPAN("retexpan.initial_expansion");
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
   std::vector<ScoredIndex> scored;
   scored.reserve(candidates_->size());
@@ -40,6 +43,8 @@ std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
     scored.push_back(ScoredIndex{
         static_cast<float>(SeedSimilarity(query.pos_seeds, id)), i});
   }
+  obs::GetCounter("retexpan.candidates_scored")
+      .Increment(static_cast<int64_t>(scored.size()));
   scored = TopKOfPairs(std::move(scored), size);
   std::vector<EntityId> initial;
   initial.reserve(scored.size());
@@ -50,10 +55,14 @@ std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
 }
 
 std::vector<EntityId> RetExpan::Expand(const Query& query, size_t k) {
+  UW_SPAN("retexpan.expand");
+  obs::GetCounter("retexpan.queries").Increment();
   const size_t initial_size = std::max<size_t>(
       k, static_cast<size_t>(config_.initial_list_size));
   std::vector<EntityId> list = InitialExpansion(query, initial_size);
   if (config_.use_negative_rerank && !query.neg_seeds.empty()) {
+    UW_SPAN("retexpan.rerank");
+    obs::GetCounter("retexpan.reranked_lists").Increment();
     // Contrastive re-ranking key: how much more the candidate resembles
     // the negative seeds than the positive seeds. The raw sco^neg is
     // dominated by the shared fine-grained class (every in-class entity

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace ultrawiki {
 
@@ -22,6 +23,10 @@ double Bm25Scorer::Idf(TokenId term) const {
 
 std::vector<float> Bm25Scorer::ScoreAll(
     const std::vector<TokenId>& query) const {
+  obs::GetCounter("bm25.queries").Increment();
+  if (query.empty()) {
+    UW_LOG_EVERY_N(Warning, 100) << "BM25 called with an empty query";
+  }
   std::vector<float> scores(index_->document_count(), 0.0f);
   const double avgdl = index_->AverageDocumentLength();
   if (avgdl <= 0.0) return scores;
@@ -30,10 +35,14 @@ std::vector<float> Bm25Scorer::ScoreAll(
   std::map<TokenId, int> query_tf;
   for (TokenId term : query) ++query_tf[term];
 
+  // Accumulated locally and flushed once per call: one atomic add per
+  // query instead of one per posting.
+  int64_t postings_scanned = 0;
   for (const auto& [term, qtf] : query_tf) {
     const auto& postings = index_->PostingsOf(term);
     if (postings.empty()) continue;
     const double idf = Idf(term);
+    postings_scanned += static_cast<int64_t>(postings.size());
     for (const Posting& posting : postings) {
       const double tf = static_cast<double>(posting.term_frequency);
       const double dl =
@@ -46,6 +55,9 @@ std::vector<float> Bm25Scorer::ScoreAll(
           static_cast<float>(contribution);
     }
   }
+  obs::GetCounter("bm25.postings_scanned").Increment(postings_scanned);
+  obs::GetCounter("bm25.scores_computed")
+      .Increment(static_cast<int64_t>(scores.size()));
   return scores;
 }
 

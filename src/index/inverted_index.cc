@@ -3,17 +3,26 @@
 #include <map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ultrawiki {
 
 DocId InvertedIndex::AddDocument(const std::vector<TokenId>& tokens) {
   const DocId doc = static_cast<DocId>(doc_lengths_.size());
+  if (tokens.empty()) {
+    UW_LOG_EVERY_N(Warning, 100)
+        << "indexing empty document " << doc
+        << "; it can never match a query";
+  }
   // Aggregate term frequencies first so each term gets one posting.
   std::map<TokenId, int32_t> frequencies;
   for (TokenId token : tokens) ++frequencies[token];
   for (const auto& [term, tf] : frequencies) {
     postings_[term].push_back(Posting{doc, tf});
   }
+  obs::GetCounter("index.documents_added").Increment();
+  obs::GetCounter("index.postings_created")
+      .Increment(static_cast<int64_t>(frequencies.size()));
   doc_lengths_.push_back(static_cast<int32_t>(tokens.size()));
   total_length_ += static_cast<int64_t>(tokens.size());
   return doc;

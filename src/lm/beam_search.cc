@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 namespace {
@@ -21,8 +23,12 @@ std::vector<GeneratedEntity> ConstrainedBeamSearch(
     const HybridLm& lm, const PrefixTrie& trie,
     std::span<const TokenId> prompt, const BeamSearchConfig& config) {
   UW_CHECK_GT(config.beam_width, 0);
+  UW_SPAN("beam_search");
   std::vector<BeamItem> beam = {BeamItem{}};
   std::unordered_map<EntityId, double> completed;
+  // Flushed once per search; the expansion loop stays atomic-free.
+  int64_t expansions = 0;
+  int64_t prunes = 0;
 
   std::vector<TokenId> context(prompt.begin(), prompt.end());
   const size_t prompt_len = context.size();
@@ -36,6 +42,7 @@ std::vector<GeneratedEntity> ConstrainedBeamSearch(
       context.insert(context.end(), item.generated.begin(),
                      item.generated.end());
       for (const auto& [token, child] : trie.ChildrenOf(item.node)) {
+        ++expansions;
         const double p = lm.NextTokenProbability(context, token);
         BeamItem next;
         next.node = child;
@@ -62,6 +69,7 @@ std::vector<GeneratedEntity> ConstrainedBeamSearch(
     // Keep the top beam_width partial hypotheses (by raw log prob;
     // hypotheses at the same depth have equal length).
     if (expanded.size() > static_cast<size_t>(config.beam_width)) {
+      prunes += static_cast<int64_t>(expanded.size()) - config.beam_width;
       std::partial_sort(
           expanded.begin(),
           expanded.begin() + config.beam_width, expanded.end(),
@@ -72,6 +80,11 @@ std::vector<GeneratedEntity> ConstrainedBeamSearch(
     }
     beam = std::move(expanded);
   }
+
+  obs::GetCounter("beam.expansions").Increment(expansions);
+  obs::GetCounter("beam.prunes").Increment(prunes);
+  obs::GetCounter("beam.completed_entities")
+      .Increment(static_cast<int64_t>(completed.size()));
 
   std::vector<GeneratedEntity> results;
   results.reserve(completed.size());

@@ -1,0 +1,228 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+namespace obs {
+namespace {
+
+void AppendJsonString(const std::string& value, std::string& out) {
+  out.push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendInt(int64_t value, std::string& out) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  out += buffer;
+}
+
+void AppendIntArray(const std::vector<int64_t>& values, std::string& out) {
+  out.push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendInt(values[i], out);
+  }
+  out.push_back(']');
+}
+
+void AppendHistogram(const HistogramData& data, std::string& out) {
+  out += "{\"bounds\":";
+  AppendIntArray(data.bounds, out);
+  out += ",\"counts\":";
+  AppendIntArray(data.bucket_counts, out);
+  out += ",\"count\":";
+  AppendInt(data.count, out);
+  out += ",\"sum\":";
+  AppendInt(data.sum, out);
+  out += ",\"min\":";
+  AppendInt(data.min, out);
+  out += ",\"max\":";
+  AppendInt(data.max, out);
+  out.push_back('}');
+}
+
+void AppendProfileNode(const ProfileNode& node, std::string& out) {
+  out += "{\"name\":";
+  AppendJsonString(node.name, out);
+  out += ",\"count\":";
+  AppendInt(node.count, out);
+  out += ",\"total_ns\":";
+  AppendInt(node.total_ns, out);
+  out += ",\"self_ns\":";
+  AppendInt(SelfNs(node), out);
+  out += ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendProfileNode(node.children[i], out);
+  }
+  out += "]}";
+}
+
+std::string SanitizedPrometheusName(const std::string& name) {
+  std::string out = "uw_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, out);
+    out.push_back(':');
+    AppendInt(value, out);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, out);
+    out.push_back(':');
+    AppendInt(value, out);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, out);
+    out.push_back(':');
+    AppendHistogram(data, out);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ExportProfileJson(const ProfileNode& root) {
+  std::string out;
+  AppendProfileNode(root, out);
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = SanitizedPrometheusName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %" PRId64 "\n",
+                  prom.c_str(), prom.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = SanitizedPrometheusName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                  prom.c_str(), prom.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = SanitizedPrometheusName(name);
+    std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", prom.c_str());
+    out += line;
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < data.bounds.size(); ++b) {
+      cumulative += data.bucket_counts[b];
+      std::snprintf(line, sizeof(line),
+                    "%s_bucket{le=\"%" PRId64 "\"} %" PRId64 "\n",
+                    prom.c_str(), data.bounds[b], cumulative);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                  prom.c_str(), data.count);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %" PRId64 "\n", prom.c_str(),
+                  data.sum);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %" PRId64 "\n", prom.c_str(),
+                  data.count);
+    out += line;
+  }
+  return out;
+}
+
+std::string BuildBenchSnapshotJson(const std::string& bench_name,
+                                   int threads, double wall_seconds) {
+  std::string out = "{\"bench\":";
+  AppendJsonString(bench_name, out);
+  out += ",\"threads\":";
+  AppendInt(threads, out);
+  out += ",\"trace_enabled\":";
+  AppendInt(TraceEnabled() ? 1 : 0, out);
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), ",\"wall_seconds\":%.6f",
+                wall_seconds);
+  out += buffer;
+  out += ",\"metrics\":";
+  out += ExportMetricsJson(SnapshotMetrics());
+  out += ",\"profile\":";
+  out += ExportProfileJson(SnapshotProfile());
+  out.push_back('}');
+  return out;
+}
+
+std::string WriteBenchSnapshot(const std::string& bench_name, int threads,
+                               double wall_seconds) {
+  std::string path;
+  if (const char* env = std::getenv("UW_BENCH_JSON")) {
+    if (std::string(env) == "off") return "";
+    path = env;
+  } else {
+    path = "bench_" + bench_name + ".json";
+  }
+  const std::string json =
+      BuildBenchSnapshotJson(bench_name, threads, wall_seconds);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    UW_LOG(Error) << "cannot open bench snapshot file " << path;
+    return "";
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fputc('\n', file) != EOF;
+  std::fclose(file);
+  if (!ok) {
+    UW_LOG(Error) << "short write to bench snapshot file " << path;
+    return "";
+  }
+  return path;
+}
+
+}  // namespace obs
+}  // namespace ultrawiki

@@ -1,0 +1,45 @@
+#ifndef ULTRAWIKI_OBS_EXPORT_H_
+#define ULTRAWIKI_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ultrawiki {
+namespace obs {
+
+/// Deterministic serializers: all maps are key-sorted, profile children
+/// are name-sorted, and every value is an integer, so two snapshots of
+/// identical runs serialize to identical bytes.
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {"bounds":
+/// [...], "counts": [...], "count": n, "sum": s, "min": m, "max": M}}}
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
+
+/// {"name": ..., "count": n, "total_ns": t, "self_ns": s, "children":
+/// [...]} — self_ns is derived at export time (SelfNs).
+std::string ExportProfileJson(const ProfileNode& root);
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// ([^a-zA-Z0-9_] -> '_') and prefixed with "uw_"; histograms emit the
+/// conventional _bucket/_sum/_count series with cumulative "le" labels.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// Full machine-readable bench snapshot:
+/// {"bench": name, "threads": n, "trace_enabled": 0|1,
+///  "wall_seconds": s, "metrics": {...}, "profile": {...}}.
+std::string BuildBenchSnapshotJson(const std::string& bench_name,
+                                   int threads, double wall_seconds);
+
+/// Writes BuildBenchSnapshotJson to the path named by the `UW_BENCH_JSON`
+/// environment variable, defaulting to "bench_<name>.json" in the working
+/// directory. Returns the path written, or an empty string on I/O failure
+/// (logged to stderr). Set `UW_BENCH_JSON=off` to suppress the file.
+std::string WriteBenchSnapshot(const std::string& bench_name, int threads,
+                               double wall_seconds);
+
+}  // namespace obs
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_OBS_EXPORT_H_

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace ultrawiki {
+namespace obs {
+namespace internal {
+
+int ShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Relaxed CAS max/min: metrics tolerate torn ordering, the final value
+/// after a join is still the true extremum.
+void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// Leaky singleton registry: metric storage must outlive every thread
+/// that might still touch a cached reference during shutdown.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* registry = new Registry();
+    return *registry;
+  }
+
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<Counter>(name);
+    return *slot;
+  }
+
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<Gauge>(name);
+    return *slot;
+  }
+
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Histogram>(name, std::move(bounds));
+    }
+    return *slot;
+  }
+
+  MetricsSnapshot Snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snapshot;
+    for (const auto& [name, counter] : counters_) {
+      snapshot.counters[name] = counter->Value();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snapshot.gauges[name] = gauge->Value();
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      snapshot.histograms[name] = histogram->Aggregate();
+    }
+    return snapshot;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Reset();
+    for (auto& [name, histogram] : histograms_) histogram->Reset();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal::Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::Cell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::UpdateMax(int64_t value) { AtomicMax(value_, value); }
+
+Histogram::Histogram(std::string name, std::vector<int64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  cells_.reserve(kMetricShards);
+  for (int i = 0; i < kMetricShards; ++i) {
+    cells_.push_back(std::make_unique<HistCell>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  HistCell& cell = *cells_[static_cast<size_t>(internal::ShardIndex())];
+  cell.bucket_counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(cell.min, value);
+  AtomicMax(cell.max, value);
+}
+
+HistogramData Histogram::Aggregate() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.bucket_counts.assign(bounds_.size() + 1, 0);
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const std::unique_ptr<HistCell>& cell_ptr : cells_) {
+    const HistCell& cell = *cell_ptr;
+    for (size_t b = 0; b < data.bucket_counts.size(); ++b) {
+      data.bucket_counts[b] +=
+          cell.bucket_counts[b].load(std::memory_order_relaxed);
+    }
+    data.count += cell.count.load(std::memory_order_relaxed);
+    data.sum += cell.sum.load(std::memory_order_relaxed);
+    min = std::min(min, cell.min.load(std::memory_order_relaxed));
+    max = std::max(max, cell.max.load(std::memory_order_relaxed));
+  }
+  if (data.count > 0) {
+    data.min = min;
+    data.max = max;
+  }
+  return data;
+}
+
+void Histogram::Reset() {
+  for (std::unique_ptr<HistCell>& cell_ptr : cells_) {
+    HistCell& cell = *cell_ptr;
+    for (auto& bucket : cell.bucket_counts) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+    cell.min.store(INT64_MAX, std::memory_order_relaxed);
+    cell.max.store(INT64_MIN, std::memory_order_relaxed);
+  }
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Registry::Instance().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return Registry::Instance().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name,
+                        std::vector<int64_t> bounds) {
+  return Registry::Instance().GetHistogram(name, std::move(bounds));
+}
+
+const std::vector<int64_t>& LatencyBoundsUs() {
+  static const std::vector<int64_t>* bounds = new std::vector<int64_t>{
+      50,     100,    250,    500,     1000,    2500,    5000,
+      10000,  25000,  50000,  100000,  250000,  500000,  1000000,
+      2500000, 10000000};
+  return *bounds;
+}
+
+MetricsSnapshot SnapshotMetrics() { return Registry::Instance().Snapshot(); }
+
+void ResetMetricsForTest() { Registry::Instance().Reset(); }
+
+}  // namespace obs
+}  // namespace ultrawiki

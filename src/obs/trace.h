@@ -1,0 +1,101 @@
+#ifndef ULTRAWIKI_OBS_TRACE_H_
+#define ULTRAWIKI_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ultrawiki {
+namespace obs {
+
+/// Scoped-span tracing. Each thread records spans into its own tree
+/// (guarded by a per-thread mutex, so the hot path never contends);
+/// `SnapshotProfile()` merges every thread's tree into one hierarchical
+/// profile keyed by span-name path. Tracing is off by default and gated
+/// by the `UW_TRACE` environment variable — a closed span costs exactly
+/// one predictable branch when disabled, so instrumented code can stay
+/// instrumented in production builds.
+///
+/// Spans opened inside thread-pool tasks nest under the span path that was
+/// open on the submitting thread when the work was enqueued (the pool
+/// plants that path via `ScopedTaskParent`), so a parallel stage's workers
+/// report under the stage's node instead of as disconnected roots.
+
+/// True when `UW_TRACE` is set to a value other than "0"/"" (read once),
+/// or after `SetTraceEnabled(true)`.
+bool TraceEnabled();
+
+/// Programmatic override (tests, embedders). Takes effect immediately for
+/// spans opened afterwards.
+void SetTraceEnabled(bool enabled);
+
+/// One node of the merged profile: total time is the sum of every
+/// completed span with this name path, across all threads. For stages
+/// that ran in parallel the children's totals can legitimately exceed the
+/// parent's wall time; `SelfNs` clamps at zero for that reason.
+struct ProfileNode {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  std::vector<ProfileNode> children;  // sorted by name
+};
+
+/// Merged tree over all threads. The root is a synthetic node named
+/// "root" with zero count/time.
+ProfileNode SnapshotProfile();
+
+/// total_ns minus the children's total_ns, clamped at zero.
+int64_t SelfNs(const ProfileNode& node);
+
+/// Drops all recorded spans on every thread. Test-only: callers must
+/// ensure no span is open and no traced work is in flight.
+void ResetTraceForTest();
+
+/// RAII span. `name` must have static storage duration (string literal).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  void* node_ = nullptr;  // internal TraceNode entered by this span
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Name path (root-exclusive) of the spans currently open on this thread;
+/// empty when tracing is off. The pool captures this at submission time.
+std::vector<std::string> CurrentSpanPath();
+
+/// Re-roots this thread's ambient span position at `path` (created in
+/// this thread's tree if absent) for the lifetime of the object. Pass
+/// nullptr or an empty path for a no-op. Used by the thread pool around
+/// each task; the planted prefix nodes carry no count/time of their own.
+class ScopedTaskParent {
+ public:
+  explicit ScopedTaskParent(const std::vector<std::string>* path);
+  ~ScopedTaskParent();
+
+  ScopedTaskParent(const ScopedTaskParent&) = delete;
+  ScopedTaskParent& operator=(const ScopedTaskParent&) = delete;
+
+ private:
+  bool active_ = false;
+  void* saved_ = nullptr;  // internal TraceNode to restore
+};
+
+}  // namespace obs
+}  // namespace ultrawiki
+
+#define UW_OBS_CONCAT_INNER(a, b) a##b
+#define UW_OBS_CONCAT(a, b) UW_OBS_CONCAT_INNER(a, b)
+
+/// Opens a scoped span covering the rest of the enclosing block.
+#define UW_SPAN(name) \
+  ::ultrawiki::obs::Span UW_OBS_CONCAT(uw_span_, __LINE__)(name)
+
+#endif  // ULTRAWIKI_OBS_TRACE_H_

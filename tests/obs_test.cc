@@ -1,0 +1,258 @@
+// Unit tests for the observability subsystem (src/obs/): sharded
+// counters and histograms hammered from ParallelFor must aggregate to
+// exact totals, span trees must nest correctly (including spans opened on
+// pool workers), and the exporters must serialize identical runs to
+// identical bytes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ultrawiki {
+namespace obs {
+namespace {
+
+const ProfileNode* FindChild(const ProfileNode& node,
+                             const std::string& name) {
+  for (const ProfileNode& child : node.children) {
+    if (child.name == name) return &child;
+  }
+  return nullptr;
+}
+
+void AssertSelfTimesNonNegative(const ProfileNode& node) {
+  EXPECT_GE(SelfNs(node), 0) << "node " << node.name;
+  for (const ProfileNode& child : node.children) {
+    AssertSelfTimesNonNegative(child);
+  }
+}
+
+// ----------------------------------------------------------- Metrics.
+
+TEST(MetricsTest, CounterExactUnderParallelHammer) {
+  Counter& counter = GetCounter("test.hammer_counter");
+  const int64_t before = counter.Value();
+  ThreadPool pool(8);
+  constexpr int64_t kN = 100000;
+  pool.ParallelFor(0, kN, /*grain=*/17,
+                   [&](int64_t) { counter.Increment(); });
+  // The pool's completion edge publishes every relaxed increment.
+  EXPECT_EQ(counter.Value() - before, kN);
+  pool.ParallelFor(0, kN, /*grain=*/0,
+                   [&](int64_t i) { counter.Increment(i % 3); });
+  EXPECT_EQ(counter.Value() - before, kN + (kN / 3) * 3);
+}
+
+TEST(MetricsTest, GaugeSetAddAndUpdateMax) {
+  Gauge& gauge = GetGauge("test.gauge");
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.Value(), 40);
+  gauge.UpdateMax(7);  // below current: no-op
+  EXPECT_EQ(gauge.Value(), 40);
+  gauge.UpdateMax(99);
+  EXPECT_EQ(gauge.Value(), 99);
+
+  // Concurrent UpdateMax from the pool must land on the true maximum.
+  ThreadPool pool(8);
+  pool.ParallelFor(0, 10000, /*grain=*/13,
+                   [&](int64_t i) { gauge.UpdateMax(i); });
+  EXPECT_EQ(gauge.Value(), 9999);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram& hist = GetHistogram("test.bounds_hist", {10, 20, 30});
+  for (int64_t v : {5, 10, 11, 20, 25, 30, 31}) hist.Observe(v);
+  const HistogramData data = hist.Aggregate();
+  ASSERT_EQ(data.bounds, (std::vector<int64_t>{10, 20, 30}));
+  // <=10: {5, 10}; <=20: {11, 20}; <=30: {25, 30}; overflow: {31}.
+  EXPECT_EQ(data.bucket_counts, (std::vector<int64_t>{2, 2, 2, 1}));
+  EXPECT_EQ(data.count, 7);
+  EXPECT_EQ(data.sum, 5 + 10 + 11 + 20 + 25 + 30 + 31);
+  EXPECT_EQ(data.min, 5);
+  EXPECT_EQ(data.max, 31);
+}
+
+TEST(MetricsTest, HistogramExactUnderParallelHammer) {
+  Histogram& hist = GetHistogram("test.hammer_hist", {100, 1000});
+  ThreadPool pool(8);
+  constexpr int64_t kN = 30000;
+  pool.ParallelFor(0, kN, /*grain=*/11,
+                   [&](int64_t i) { hist.Observe(i % 2000); });
+  const HistogramData data = hist.Aggregate();
+  EXPECT_EQ(data.count, kN);
+  // i % 2000 cycles exactly 15 times: <=100 gets 101 values per cycle,
+  // <=1000 gets 900, overflow gets 999.
+  EXPECT_EQ(data.bucket_counts,
+            (std::vector<int64_t>{101 * 15, 900 * 15, 999 * 15}));
+  EXPECT_EQ(data.min, 0);
+  EXPECT_EQ(data.max, 1999);
+}
+
+TEST(MetricsTest, EmptyHistogramReportsZeroExtremes) {
+  Histogram& hist = GetHistogram("test.empty_hist", {1});
+  const HistogramData data = hist.Aggregate();
+  EXPECT_EQ(data.count, 0);
+  EXPECT_EQ(data.min, 0);
+  EXPECT_EQ(data.max, 0);
+}
+
+TEST(MetricsTest, GetterReturnsSameInstanceForSameName) {
+  Counter& a = GetCounter("test.same_instance");
+  Counter& b = GetCounter("test.same_instance");
+  EXPECT_EQ(&a, &b);
+  // Histogram bounds are consulted only on first registration.
+  Histogram& h1 = GetHistogram("test.same_hist", {1, 2});
+  Histogram& h2 = GetHistogram("test.same_hist", {99});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.Aggregate().bounds, (std::vector<int64_t>{1, 2}));
+}
+
+// ----------------------------------------------------------- Tracing.
+
+TEST(TraceTest, SpanTreeNestsSingleThread) {
+  SetTraceEnabled(true);
+  ResetTraceForTest();
+  {
+    UW_SPAN("outer");
+    {
+      UW_SPAN("inner");
+    }
+    {
+      UW_SPAN("inner");
+    }
+    {
+      UW_SPAN("sibling");
+    }
+  }
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* outer = FindChild(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1);
+  const ProfileNode* inner = FindChild(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2);
+  const ProfileNode* sibling = FindChild(*outer, "sibling");
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(sibling->count, 1);
+  // Child totals are contained in the parent on a single thread.
+  EXPECT_GE(outer->total_ns, inner->total_ns + sibling->total_ns);
+  AssertSelfTimesNonNegative(root);
+  SetTraceEnabled(false);
+}
+
+TEST(TraceTest, WorkerSpansNestUnderSubmittingSpan) {
+  SetTraceEnabled(true);
+  ResetTraceForTest();
+  ThreadPool pool(8);
+  constexpr int64_t kN = 256;
+  {
+    UW_SPAN("stage");
+    pool.ParallelFor(0, kN, /*grain=*/3, [](int64_t) {
+      UW_SPAN("work");
+    });
+  }
+  const ProfileNode root = SnapshotProfile();
+  const ProfileNode* stage = FindChild(root, "stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->count, 1);
+  // Worker-side spans re-root under the submitting thread's open span, so
+  // the merged tree shows stage -> work regardless of which lane ran each
+  // chunk.
+  const ProfileNode* work = FindChild(*stage, "work");
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(work->count, kN);
+  EXPECT_EQ(FindChild(root, "work"), nullptr)
+      << "worker spans must not dangle at the root";
+  AssertSelfTimesNonNegative(root);
+  SetTraceEnabled(false);
+}
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  SetTraceEnabled(true);
+  ResetTraceForTest();
+  SetTraceEnabled(false);
+  {
+    UW_SPAN("invisible");
+  }
+  const ProfileNode root = SnapshotProfile();
+  EXPECT_EQ(FindChild(root, "invisible"), nullptr);
+  EXPECT_TRUE(root.children.empty());
+}
+
+// ----------------------------------------------------------- Exporters.
+
+TEST(ExportTest, IdenticalRunsSerializeByteIdentically) {
+  // thread_count 1 exercises the ParallelFor API through the exact
+  // sequential fallback, which leaves the (scheduling-dependent) pool.*
+  // metrics untouched — so two runs produce identical metric values and
+  // the key-sorted integer serialization must match byte for byte.
+  ThreadPool pool(1);
+  auto run = [&pool] {
+    ResetMetricsForTest();
+    Counter& counter = GetCounter("test.bytes_counter");
+    Histogram& hist = GetHistogram("test.bytes_hist", {8, 64, 512});
+    Gauge& gauge = GetGauge("test.bytes_gauge");
+    pool.ParallelFor(0, 4096, /*grain=*/5, [&](int64_t i) {
+      counter.Increment();
+      hist.Observe(i % 700);
+      gauge.UpdateMax(i);
+    });
+    return ExportMetricsJson(SnapshotMetrics());
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"test.bytes_counter\":4096"), std::string::npos);
+}
+
+TEST(ExportTest, ProfileExportIsDeterministicForASnapshot) {
+  SetTraceEnabled(true);
+  ResetTraceForTest();
+  {
+    UW_SPAN("alpha");
+    {
+      UW_SPAN("beta");
+    }
+  }
+  const ProfileNode root = SnapshotProfile();
+  const std::string a = ExportProfileJson(root);
+  const std::string b = ExportProfileJson(root);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(a.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(a.find("\"self_ns\""), std::string::npos);
+  SetTraceEnabled(false);
+}
+
+TEST(ExportTest, PrometheusFormatSanitizesAndEmitsSeries) {
+  ResetMetricsForTest();
+  GetCounter("prom.test-metric").Increment(5);
+  Histogram& hist = GetHistogram("prom.hist", {10, 20});
+  hist.Observe(5);
+  hist.Observe(15);
+  hist.Observe(25);
+  const std::string text = ExportPrometheus(SnapshotMetrics());
+  EXPECT_NE(text.find("uw_prom_test_metric 5"), std::string::npos);
+  // Cumulative le buckets: <=10 holds 1, <=20 holds 2, +Inf holds 3.
+  EXPECT_NE(text.find("uw_prom_hist_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("uw_prom_hist_bucket{le=\"20\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("uw_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("uw_prom_hist_sum 45"), std::string::npos);
+  EXPECT_NE(text.find("uw_prom_hist_count 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ultrawiki

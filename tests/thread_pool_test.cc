@@ -16,6 +16,7 @@
 #include "eval/significance.h"
 #include "expand/pipeline.h"
 #include "index/bm25.h"
+#include "obs/metrics.h"
 
 namespace ultrawiki {
 namespace {
@@ -85,6 +86,62 @@ TEST(ThreadPoolTest, SingleLanePoolSpawnsNoWorkers) {
   int64_t sum = 0;  // safe without atomics: exact sequential fallback
   pool.ParallelFor(0, 1000, 0, [&](int64_t i) { sum += i; });
   EXPECT_EQ(sum, 499500);
+}
+
+// ----------------------------------------------------- Pool metrics.
+
+/// Point-in-time copy of the pool.* instrumentation (see
+/// common/thread_pool.cc).
+struct PoolMetricsValues {
+  int64_t submitted;
+  int64_t run;
+  int64_t steals;
+  int64_t assists;
+
+  static PoolMetricsValues Read() {
+    return PoolMetricsValues{
+        obs::GetCounter("pool.tasks_submitted").Value(),
+        obs::GetCounter("pool.tasks_run").Value(),
+        obs::GetCounter("pool.steals").Value(),
+        obs::GetCounter("pool.assist_runs").Value()};
+  }
+};
+
+TEST(ThreadPoolMetricsTest, SequentialFallbackTouchesNoPoolMetrics) {
+  ThreadPool pool(1);
+  const PoolMetricsValues before = PoolMetricsValues::Read();
+  int64_t sum = 0;
+  pool.ParallelFor(0, 5000, /*grain=*/0, [&](int64_t i) { sum += i; });
+  const PoolMetricsValues after = PoolMetricsValues::Read();
+  EXPECT_EQ(sum, 5000 * 4999 / 2);
+  // One lane never creates tasks, so every delta must be zero.
+  EXPECT_EQ(after.submitted - before.submitted, 0);
+  EXPECT_EQ(after.run - before.run, 0);
+  EXPECT_EQ(after.steals - before.steals, 0);
+  EXPECT_EQ(after.assists - before.assists, 0);
+}
+
+TEST(ThreadPoolMetricsTest, ParallelRunMetricsAreSelfConsistent) {
+  ThreadPool pool(8);
+  const PoolMetricsValues before = PoolMetricsValues::Read();
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10000, /*grain=*/7, [&](int64_t i) { sum += i; });
+  const PoolMetricsValues after = PoolMetricsValues::Read();
+  EXPECT_EQ(sum.load(), int64_t{10000} * 9999 / 2);
+  const int64_t submitted = after.submitted - before.submitted;
+  const int64_t run = after.run - before.run;
+  // 10000 indices at grain 7 -> ceil(10000/7) chunks, all of which must
+  // have run exactly once by the time ParallelFor returns.
+  EXPECT_EQ(submitted, (10000 + 6) / 7);
+  EXPECT_EQ(run, submitted);
+  // Steals and submitter assists are scheduling-dependent, but each one
+  // consumes a queued task, so neither can exceed the tasks that ran.
+  EXPECT_GE(after.steals - before.steals, 0);
+  EXPECT_GE(after.assists - before.assists, 0);
+  EXPECT_LE((after.steals - before.steals) + (after.assists - before.assists),
+            run);
+  // Tasks were queued, so the high-water mark must register at least one.
+  EXPECT_GE(obs::GetGauge("pool.peak_queue_depth").Value(), 1);
 }
 
 // ------------------------------------------- End-to-end determinism.
