@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "expand/pipeline.h"
+#include "io/artifact_cache.h"
 #include "obs/export.h"
 
 namespace ultrawiki {
@@ -36,6 +37,15 @@ class BenchTimer {
       : name_(name), start_(std::chrono::steady_clock::now()) {
     std::fprintf(stderr, "[%s] running with %d thread(s) (UW_THREADS)\n",
                  name_, ThreadPool::Global().thread_count());
+    const ArtifactCache& cache = ArtifactCache::Global();
+    if (cache.enabled()) {
+      std::fprintf(stderr, "[%s] artifact cache at %s (UW_CACHE_DIR)\n",
+                   name_, cache.root().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "[%s] artifact cache disabled (set UW_CACHE_DIR)\n",
+                   name_);
+    }
   }
 
   ~BenchTimer() {

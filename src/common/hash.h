@@ -1,0 +1,62 @@
+#ifndef ULTRAWIKI_COMMON_HASH_H_
+#define ULTRAWIKI_COMMON_HASH_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace ultrawiki {
+
+/// Incremental FNV-1a (64-bit) hasher used to fingerprint configuration
+/// structs for the artifact cache. Every field is mixed through the same
+/// byte-level primitive, floats by bit pattern, so fingerprints are stable
+/// across platforms and across runs — two configs hash equal iff every
+/// mixed field is bit-identical.
+class Fnv1a {
+ public:
+  void MixBytes(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= static_cast<uint64_t>(bytes[i]);
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  /// Arithmetic values are widened to a fixed 8-byte little-endian
+  /// representation (floats via their bit pattern) before mixing, so the
+  /// fingerprint does not depend on the host's integer widths.
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  void Mix(T value) {
+    uint64_t wide;
+    if constexpr (std::is_same_v<T, float>) {
+      wide = std::bit_cast<uint32_t>(value);
+    } else if constexpr (std::is_same_v<T, double>) {
+      wide = std::bit_cast<uint64_t>(value);
+    } else {
+      wide = static_cast<uint64_t>(value);
+    }
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<unsigned char>((wide >> (8 * i)) & 0xFF);
+    }
+    MixBytes(bytes, sizeof(bytes));
+  }
+
+  /// Length-prefixed, so Mix("ab"), Mix("c") differs from Mix("a"),
+  /// Mix("bc").
+  void Mix(std::string_view text) {
+    Mix(static_cast<uint64_t>(text.size()));
+    MixBytes(text.data(), text.size());
+  }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_COMMON_HASH_H_

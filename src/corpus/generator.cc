@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "text/name_generator.h"
 #include "text/tokenizer.h"
@@ -381,9 +382,32 @@ void WorldBuilder::MakeKnowledgeBase() {
 
 }  // namespace
 
+uint64_t FingerprintConfig(const GeneratorConfig& config) {
+  Fnv1a hash;
+  hash.Mix("GeneratorConfig");
+  hash.Mix(config.seed);
+  hash.Mix(config.scale);
+  hash.Mix(config.min_entities_per_class);
+  hash.Mix(config.sentences_per_entity);
+  hash.Mix(config.long_tail_sentences);
+  hash.Mix(config.long_tail_fraction);
+  hash.Mix(config.background_entity_count);
+  hash.Mix(config.background_confusable_fraction);
+  hash.Mix(config.background_sentences_per_entity);
+  hash.Mix(config.list_sentences_per_value);
+  hash.Mix(config.list_group_min);
+  hash.Mix(config.list_group_max);
+  hash.Mix(config.similarity_sentences_per_entity);
+  hash.Mix(config.noise_vocab_size);
+  hash.Mix(config.wikidata_junk_attributes);
+  return hash.digest();
+}
+
 GeneratedWorld GenerateWorld(const GeneratorConfig& config) {
   WorldBuilder builder(config);
-  return builder.Build();
+  GeneratedWorld world = builder.Build();
+  world.fingerprint = FingerprintConfig(config);
+  return world;
 }
 
 }  // namespace ultrawiki

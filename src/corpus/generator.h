@@ -69,7 +69,16 @@ struct GeneratedWorld {
   /// Ids of background (no-class) entities, in generation order; the
   /// confusable ones come first.
   std::vector<EntityId> background_entities;
+  /// FingerprintConfig of the GeneratorConfig this world was generated
+  /// from (set by GenerateWorld, preserved by world snapshots). 0 means
+  /// unknown provenance — e.g. a hand-produced TSV world — and disables
+  /// derived-artifact caching for the world.
+  uint64_t fingerprint = 0;
 };
+
+/// Deterministic hash of every generator knob; worlds from equal configs
+/// are identical, so this fingerprint keys the artifact cache.
+uint64_t FingerprintConfig(const GeneratorConfig& config);
 
 /// Runs steps 1–2 of the UltraWiki construction pipeline on synthetic
 /// material: creates classes + entities (step 1) and the entity-labelled

@@ -7,6 +7,9 @@
 
 #include "common/logging.h"
 #include "index/bm25.h"
+#include "io/artifact_cache.h"
+#include "io/snapshot.h"
+#include "obs/trace.h"
 
 namespace ultrawiki {
 namespace {
@@ -265,18 +268,43 @@ StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
   if (keep > 0 && !pool.empty()) {
     // BM25 hard-negative mining: index each background entity's sentences
     // as one document and query with each class's topical text; admit the
-    // most similar pages first.
-    InvertedIndex index;
-    for (EntityId id : pool) {
-      std::vector<TokenId> doc;
-      for (int s : world.corpus.SentencesOf(id)) {
-        const Sentence& sentence =
-            world.corpus.sentence(static_cast<size_t>(s));
-        doc.insert(doc.end(), sentence.tokens.begin(),
-                   sentence.tokens.end());
+    // most similar pages first. The index depends only on the world, so it
+    // is cached keyed on the world's generator fingerprint (fingerprint 0
+    // = unknown provenance = never cached).
+    ArtifactCache& cache = ArtifactCache::Global();
+    const uint64_t index_key =
+        world.fingerprint == 0
+            ? 0
+            : CombineFingerprints({world.fingerprint});
+    InvertedIndex index = [&]() -> InvertedIndex {
+      if (world.fingerprint != 0) {
+        UW_SPAN("cache.load_index");
+        auto cached = TryLoadCached(cache, "mined-index", index_key,
+                                    [](const std::string& path) {
+                                      return LoadIndexSnapshot(path);
+                                    });
+        if (cached.has_value()) return std::move(*cached);
       }
-      index.AddDocument(doc);
-    }
+      UW_SPAN("dataset.build_index");
+      InvertedIndex built;
+      for (EntityId id : pool) {
+        std::vector<TokenId> doc;
+        for (int s : world.corpus.SentencesOf(id)) {
+          const Sentence& sentence =
+              world.corpus.sentence(static_cast<size_t>(s));
+          doc.insert(doc.end(), sentence.tokens.begin(),
+                     sentence.tokens.end());
+        }
+        built.AddDocument(doc);
+      }
+      if (world.fingerprint != 0) {
+        StoreCached(cache, "mined-index", index_key,
+                    [&built](const std::string& path) {
+                      return SaveIndexSnapshot(built, path);
+                    });
+      }
+      return built;
+    }();
     Bm25Scorer scorer(&index);
     std::vector<float> best_scores(pool.size(), 0.0f);
     std::vector<std::vector<TokenId>> class_queries;

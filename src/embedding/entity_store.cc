@@ -121,6 +121,16 @@ EntityStore EntityStore::Build(const Corpus& corpus,
   return store;
 }
 
+EntityStore EntityStore::Restore(size_t dim, std::vector<Vec> hidden) {
+  EntityStore store(dim);
+  store.zero_.assign(dim, 0.0f);
+  for (const Vec& h : hidden) {
+    UW_CHECK(h.empty() || h.size() == dim);
+  }
+  store.hidden_ = std::move(hidden);
+  return store;
+}
+
 const Vec& EntityStore::HiddenOf(EntityId id) const {
   if (id < 0 || static_cast<size_t>(id) >= hidden_.size()) return zero_;
   const Vec& h = hidden_[static_cast<size_t>(id)];

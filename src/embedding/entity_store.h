@@ -60,6 +60,13 @@ class EntityStore {
 
   size_t dim() const { return dim_; }
 
+  /// Serialization access: the per-EntityId slots (empty vector = absent).
+  const std::vector<Vec>& hidden_states() const { return hidden_; }
+
+  /// Rebuilds a store from serialized parts (the snapshot load path).
+  /// Every non-empty slot of `hidden` must have exactly `dim` entries.
+  static EntityStore Restore(size_t dim, std::vector<Vec> hidden);
+
  private:
   explicit EntityStore(size_t dim) : dim_(dim) {}
 

@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "io/artifact_cache.h"
+#include "io/model_io.h"
+#include "io/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,9 +43,29 @@ Pipeline::Pipeline(const PipelineConfig& config, GeneratedWorld world)
 
 Pipeline Pipeline::Build(const PipelineConfig& config) {
   UW_SPAN("pipeline.build");
-  Pipeline pipeline = [&config] {
+  ArtifactCache& cache = ArtifactCache::Global();
+
+  // World: loaded from the snapshot cache when a previous run generated it
+  // from an identical GeneratorConfig, else generated and cached.
+  const uint64_t world_key = FingerprintConfig(config.generator);
+  Pipeline pipeline = [&config, &cache, world_key] {
+    {
+      UW_SPAN("cache.load_world");
+      auto cached = TryLoadCached(cache, "world", world_key,
+                                  [](const std::string& path) {
+                                    return LoadWorldSnapshot(path);
+                                  });
+      if (cached.has_value()) {
+        return Pipeline(config, std::move(*cached));
+      }
+    }
     UW_SPAN("generate_world");
-    return Pipeline(config, GenerateWorld(config.generator));
+    GeneratedWorld world = GenerateWorld(config.generator);
+    StoreCached(cache, "world", world_key,
+                [&world](const std::string& path) {
+                  return SaveWorldSnapshot(world, path);
+                });
+    return Pipeline(config, std::move(world));
   }();
   {
     UW_SPAN("build_dataset");
@@ -54,20 +77,76 @@ Pipeline Pipeline::Build(const PipelineConfig& config) {
   pipeline.oracle_ =
       std::make_unique<LlmOracle>(&pipeline.world_, config.oracle);
 
-  // Main encoder: entity-prediction training over the full corpus.
+  // Main encoder: entity-prediction training over the full corpus, cached
+  // keyed on the world's provenance plus every training knob. A world of
+  // unknown provenance (fingerprint 0, e.g. loaded from TSV) disables
+  // derived-artifact caching — there is nothing sound to key on.
   const Corpus& corpus = pipeline.world_.corpus;
-  pipeline.encoder_ = std::make_unique<ContextEncoder>(
-      corpus.tokens().size(), corpus.entity_count(), config.encoder);
-  pipeline.encoder_->SetTokenWeights(ComputeSifTokenWeights(corpus.tokens()));
-  {
-    UW_SPAN("train_encoder");
-    TrainEntityPrediction(corpus, *pipeline.encoder_, config.encoder_train);
+  const bool derivable = pipeline.world_.fingerprint != 0;
+  const uint64_t encoder_key =
+      derivable ? CombineFingerprints(
+                      {pipeline.world_.fingerprint,
+                       FingerprintConfig(config.encoder),
+                       FingerprintConfig(config.encoder_train)})
+                : 0;
+  if (derivable) {
+    UW_SPAN("cache.load_encoder");
+    auto cached = TryLoadCached(cache, "encoder", encoder_key,
+                                [](const std::string& path) {
+                                  return LoadEncoder(path);
+                                });
+    if (cached.has_value()) {
+      pipeline.encoder_ =
+          std::make_unique<ContextEncoder>(std::move(*cached));
+    }
   }
-  {
+  if (pipeline.encoder_ == nullptr) {
+    pipeline.encoder_ = std::make_unique<ContextEncoder>(
+        corpus.tokens().size(), corpus.entity_count(), config.encoder);
+    pipeline.encoder_->SetTokenWeights(
+        ComputeSifTokenWeights(corpus.tokens()));
+    {
+      UW_SPAN("train_encoder");
+      TrainEntityPrediction(corpus, *pipeline.encoder_,
+                            config.encoder_train);
+    }
+    if (derivable) {
+      StoreCached(cache, "encoder", encoder_key,
+                  [&pipeline](const std::string& path) {
+                    return SaveEncoder(*pipeline.encoder_, path);
+                  });
+    }
+  }
+
+  // Entity store: cached keyed on the encoder key plus the store and
+  // dataset configs (the build set is the dataset's candidate vocabulary).
+  const uint64_t store_key =
+      derivable ? CombineFingerprints({encoder_key,
+                                       FingerprintConfig(config.store),
+                                       FingerprintConfig(config.dataset)})
+                : 0;
+  if (derivable) {
+    UW_SPAN("cache.load_store");
+    auto cached = TryLoadCached(cache, "store", store_key,
+                                [](const std::string& path) {
+                                  return LoadEntityStoreSnapshot(path);
+                                });
+    if (cached.has_value()) {
+      pipeline.store_ =
+          std::make_unique<EntityStore>(std::move(*cached));
+    }
+  }
+  if (pipeline.store_ == nullptr) {
     UW_SPAN("entity_store");
     pipeline.store_ = std::make_unique<EntityStore>(EntityStore::Build(
         corpus, *pipeline.encoder_, pipeline.dataset_.candidates,
         config.store));
+    if (derivable) {
+      StoreCached(cache, "store", store_key,
+                  [&pipeline](const std::string& path) {
+                    return SaveEntityStoreSnapshot(*pipeline.store_, path);
+                  });
+    }
   }
 
   // Language model: "further pretraining" on the corpus.

@@ -28,6 +28,19 @@ DocId InvertedIndex::AddDocument(const std::vector<TokenId>& tokens) {
   return doc;
 }
 
+InvertedIndex InvertedIndex::Restore(
+    std::vector<int32_t> doc_lengths,
+    std::unordered_map<TokenId, std::vector<Posting>> postings) {
+  InvertedIndex index;
+  index.postings_ = std::move(postings);
+  index.doc_lengths_ = std::move(doc_lengths);
+  index.total_length_ = 0;
+  for (const int32_t length : index.doc_lengths_) {
+    index.total_length_ += static_cast<int64_t>(length);
+  }
+  return index;
+}
+
 int32_t InvertedIndex::DocumentLength(DocId doc) const {
   UW_CHECK_GE(doc, 0);
   UW_CHECK_LT(static_cast<size_t>(doc), doc_lengths_.size());

@@ -43,6 +43,20 @@ class InvertedIndex {
   /// Postings of `term`; empty if unseen.
   const std::vector<Posting>& PostingsOf(TokenId term) const;
 
+  /// Serialization access: every term's postings, keyed by term id
+  /// (unordered — serializers must impose their own order).
+  const std::unordered_map<TokenId, std::vector<Posting>>& postings_map()
+      const {
+    return postings_;
+  }
+
+  /// Rebuilds an index from serialized parts (the snapshot load path).
+  /// `total_length_` is recomputed from `doc_lengths`; postings must
+  /// already be validated against the document count.
+  static InvertedIndex Restore(
+      std::vector<int32_t> doc_lengths,
+      std::unordered_map<TokenId, std::vector<Posting>> postings);
+
  private:
   std::unordered_map<TokenId, std::vector<Posting>> postings_;
   std::vector<int32_t> doc_lengths_;

@@ -93,6 +93,37 @@ StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
 
 }  // namespace
 
+Status RebuildWorldValueIndex(GeneratedWorld& world) {
+  world.entities_by_value.assign(world.schema.size(), {});
+  for (size_t c = 0; c < world.schema.size(); ++c) {
+    const FineClassSpec& spec = world.schema[c];
+    world.entities_by_value[c].resize(spec.attributes.size());
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      world.entities_by_value[c][a].resize(
+          spec.attributes[a].values.size());
+    }
+  }
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
+    const Entity& entity = world.corpus.entity(id);
+    if (entity.class_id == kBackgroundClassId) continue;
+    if (entity.class_id < 0 ||
+        static_cast<size_t>(entity.class_id) >= world.schema.size()) {
+      return Status::Internal("entity references unknown class");
+    }
+    const size_t c = static_cast<size_t>(entity.class_id);
+    for (size_t a = 0; a < entity.attribute_values.size(); ++a) {
+      const int v = entity.attribute_values[a];
+      if (a >= world.entities_by_value[c].size() || v < 0 ||
+          static_cast<size_t>(v) >= world.entities_by_value[c][a].size()) {
+        return Status::Internal("entity attribute out of schema range");
+      }
+      world.entities_by_value[c][a][static_cast<size_t>(v)].push_back(id);
+    }
+  }
+  return Status::Ok();
+}
+
 Status SaveWorld(const GeneratedWorld& world, const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -254,28 +285,9 @@ StatusOr<GeneratedWorld> LoadWorld(const std::string& dir) {
   }
 
   // Rebuild the per-value index.
-  world.entities_by_value.resize(world.schema.size());
-  for (size_t c = 0; c < world.schema.size(); ++c) {
-    const FineClassSpec& spec = world.schema[c];
-    world.entities_by_value[c].resize(spec.attributes.size());
-    for (size_t a = 0; a < spec.attributes.size(); ++a) {
-      world.entities_by_value[c][a].resize(
-          spec.attributes[a].values.size());
-    }
-  }
-  for (EntityId id = 0;
-       id < static_cast<EntityId>(world.corpus.entity_count()); ++id) {
-    const Entity& entity = world.corpus.entity(id);
-    if (entity.class_id == kBackgroundClassId) continue;
-    const size_t c = static_cast<size_t>(entity.class_id);
-    for (size_t a = 0; a < entity.attribute_values.size(); ++a) {
-      const int v = entity.attribute_values[a];
-      if (a >= world.entities_by_value[c].size() || v < 0 ||
-          static_cast<size_t>(v) >= world.entities_by_value[c][a].size()) {
-        return Status::Internal("entity attribute out of schema range");
-      }
-      world.entities_by_value[c][a][static_cast<size_t>(v)].push_back(id);
-    }
+  {
+    Status status = RebuildWorldValueIndex(world);
+    if (!status.ok()) return status;
   }
 
   // sentences.tsv

@@ -31,6 +31,11 @@ Status SaveWorld(const GeneratedWorld& world, const std::string& dir);
 /// entity ids must be dense and consistent across files.
 StatusOr<GeneratedWorld> LoadWorld(const std::string& dir);
 
+/// Rebuilds `world.entities_by_value` from the schema and the entities'
+/// annotated attribute values (shared by every world loader). Fails when
+/// an entity references an attribute or value outside its class schema.
+Status RebuildWorldValueIndex(GeneratedWorld& world);
+
 }  // namespace ultrawiki
 
 #endif  // ULTRAWIKI_IO_CORPUS_IO_H_

@@ -1,119 +1,119 @@
 #include "io/model_io.h"
 
 #include <cstdint>
-#include <fstream>
+#include <vector>
+
+#include "io/snapshot.h"
 
 namespace ultrawiki {
 namespace {
 
-constexpr uint32_t kMagic = 0x55574B31;  // "UWK1"
-constexpr uint32_t kVersion = 1;
-
-struct Header {
-  uint32_t magic = kMagic;
-  uint32_t version = kVersion;
-  uint32_t token_vocab = 0;
-  uint32_t entity_vocab = 0;
-  int32_t token_dim = 0;
-  int32_t hidden_dim = 0;
-  int32_t projection_dim = 0;
-  float augmentation_weight = 0.0f;
-  uint32_t has_token_weights = 0;
-};
-
-Status WriteFloats(std::ofstream& out, std::span<const float> data) {
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-  if (!out) return Status::Internal("encoder write failed");
-  return Status::Ok();
-}
-
-Status ReadFloats(std::ifstream& in, std::span<float> data) {
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(float)));
-  if (!in) return Status::Internal("encoder read failed (truncated file)");
-  return Status::Ok();
-}
+/// Upper bound on any stored encoder dimension. Far above every real
+/// configuration; only a corrupt file trips it.
+constexpr uint64_t kMaxEncoderDim = 1u << 20;
 
 }  // namespace
 
 Status SaveEncoder(const ContextEncoder& encoder, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open for writing: " + path);
+  SnapshotWriter writer;
+  const EncoderConfig& config = encoder.config();
+  writer.PutU64(config.seed);
+  writer.PutI32(config.token_dim);
+  writer.PutI32(config.hidden_dim);
+  writer.PutI32(config.projection_dim);
+  writer.PutF32(config.augmentation_weight);
+  writer.PutU64(encoder.token_vocab_size());
+  writer.PutU64(encoder.entity_vocab_size());
+  // Token pooling weights are part of the trained model's behaviour, so
+  // they are always serialized.
+  writer.PutU32(1);  // has_token_weights
 
-  Header header;
-  header.token_vocab = static_cast<uint32_t>(encoder.token_vocab_size());
-  header.entity_vocab = static_cast<uint32_t>(encoder.entity_vocab_size());
-  header.token_dim = encoder.config().token_dim;
-  header.hidden_dim = encoder.config().hidden_dim;
-  header.projection_dim = encoder.config().projection_dim;
-  header.augmentation_weight = encoder.config().augmentation_weight;
-  // Token weights are optional; detect by probing whether any weight
-  // differs from the implicit default of 1 (cheap heuristic: serialize
-  // them always — they are part of the trained model's behaviour).
-  header.has_token_weights = 1;
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  if (!out) return Status::Internal("header write failed: " + path);
+  writer.PutFloats(encoder.token_embeddings().Flat());
+  writer.PutFloats(encoder.w1().Flat());
+  writer.PutFloats(encoder.b1());
+  writer.PutFloats(encoder.output_embeddings().Flat());
+  writer.PutFloats(encoder.output_bias());
+  writer.PutFloats(encoder.projection().Flat());
+  writer.PutFloats(encoder.projection_bias());
 
-  for (Status status :
-       {WriteFloats(out, encoder.token_embeddings().Flat()),
-        WriteFloats(out, encoder.w1().Flat()),
-        WriteFloats(out, encoder.b1()),
-        WriteFloats(out, encoder.output_embeddings().Flat()),
-        WriteFloats(out, encoder.output_bias()),
-        WriteFloats(out, encoder.projection().Flat()),
-        WriteFloats(out, encoder.projection_bias())}) {
-    if (!status.ok()) return status;
-  }
-  // Token pooling weights, one per token.
   std::vector<float> weights(encoder.token_vocab_size(), 1.0f);
   for (size_t t = 0; t < weights.size(); ++t) {
     weights[t] = encoder.TokenWeight(static_cast<TokenId>(t));
   }
-  return WriteFloats(out, weights);
+  writer.PutFloats(weights);
+
+  return WriteSnapshotFile(path, SnapshotKind::kEncoder, writer);
 }
 
 StatusOr<ContextEncoder> LoadEncoder(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
-
-  Header header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!in) return Status::Internal("header read failed: " + path);
-  if (header.magic != kMagic) {
-    return Status::Internal("not an encoder file (bad magic): " + path);
-  }
-  if (header.version != kVersion) {
-    return Status::Internal("unsupported encoder version");
-  }
-  if (header.token_dim <= 0 || header.hidden_dim <= 0 ||
-      header.projection_dim <= 0 || header.token_vocab == 0 ||
-      header.entity_vocab == 0) {
-    return Status::Internal("corrupt encoder header");
-  }
+  auto payload = ReadSnapshotFile(path, SnapshotKind::kEncoder);
+  if (!payload.ok()) return payload.status();
+  SnapshotReader reader(payload.value());
 
   EncoderConfig config;
-  config.token_dim = header.token_dim;
-  config.hidden_dim = header.hidden_dim;
-  config.projection_dim = header.projection_dim;
-  config.augmentation_weight = header.augmentation_weight;
-  ContextEncoder encoder(header.token_vocab, header.entity_vocab, config);
+  uint64_t token_vocab = 0;
+  uint64_t entity_vocab = 0;
+  uint32_t has_token_weights = 0;
+  reader.ReadU64(&config.seed);
+  reader.ReadI32(&config.token_dim);
+  reader.ReadI32(&config.hidden_dim);
+  reader.ReadI32(&config.projection_dim);
+  reader.ReadF32(&config.augmentation_weight);
+  reader.ReadU64(&token_vocab);
+  reader.ReadU64(&entity_vocab);
+  reader.ReadU32(&has_token_weights);
+  if (!reader.ok()) return reader.Finish();
 
-  for (Status status :
-       {ReadFloats(in, encoder.token_embeddings().Flat()),
-        ReadFloats(in, encoder.w1().Flat()), ReadFloats(in, encoder.b1()),
-        ReadFloats(in, encoder.output_embeddings().Flat()),
-        ReadFloats(in, encoder.output_bias()),
-        ReadFloats(in, encoder.projection().Flat()),
-        ReadFloats(in, encoder.projection_bias())}) {
-    if (!status.ok()) return status;
+  if (config.token_dim <= 0 || config.hidden_dim <= 0 ||
+      config.projection_dim <= 0 ||
+      static_cast<uint64_t>(config.token_dim) > kMaxEncoderDim ||
+      static_cast<uint64_t>(config.hidden_dim) > kMaxEncoderDim ||
+      static_cast<uint64_t>(config.projection_dim) > kMaxEncoderDim) {
+    return Status::Internal("corrupt encoder snapshot (implausible dims)");
   }
-  if (header.has_token_weights != 0) {
-    std::vector<float> weights(header.token_vocab, 1.0f);
-    Status status = ReadFloats(in, weights);
-    if (!status.ok()) return status;
-    encoder.SetTokenWeights(std::move(weights));
+  if (has_token_weights > 1) {
+    return Status::Internal("corrupt encoder snapshot (bad weights flag)");
   }
+  // Cap the vocabularies against the remaining payload before sizing
+  // anything from them: each vocabulary row contributes at least one
+  // float, so a plausible file has remaining() >= vocab * 4.
+  const uint64_t remaining = reader.remaining();
+  if (token_vocab == 0 || entity_vocab == 0 ||
+      token_vocab > remaining / sizeof(float) ||
+      entity_vocab > remaining / sizeof(float)) {
+    return Status::Internal("corrupt encoder snapshot (implausible vocab)");
+  }
+  // The payload lives in memory, so remaining < 2^48 and these products
+  // (vocab <= remaining/4, dim <= 2^20) cannot overflow u64.
+  const uint64_t token_dim = static_cast<uint64_t>(config.token_dim);
+  const uint64_t hidden_dim = static_cast<uint64_t>(config.hidden_dim);
+  const uint64_t projection_dim = static_cast<uint64_t>(config.projection_dim);
+  const uint64_t expected_floats =
+      token_vocab * token_dim + hidden_dim * token_dim + hidden_dim +
+      entity_vocab * hidden_dim + entity_vocab +
+      projection_dim * hidden_dim + projection_dim +
+      (has_token_weights != 0 ? token_vocab : 0);
+  if (expected_floats * sizeof(float) != remaining) {
+    return Status::Internal(
+        "corrupt encoder snapshot (geometry does not match payload size)");
+  }
+
+  ContextEncoder encoder(token_vocab, entity_vocab, config);
+  reader.ReadFloats(encoder.token_embeddings().Flat());
+  reader.ReadFloats(encoder.w1().Flat());
+  reader.ReadFloats(encoder.b1());
+  reader.ReadFloats(encoder.output_embeddings().Flat());
+  reader.ReadFloats(encoder.output_bias());
+  reader.ReadFloats(encoder.projection().Flat());
+  reader.ReadFloats(encoder.projection_bias());
+  if (has_token_weights != 0) {
+    std::vector<float> weights(token_vocab, 1.0f);
+    reader.ReadFloats(weights);
+    if (reader.ok()) encoder.SetTokenWeights(std::move(weights));
+  }
+
+  Status status = reader.Finish();
+  if (!status.ok()) return status;
   return encoder;
 }
 

@@ -9,16 +9,21 @@
 namespace ultrawiki {
 
 /// Binary persistence of trained context encoders (train once, reuse
-/// across runs). The format is a small header (magic, version, dims)
-/// followed by the raw little-endian float parameter blocks in a fixed
-/// order: token embeddings, W1, b1, output embeddings, output bias,
-/// projection, projection bias, token weights.
+/// across runs), on the shared checksummed snapshot framing of
+/// io/snapshot.h (SnapshotKind::kEncoder). The payload is field-explicit
+/// little-endian: the EncoderConfig (seed, dims, augmentation weight),
+/// the two vocabulary sizes, a token-weights flag, then the float
+/// parameter blocks in a fixed order — token embeddings, W1, b1, output
+/// embeddings, output bias, projection, projection bias, token weights.
 
-/// Writes `encoder` to `path`.
+/// Writes `encoder` to `path` (atomically: temp file + rename).
 Status SaveEncoder(const ContextEncoder& encoder, const std::string& path);
 
 /// Reads an encoder from `path`. The stored dimensions define the
-/// constructed encoder; fails on magic/version/shape mismatch.
+/// constructed encoder; fails closed with a Status on bad magic, version
+/// skew, checksum mismatch, truncation, trailing bytes, or dimensions
+/// implausible for the file size — nothing is allocated from a header
+/// the payload cannot back.
 StatusOr<ContextEncoder> LoadEncoder(const std::string& path);
 
 }  // namespace ultrawiki

@@ -1,0 +1,171 @@
+#ifndef ULTRAWIKI_IO_SNAPSHOT_H_
+#define ULTRAWIKI_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "corpus/generator.h"
+#include "embedding/entity_store.h"
+#include "index/inverted_index.h"
+
+namespace ultrawiki {
+
+/// Versioned, checksummed binary snapshots of the expensive pipeline
+/// artifacts. Every file shares one framing:
+///
+///   offset  size  field
+///        0     4  magic "UWS2" (0x55575332, little-endian u32)
+///        4     4  format version (kSnapshotVersion, u32)
+///        8     4  artifact kind tag (SnapshotKind, u32)
+///       12     8  payload byte length (u64)
+///       20     N  payload — field-explicit little-endian records
+///     20+N     4  CRC32 (IEEE) over bytes [0, 20+N)
+///
+/// All multi-byte values are written byte-by-byte in little-endian order —
+/// never as raw structs — so files are portable across compilers and ABIs.
+/// Floats are stored by bit pattern (IEEE-754), which makes a load/save
+/// round trip bit-exact: a warm run computes exactly what the cold run
+/// computed.
+///
+/// Every load path fails closed into `Status`: bad magic, version skew,
+/// kind mismatch, checksum mismatch, truncation, trailing bytes, and
+/// implausible dimensions (counts that could not fit in the remaining
+/// payload) all return kInternal/kNotFound — never UB and never an
+/// unbounded allocation driven by an untrusted header.
+
+inline constexpr uint32_t kSnapshotMagic = 0x55575332;  // "2SWU" on disk
+/// Bumped from 1 (the raw-struct encoder format of model_io v1, which was
+/// padding/ABI-dependent and unchecksummed) to 2: shared field-explicit
+/// framing with a CRC32 footer.
+inline constexpr uint32_t kSnapshotVersion = 2;
+
+/// Artifact tag stored in the header; a file of one kind never parses as
+/// another.
+enum class SnapshotKind : uint32_t {
+  kEncoder = 1,
+  kCorpus = 2,
+  kWorld = 3,
+  kInvertedIndex = 4,
+  kEntityStore = 5,
+};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `data`, continuing from
+/// `seed` (pass the previous return value to checksum in chunks).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Accumulates a snapshot payload. All writers append little-endian bytes
+/// to an in-memory buffer; WriteSnapshotFile frames and flushes it.
+class SnapshotWriter {
+ public:
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutI32(int32_t value) { PutU32(static_cast<uint32_t>(value)); }
+  void PutI64(int64_t value) { PutU64(static_cast<uint64_t>(value)); }
+  void PutF32(float value);
+  void PutF64(double value);
+  /// u64 length + raw bytes.
+  void PutString(std::string_view text);
+  /// Raw float block, no count prefix (caller-known geometry).
+  void PutFloats(std::span<const float> data);
+  /// u64 count + raw elements.
+  void PutFloatVec(std::span<const float> data);
+  void PutI32Vec(std::span<const int32_t> data);
+  void PutStringVec(const std::vector<std::string>& strings);
+
+  const std::string& payload() const { return payload_; }
+
+ private:
+  std::string payload_;
+};
+
+/// Bounds-checked cursor over a verified snapshot payload. Every read
+/// validates the requested size against the remaining bytes; the first
+/// failure latches an error status and all subsequent reads return false,
+/// so decoding loops can run unchecked and test `Finish()` once.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view payload) : data_(payload) {}
+
+  bool ReadU32(uint32_t* value);
+  bool ReadU64(uint64_t* value);
+  bool ReadI32(int32_t* value);
+  bool ReadI64(int64_t* value);
+  bool ReadF32(float* value);
+  bool ReadF64(double* value);
+  bool ReadString(std::string* value);
+  /// Fills `data` exactly; fails if fewer bytes remain.
+  bool ReadFloats(std::span<float> data);
+  /// Reads a u64 count + elements. The count is capped against the
+  /// remaining payload before any allocation, so a corrupt header cannot
+  /// trigger bad_alloc.
+  bool ReadFloatVec(std::vector<float>* data);
+  bool ReadI32Vec(std::vector<int32_t>* data);
+  bool ReadStringVec(std::vector<std::string>* strings);
+
+  size_t remaining() const { return data_.size() - cursor_; }
+  bool ok() const { return error_.empty(); }
+
+  /// OK only when no read failed and the payload was consumed exactly
+  /// (leftover payload bytes mean a corrupt or mis-versioned file).
+  Status Finish() const;
+
+  /// Marks the payload corrupt with a caller-diagnosed reason (e.g. a
+  /// count that fails a semantic bound). Subsequent reads fail.
+  void Corrupt(std::string reason);
+
+ private:
+  bool Take(void* out, size_t size);
+
+  std::string_view data_;
+  size_t cursor_ = 0;
+  std::string error_;
+};
+
+/// Frames `payload` (header + CRC32 footer) and atomically replaces
+/// `path` (write to a temp file, then rename) so a crashed writer never
+/// leaves a torn snapshot behind.
+Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                         const SnapshotWriter& writer);
+
+/// Reads `path`, verifies magic/version/kind/length/CRC and rejects
+/// trailing bytes, and returns the raw payload for a SnapshotReader.
+StatusOr<std::string> ReadSnapshotFile(const std::string& path,
+                                       SnapshotKind kind);
+
+// --- Artifact save/load on the shared framing. ---
+
+/// Corpus: vocabulary (tokens + counts), entities, labelled sentences,
+/// auxiliary sentences. The per-entity sentence index is rebuilt on load.
+Status SaveCorpusSnapshot(const Corpus& corpus, const std::string& path);
+StatusOr<Corpus> LoadCorpusSnapshot(const std::string& path);
+
+/// Full generated world: corpus + schema + knowledge base + background
+/// ids + generator fingerprint; `entities_by_value` is rebuilt on load.
+Status SaveWorldSnapshot(const GeneratedWorld& world,
+                         const std::string& path);
+StatusOr<GeneratedWorld> LoadWorldSnapshot(const std::string& path);
+
+/// Inverted index with document lengths and per-term postings, so a
+/// Bm25Scorer over the loaded index needs no corpus pass to rebuild its
+/// statistics. Terms are written in ascending id order (deterministic
+/// bytes despite the in-memory hash map).
+Status SaveIndexSnapshot(const InvertedIndex& index,
+                         const std::string& path);
+StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path);
+
+/// Entity representations (dim + per-slot hidden vectors).
+Status SaveEntityStoreSnapshot(const EntityStore& store,
+                               const std::string& path);
+StatusOr<EntityStore> LoadEntityStoreSnapshot(const std::string& path);
+
+// The ContextEncoder lives on the same framing via SaveEncoder /
+// LoadEncoder in io/model_io.h (SnapshotKind::kEncoder).
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_IO_SNAPSHOT_H_

@@ -203,6 +203,23 @@ TEST_F(IoTest, LoadEncoderRejectsGarbage) {
   EXPECT_FALSE(loaded.ok());
 }
 
+TEST_F(IoTest, LoadEncoderRejectsOldV1Format) {
+  // Files written by the pre-snapshot "UWK1" raw-struct format must be
+  // rejected cleanly (their magic differs), never misparsed.
+  const auto path = dir_ / "old_v1.bin";
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t old_magic = 0x55574B31;  // "UWK1"
+    out.write(reinterpret_cast<const char*>(&old_magic), sizeof(old_magic));
+    const std::vector<char> rest(256, '\0');
+    out.write(rest.data(), static_cast<std::streamsize>(rest.size()));
+  }
+  auto loaded = LoadEncoder(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+}
+
 TEST_F(IoTest, LoadEncoderMissingFile) {
   auto loaded = LoadEncoder("/nonexistent/enc.bin");
   EXPECT_FALSE(loaded.ok());

@@ -1,0 +1,464 @@
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "embedding/trainer.h"
+#include "expand/pipeline.h"
+#include "io/artifact_cache.h"
+#include "io/model_io.h"
+#include "obs/metrics.h"
+
+namespace ultrawiki {
+namespace {
+
+GeneratorConfig TinyConfig() {
+  GeneratorConfig config;
+  config.seed = 91;
+  config.scale = 0.05;
+  config.min_entities_per_class = 20;
+  config.background_entity_count = 30;
+  config.sentences_per_entity = 6;
+  config.list_sentences_per_value = 2;
+  config.similarity_sentences_per_entity = 1.0;
+  return config;
+}
+
+std::string ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::filesystem::path& path,
+                    const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new GeneratedWorld(GenerateWorld(TinyConfig()));
+    dir_ = std::filesystem::temp_directory_path() / "ultrawiki_snapshot_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(dir_);
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static GeneratedWorld* world_;
+  static std::filesystem::path dir_;
+};
+
+GeneratedWorld* SnapshotTest::world_ = nullptr;
+std::filesystem::path SnapshotTest::dir_;
+
+TEST_F(SnapshotTest, CorpusRoundTrip) {
+  const auto path = dir_ / "corpus.uws";
+  ASSERT_TRUE(SaveCorpusSnapshot(world_->corpus, path.string()).ok());
+  auto loaded = LoadCorpusSnapshot(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Corpus& corpus = *loaded;
+
+  ASSERT_EQ(corpus.tokens().size(), world_->corpus.tokens().size());
+  for (TokenId t = 0; t < static_cast<TokenId>(corpus.tokens().size());
+       ++t) {
+    EXPECT_EQ(corpus.tokens().TokenOf(t), world_->corpus.tokens().TokenOf(t));
+    EXPECT_EQ(corpus.tokens().CountOf(t), world_->corpus.tokens().CountOf(t));
+  }
+  ASSERT_EQ(corpus.entity_count(), world_->corpus.entity_count());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(corpus.entity_count()); ++id) {
+    EXPECT_EQ(corpus.entity(id).name, world_->corpus.entity(id).name);
+    EXPECT_EQ(corpus.entity(id).name_tokens,
+              world_->corpus.entity(id).name_tokens);
+    EXPECT_EQ(corpus.entity(id).class_id,
+              world_->corpus.entity(id).class_id);
+    EXPECT_EQ(corpus.entity(id).is_long_tail,
+              world_->corpus.entity(id).is_long_tail);
+    EXPECT_EQ(corpus.entity(id).attribute_values,
+              world_->corpus.entity(id).attribute_values);
+  }
+  ASSERT_EQ(corpus.sentence_count(), world_->corpus.sentence_count());
+  for (size_t s = 0; s < corpus.sentence_count(); ++s) {
+    EXPECT_EQ(corpus.sentence(s).entity, world_->corpus.sentence(s).entity);
+    EXPECT_EQ(corpus.sentence(s).tokens, world_->corpus.sentence(s).tokens);
+    EXPECT_EQ(corpus.sentence(s).mention_begin,
+              world_->corpus.sentence(s).mention_begin);
+    EXPECT_EQ(corpus.sentence(s).mention_len,
+              world_->corpus.sentence(s).mention_len);
+  }
+  EXPECT_EQ(corpus.auxiliary_sentences(),
+            world_->corpus.auxiliary_sentences());
+  // The per-entity sentence index is rebuilt.
+  EXPECT_EQ(corpus.SentencesOf(0), world_->corpus.SentencesOf(0));
+}
+
+TEST_F(SnapshotTest, WorldRoundTrip) {
+  const auto path = dir_ / "world.uws";
+  ASSERT_TRUE(SaveWorldSnapshot(*world_, path.string()).ok());
+  auto loaded = LoadWorldSnapshot(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const GeneratedWorld& world = *loaded;
+
+  EXPECT_EQ(world.fingerprint, world_->fingerprint);
+  EXPECT_NE(world.fingerprint, 0u);
+  ASSERT_EQ(world.schema.size(), world_->schema.size());
+  for (size_t c = 0; c < world.schema.size(); ++c) {
+    EXPECT_EQ(world.schema[c].name, world_->schema[c].name);
+    EXPECT_EQ(world.schema[c].singular_noun,
+              world_->schema[c].singular_noun);
+    EXPECT_EQ(world.schema[c].topic_tokens, world_->schema[c].topic_tokens);
+    ASSERT_EQ(world.schema[c].attributes.size(),
+              world_->schema[c].attributes.size());
+    for (size_t a = 0; a < world.schema[c].attributes.size(); ++a) {
+      EXPECT_EQ(world.schema[c].attributes[a].name,
+                world_->schema[c].attributes[a].name);
+      EXPECT_EQ(world.schema[c].attributes[a].values,
+                world_->schema[c].attributes[a].values);
+      EXPECT_EQ(world.schema[c].attributes[a].clue_tokens,
+                world_->schema[c].attributes[a].clue_tokens);
+      EXPECT_EQ(world.schema[c].attributes[a].clue_variants,
+                world_->schema[c].attributes[a].clue_variants);
+    }
+  }
+  EXPECT_EQ(world.background_entities, world_->background_entities);
+  ASSERT_EQ(world.kb.size(), world_->kb.size());
+  for (EntityId id = 0; id < static_cast<EntityId>(world.kb.size()); ++id) {
+    EXPECT_EQ(world.kb.IntroductionOf(id), world_->kb.IntroductionOf(id));
+    EXPECT_EQ(world.kb.WikidataAttributesOf(id),
+              world_->kb.WikidataAttributesOf(id));
+  }
+  EXPECT_EQ(world.entities_by_value, world_->entities_by_value);
+  EXPECT_EQ(world.corpus.sentence_count(), world_->corpus.sentence_count());
+}
+
+TEST_F(SnapshotTest, WorldSnapshotBytesAreDeterministic) {
+  const auto a = dir_ / "world_a.uws";
+  const auto b = dir_ / "world_b.uws";
+  ASSERT_TRUE(SaveWorldSnapshot(*world_, a.string()).ok());
+  ASSERT_TRUE(SaveWorldSnapshot(*world_, b.string()).ok());
+  EXPECT_EQ(ReadFileBytes(a), ReadFileBytes(b));
+}
+
+TEST_F(SnapshotTest, IndexRoundTrip) {
+  InvertedIndex index;
+  index.AddDocument({1, 2, 2, 3});
+  index.AddDocument({2, 3, 3, 3, 7});
+  index.AddDocument({});
+  index.AddDocument({7, 1});
+
+  const auto path = dir_ / "index.uws";
+  ASSERT_TRUE(SaveIndexSnapshot(index, path.string()).ok());
+  auto loaded = LoadIndexSnapshot(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->document_count(), index.document_count());
+  for (DocId d = 0; d < static_cast<DocId>(index.document_count()); ++d) {
+    EXPECT_EQ(loaded->DocumentLength(d), index.DocumentLength(d));
+  }
+  EXPECT_DOUBLE_EQ(loaded->AverageDocumentLength(),
+                   index.AverageDocumentLength());
+  for (const TokenId term : {1, 2, 3, 7, 99}) {
+    EXPECT_EQ(loaded->DocumentFrequency(term), index.DocumentFrequency(term));
+    const auto& got = loaded->PostingsOf(term);
+    const auto& want = index.PostingsOf(term);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doc, want[i].doc);
+      EXPECT_EQ(got[i].term_frequency, want[i].term_frequency);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, EntityStoreRoundTrip) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), EncoderConfig{});
+  encoder.SetTokenWeights(ComputeSifTokenWeights(world_->corpus.tokens()));
+  const std::vector<EntityId> entities = {0, 1, 2, 5, 8};
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, entities, {});
+
+  const auto path = dir_ / "store.uws";
+  ASSERT_TRUE(SaveEntityStoreSnapshot(store, path.string()).ok());
+  auto loaded = LoadEntityStoreSnapshot(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->dim(), store.dim());
+  ASSERT_EQ(loaded->hidden_states().size(), store.hidden_states().size());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(store.hidden_states().size()); ++id) {
+    EXPECT_EQ(loaded->Has(id), store.Has(id));
+    // Bit-exact float round trip.
+    EXPECT_EQ(loaded->HiddenOf(id), store.HiddenOf(id));
+  }
+  EXPECT_FLOAT_EQ(loaded->Similarity(0, 1), store.Similarity(0, 1));
+}
+
+TEST_F(SnapshotTest, EncoderRejectsTrailingGarbage) {
+  ContextEncoder encoder(50, 20, EncoderConfig{});
+  const auto path = dir_ / "encoder_trailing.uws";
+  ASSERT_TRUE(SaveEncoder(encoder, path.string()).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes += "extra";
+  WriteFileBytes(path, bytes);
+  auto loaded = LoadEncoder(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(SnapshotTest, CorruptionMatrix) {
+  const auto good_path = dir_ / "world_good.uws";
+  ASSERT_TRUE(SaveWorldSnapshot(*world_, good_path.string()).ok());
+  const std::string good = ReadFileBytes(good_path);
+  ASSERT_GT(good.size(), 64u);
+  const auto bad_path = dir_ / "world_bad.uws";
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  std::string truncated_header = good.substr(0, 10);
+  std::string truncated_payload = good.substr(0, good.size() / 2);
+  std::string flipped = good;
+  flipped[good.size() / 2] = static_cast<char>(flipped[good.size() / 2] ^ 0x40);
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(bad_version[4] ^ 0x7F);
+  std::string trailing = good + "garbage";
+  const Case cases[] = {
+      {"truncated header", truncated_header},
+      {"truncated payload", truncated_payload},
+      {"flipped byte", flipped},
+      {"bad magic", bad_magic},
+      {"bad version", bad_version},
+      {"trailing garbage", trailing},
+      {"empty file", std::string()},
+  };
+  for (const Case& c : cases) {
+    WriteFileBytes(bad_path, c.bytes);
+    auto loaded = LoadWorldSnapshot(bad_path.string());
+    EXPECT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInternal) << c.name;
+  }
+
+  // A valid file of one artifact kind never parses as another.
+  auto as_index = LoadIndexSnapshot(good_path.string());
+  ASSERT_FALSE(as_index.ok());
+  EXPECT_NE(as_index.status().message().find("different artifact kind"),
+            std::string::npos);
+
+  // Missing files report NotFound, distinct from corruption.
+  auto missing = LoadWorldSnapshot((dir_ / "nope.uws").string());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, EncoderRejectsImplausibleDims) {
+  // Craft validly framed (magic/version/CRC all correct) encoder payloads
+  // whose header fields cannot be backed by the payload; the loader must
+  // fail closed without allocating from them.
+  struct Case {
+    const char* name;
+    int32_t token_dim;
+    int32_t hidden_dim;
+    uint64_t token_vocab;
+    uint64_t entity_vocab;
+  };
+  const Case cases[] = {
+      {"zero token_dim", 0, 8, 10, 10},
+      {"negative hidden_dim", 8, -3, 10, 10},
+      {"huge token_dim", 1 << 21, 8, 10, 10},
+      {"zero vocab", 8, 8, 0, 10},
+      {"vocab beyond payload", 8, 8, 1ull << 40, 10},
+      {"entity vocab beyond payload", 8, 8, 10, 1ull << 50},
+  };
+  const auto path = dir_ / "bogus_encoder.uws";
+  for (const Case& c : cases) {
+    SnapshotWriter writer;
+    writer.PutU64(3);  // seed
+    writer.PutI32(c.token_dim);
+    writer.PutI32(c.hidden_dim);
+    writer.PutI32(4);  // projection_dim
+    writer.PutF32(0.5f);
+    writer.PutU64(c.token_vocab);
+    writer.PutU64(c.entity_vocab);
+    writer.PutU32(0);  // no token weights
+    // A little real float data so the file is not trivially empty.
+    const std::vector<float> filler(64, 1.0f);
+    writer.PutFloats(filler);
+    ASSERT_TRUE(
+        WriteSnapshotFile(path.string(), SnapshotKind::kEncoder, writer)
+            .ok());
+    auto loaded = LoadEncoder(path.string());
+    EXPECT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInternal) << c.name;
+  }
+}
+
+TEST_F(SnapshotTest, EntityStoreRejectsImplausibleDim) {
+  const auto path = dir_ / "bogus_store.uws";
+  for (const uint64_t dim : {uint64_t{0}, uint64_t{1} << 40}) {
+    SnapshotWriter writer;
+    writer.PutU64(dim);
+    writer.PutU64(1);  // one slot
+    writer.PutU32(0);  // absent
+    ASSERT_TRUE(
+        WriteSnapshotFile(path.string(), SnapshotKind::kEntityStore, writer)
+            .ok());
+    auto loaded = LoadEntityStoreSnapshot(path.string());
+    EXPECT_FALSE(loaded.ok()) << dim;
+  }
+}
+
+TEST_F(SnapshotTest, IndexRejectsUnsortedTerms) {
+  // Terms must be strictly ascending; a descending pair is rejected.
+  SnapshotWriter writer;
+  writer.PutU64(2);  // doc lengths
+  writer.PutI32(3);
+  writer.PutI32(2);
+  writer.PutU64(2);  // two terms, out of order
+  writer.PutI32(7);
+  writer.PutU64(1);
+  writer.PutI32(0);
+  writer.PutI32(1);
+  writer.PutI32(4);
+  writer.PutU64(1);
+  writer.PutI32(0);
+  writer.PutI32(1);
+  const auto path = dir_ / "bogus_index.uws";
+  ASSERT_TRUE(
+      WriteSnapshotFile(path.string(), SnapshotKind::kInvertedIndex, writer)
+          .ok());
+  auto loaded = LoadIndexSnapshot(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(SnapshotTest, ArtifactCacheMissStoreHit) {
+  const auto cache_dir = dir_ / "cache";
+  ArtifactCache::OverrideGlobalForTest(cache_dir.string());
+  ArtifactCache& cache = ArtifactCache::Global();
+  obs::ResetMetricsForTest();
+
+  const uint64_t key = FingerprintConfig(TinyConfig());
+  auto load = [](const std::string& path) { return LoadWorldSnapshot(path); };
+
+  auto cold = TryLoadCached(cache, "world", key, load);
+  EXPECT_FALSE(cold.has_value());
+  EXPECT_EQ(obs::GetCounter("cache.miss").Value(), 1);
+  EXPECT_EQ(obs::GetCounter("cache.hit").Value(), 0);
+
+  StoreCached(cache, "world", key, [&](const std::string& path) {
+    return SaveWorldSnapshot(*world_, path);
+  });
+  EXPECT_EQ(obs::GetCounter("cache.store").Value(), 1);
+
+  auto warm = TryLoadCached(cache, "world", key, load);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->fingerprint, world_->fingerprint);
+  EXPECT_EQ(obs::GetCounter("cache.hit").Value(), 1);
+  EXPECT_GT(obs::GetCounter("cache.bytes_read").Value(), 0);
+
+  // A different key misses — the cache is content-addressed.
+  auto other = TryLoadCached(cache, "world", key ^ 1, load);
+  EXPECT_FALSE(other.has_value());
+
+  // A corrupt entry degrades to a miss, never to an error.
+  const std::string entry = cache.PathFor("world", key);
+  std::string bytes = ReadFileBytes(entry);
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  WriteFileBytes(entry, bytes);
+  auto corrupt = TryLoadCached(cache, "world", key, load);
+  EXPECT_FALSE(corrupt.has_value());
+
+  ArtifactCache::OverrideGlobalForTest("");
+  EXPECT_FALSE(cache.enabled());
+}
+
+TEST_F(SnapshotTest, DisabledCacheRecordsNothing) {
+  ArtifactCache::OverrideGlobalForTest("");
+  ArtifactCache& cache = ArtifactCache::Global();
+  obs::ResetMetricsForTest();
+  auto result = TryLoadCached(cache, "world", 1, [](const std::string&) {
+    return StatusOr<int>(Status::NotFound("unused"));
+  });
+  EXPECT_FALSE(result.has_value());
+  bool stored = false;
+  StoreCached(cache, "world", 1, [&](const std::string&) {
+    stored = true;
+    return Status::Ok();
+  });
+  EXPECT_FALSE(stored);
+  EXPECT_EQ(obs::GetCounter("cache.miss").Value(), 0);
+  EXPECT_EQ(obs::GetCounter("cache.store").Value(), 0);
+}
+
+TEST_F(SnapshotTest, ConfigFingerprintsAreSensitive) {
+  GeneratorConfig base = TinyConfig();
+  GeneratorConfig reseeded = base;
+  reseeded.seed += 1;
+  GeneratorConfig rescaled = base;
+  rescaled.scale += 0.01;
+  EXPECT_EQ(FingerprintConfig(base), FingerprintConfig(TinyConfig()));
+  EXPECT_NE(FingerprintConfig(base), FingerprintConfig(reseeded));
+  EXPECT_NE(FingerprintConfig(base), FingerprintConfig(rescaled));
+
+  EncoderConfig enc_a;
+  EncoderConfig enc_b;
+  enc_b.hidden_dim += 8;
+  EXPECT_NE(FingerprintConfig(enc_a), FingerprintConfig(enc_b));
+
+  DatasetConfig ds_a;
+  DatasetConfig ds_b;
+  ds_b.annotation.seed += 1;
+  EXPECT_NE(FingerprintConfig(ds_a), FingerprintConfig(ds_b));
+
+  EXPECT_NE(CombineFingerprints({1, 2}), CombineFingerprints({2, 1}));
+}
+
+// End-to-end: a warm pipeline build loads every cached artifact and
+// produces representations bit-identical to the cold build's.
+TEST_F(SnapshotTest, PipelineWarmBuildMatchesCold) {
+  PipelineConfig config = PipelineConfig::Tiny();
+  config.generator = TinyConfig();
+  config.dataset.ultra_class_scale = 0.1;
+  config.encoder_train.epochs = 1;
+
+  const auto cache_dir = dir_ / "pipeline_cache";
+  ArtifactCache::OverrideGlobalForTest(cache_dir.string());
+  obs::ResetMetricsForTest();
+
+  Pipeline cold = Pipeline::Build(config);
+  EXPECT_EQ(obs::GetCounter("cache.hit").Value(), 0);
+  EXPECT_GT(obs::GetCounter("cache.store").Value(), 0);
+
+  obs::ResetMetricsForTest();
+  Pipeline warm = Pipeline::Build(config);
+  // World, mined index, encoder, and store all load from the cache.
+  EXPECT_GE(obs::GetCounter("cache.hit").Value(), 4);
+  EXPECT_EQ(obs::GetCounter("cache.miss").Value(), 0);
+
+  EXPECT_EQ(warm.world().fingerprint, cold.world().fingerprint);
+  EXPECT_EQ(warm.candidates(), cold.candidates());
+  ASSERT_EQ(warm.store().hidden_states().size(),
+            cold.store().hidden_states().size());
+  for (size_t i = 0; i < warm.store().hidden_states().size(); ++i) {
+    EXPECT_EQ(warm.store().hidden_states()[i],
+              cold.store().hidden_states()[i]);
+  }
+  ArtifactCache::OverrideGlobalForTest("");
+}
+
+}  // namespace
+}  // namespace ultrawiki
