@@ -1,0 +1,271 @@
+// Load generator for the online expansion service (src/serve/): three
+// phases over one resident pipeline.
+//
+//   1. Closed loop — N client connections over loopback TCP, each
+//      fire-and-wait, mixing retexpan and setexpan across the dataset's
+//      queries (>= 1000 requests total).
+//   2. Open loop — in-process Submit at a fixed arrival rate, so queue
+//      pressure comes from the clock instead of client round trips.
+//   3. Forced overload — a separate service with a 4-deep queue and a
+//      synthetic per-batch delay; the burst must shed, and every
+//      accepted result must stay bit-identical to the offline expander.
+//
+// Latency percentiles (p50/p90/p95/p99 of serve.latency_us) and the
+// serve.bench.* throughput gauges land in the UW_BENCH_JSON snapshot via
+// BenchTimer. Stdout carries only the deterministic request/verdict
+// summary; measured rates go to stderr and the snapshot.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_env.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace ultrawiki {
+namespace {
+
+using serve::ExpandRequest;
+using serve::ExpandResult;
+using serve::ExpansionService;
+using serve::ServeClient;
+using serve::ServeConfig;
+using serve::TcpServer;
+
+constexpr int kK = 20;
+const std::vector<std::string> kMethods = {"retexpan", "setexpan"};
+
+/// Offline ground truth for the first few query indices of each method;
+/// served rankings are checked against these bit for bit.
+struct ReferenceSet {
+  size_t verify_count = 0;
+  // rankings[method_index][query_index]
+  std::vector<std::vector<std::vector<EntityId>>> rankings;
+};
+
+ReferenceSet BuildReference(Pipeline& pipeline) {
+  ReferenceSet reference;
+  const size_t queries = pipeline.dataset().queries.size();
+  reference.verify_count = queries < 4 ? queries : 4;
+  for (const std::string& method : kMethods) {
+    auto expander = serve::MakeExpanderByName(pipeline, method);
+    UW_CHECK(expander != nullptr);
+    std::vector<std::vector<EntityId>> per_query;
+    for (size_t q = 0; q < reference.verify_count; ++q) {
+      per_query.push_back(
+          expander->Expand(pipeline.dataset().queries[q], kK));
+    }
+    reference.rankings.push_back(std::move(per_query));
+  }
+  return reference;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Phase 1: closed-loop TCP clients. Returns the mismatch count (0 on a
+/// healthy run).
+int RunClosedLoop(Pipeline& pipeline, const ReferenceSet& reference) {
+  ExpansionService service(pipeline);
+  UW_CHECK_OK(service.PrewarmMethods(kMethods));
+  TcpServer server(service);
+  UW_CHECK_OK(server.Start(/*port=*/0));
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 128;  // 1024 total, both methods
+  const size_t query_count = pipeline.dataset().queries.size();
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ServeClient::Connect("127.0.0.1", server.port());
+      UW_CHECK_OK(client.status());
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const size_t method_index = (c + i) % kMethods.size();
+        const uint32_t query_index =
+            static_cast<uint32_t>((c * kRequestsPerClient + i) %
+                                  query_count);
+        const auto ranking = client->ExpandByIndex(
+            kMethods[method_index], query_index, kK);
+        if (!ranking.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (query_index < reference.verify_count &&
+            *ranking != reference.rankings[method_index][query_index]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  const double seconds = SecondsSince(start);
+
+  server.Shutdown();
+  UW_CHECK_EQ(failures.load(), 0);
+  UW_CHECK_EQ(server.protocol_errors(), 0);
+
+  const int total = kClients * kRequestsPerClient;
+  const int64_t qps =
+      seconds > 0 ? static_cast<int64_t>(total / seconds) : 0;
+  obs::GetGauge("serve.bench.closed.requests").Set(total);
+  obs::GetGauge("serve.bench.closed.qps").Set(qps);
+  std::fprintf(stderr,
+               "[serving] closed loop: %d requests over %d connections in "
+               "%.2fs (%lld qps), max batch observed %lld\n",
+               total, kClients, seconds, static_cast<long long>(qps),
+               static_cast<long long>(
+                   obs::GetHistogram("serve.batch_size", {})
+                       .Aggregate()
+                       .max));
+  std::printf("closed loop: %d requests across %zu methods, %d verified "
+              "mismatches\n",
+              total, kMethods.size(), mismatches.load());
+  return mismatches.load();
+}
+
+/// Phase 2: open-loop in-process submission at a fixed arrival rate.
+int RunOpenLoop(Pipeline& pipeline, const ReferenceSet& reference) {
+  ExpansionService service(pipeline);
+  UW_CHECK_OK(service.PrewarmMethods(kMethods));
+
+  constexpr int kRequests = 512;
+  constexpr auto kArrivalGap = std::chrono::microseconds(500);  // 2000/s
+  const size_t query_count = pipeline.dataset().queries.size();
+
+  std::vector<std::future<ExpandResult>> futures;
+  std::vector<std::pair<size_t, size_t>> labels;  // (method, query) index
+  futures.reserve(kRequests);
+  const auto start = std::chrono::steady_clock::now();
+  auto next_arrival = start;
+  for (int i = 0; i < kRequests; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += kArrivalGap;
+    const size_t method_index = i % kMethods.size();
+    const size_t query_index = static_cast<size_t>(i) % query_count;
+    labels.emplace_back(method_index, query_index);
+    futures.push_back(service.Submit(
+        {kMethods[method_index],
+         pipeline.dataset().queries[query_index], kK, -1}));
+  }
+
+  int ok = 0;
+  int shed = 0;
+  int mismatches = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    ExpandResult result = futures[static_cast<size_t>(i)].get();
+    if (!result.status.ok()) {
+      UW_CHECK_EQ(static_cast<int>(result.status.code()),
+                  static_cast<int>(StatusCode::kUnavailable));
+      ++shed;
+      continue;
+    }
+    ++ok;
+    const auto [method_index, query_index] =
+        labels[static_cast<size_t>(i)];
+    if (query_index < reference.verify_count &&
+        result.ranking != reference.rankings[method_index][query_index]) {
+      ++mismatches;
+    }
+  }
+  const double seconds = SecondsSince(start);
+  service.Drain();
+
+  obs::GetGauge("serve.bench.open.requests").Set(kRequests);
+  obs::GetGauge("serve.bench.open.ok").Set(ok);
+  obs::GetGauge("serve.bench.open.shed").Set(shed);
+  obs::GetGauge("serve.bench.open.qps")
+      .Set(seconds > 0 ? static_cast<int64_t>(kRequests / seconds) : 0);
+  std::fprintf(stderr,
+               "[serving] open loop: %d arrivals at one per %lldus in "
+               "%.2fs (%d ok, %d shed)\n",
+               kRequests, static_cast<long long>(kArrivalGap.count()),
+               seconds, ok, shed);
+  std::printf("open loop: %d paced arrivals, %d verified mismatches "
+              "among accepted results\n",
+              kRequests, mismatches);
+  return mismatches;
+}
+
+/// Phase 3: forced overload. Returns the mismatch count among accepted
+/// results; aborts if nothing was shed (the phase would be vacuous).
+int RunOverload(Pipeline& pipeline, const ReferenceSet& reference) {
+  ServeConfig config;
+  config.max_queue = 4;
+  config.max_batch = 2;
+  config.batch_wait_ms = 0;
+  config.synthetic_delay_ms = 10;  // drain far slower than the burst
+  ExpansionService service(pipeline, config);
+  UW_CHECK_OK(service.PrewarmMethods({kMethods[1]}));
+
+  constexpr int kBurst = 64;
+  std::vector<std::future<ExpandResult>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(service.Submit(
+        {kMethods[1], pipeline.dataset().queries[0], kK, -1}));
+  }
+  int served = 0;
+  int shed = 0;
+  int mismatches = 0;
+  for (auto& future : futures) {
+    ExpandResult result = future.get();
+    if (result.status.ok()) {
+      ++served;
+      if (result.ranking != reference.rankings[1][0]) ++mismatches;
+    } else {
+      ++shed;
+    }
+  }
+  service.Drain();
+  UW_CHECK_GT(shed, 0);
+  UW_CHECK_GT(served, 0);
+
+  obs::GetGauge("serve.bench.overload.served").Set(served);
+  obs::GetGauge("serve.bench.overload.shed").Set(shed);
+  std::fprintf(stderr,
+               "[serving] overload: burst of %d into a %d-deep queue -> "
+               "%d served, %d shed\n",
+               kBurst, config.max_queue, served, shed);
+  std::printf("overload: shedding engaged on a burst of %d, %d verified "
+              "mismatches among accepted results\n",
+              kBurst, mismatches);
+  return mismatches;
+}
+
+int Run() {
+  Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
+  const ReferenceSet reference = BuildReference(pipeline);
+
+  int mismatches = 0;
+  mismatches += RunClosedLoop(pipeline, reference);
+  mismatches += RunOpenLoop(pipeline, reference);
+  mismatches += RunOverload(pipeline, reference);
+  std::printf("serving bench verdict: %s\n",
+              mismatches == 0 ? "all verified rankings bit-identical"
+                              : "RANKING MISMATCH");
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ultrawiki
+
+int main() {
+  ultrawiki::BenchTimer timer("serving");
+  return ultrawiki::Run();
+}

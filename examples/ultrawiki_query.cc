@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "eval/metrics.h"
 #include "expand/pipeline.h"
+#include "serve/service.h"
 
 namespace {
 
@@ -29,21 +30,6 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
     if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
   }
   return fallback;
-}
-
-std::unique_ptr<Expander> MakeMethod(Pipeline& pipeline,
-                                     const std::string& name) {
-  if (name == "retexpan") return pipeline.MakeRetExpan();
-  if (name == "genexpan") return pipeline.MakeGenExpan();
-  if (name == "probexpan") return pipeline.MakeProbExpan();
-  if (name == "setexpan") return pipeline.MakeSetExpan();
-  if (name == "case") return pipeline.MakeCaSE();
-  if (name == "cgexpan") return pipeline.MakeCgExpan();
-  if (name == "gpt4") return pipeline.MakeGpt4Baseline();
-  if (name == "interaction") {
-    return pipeline.MakeInteraction(InteractionOrder::kGenThenRet);
-  }
-  return nullptr;
 }
 
 }  // namespace
@@ -68,7 +54,7 @@ int main(int argc, char** argv) {
   std::cout << "building pipeline (scale " << scale << ")...\n";
   Pipeline pipeline = Pipeline::Build(config);
 
-  auto method = MakeMethod(pipeline, method_name);
+  auto method = serve::MakeExpanderByName(pipeline, method_name);
   if (method == nullptr) {
     std::cerr << "unknown --method=" << method_name << "\n";
     return 2;

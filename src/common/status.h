@@ -18,6 +18,10 @@ enum class StatusCode {
   kOutOfRange = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  /// A per-request deadline elapsed before the work ran (serving layer).
+  kDeadlineExceeded = 7,
+  /// The system refused the work — overloaded or shutting down. Retryable.
+  kUnavailable = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -53,6 +57,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

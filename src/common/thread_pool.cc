@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <string>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -58,9 +60,18 @@ ThreadPool& ThreadPool::Global() {
   return *slot;
 }
 
-void ThreadPool::SetGlobalThreadCount(int thread_count) {
+Status ThreadPool::SetGlobalThreadCount(int thread_count) {
   std::lock_guard<std::mutex> lock(GlobalPoolMutex());
-  GlobalPoolSlot() = std::make_unique<ThreadPool>(thread_count);
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot != nullptr && slot->inflight() > 0) {
+    Status status = Status::FailedPrecondition(
+        "SetGlobalThreadCount while the global pool has " +
+        std::to_string(slot->inflight()) + " ParallelFor call(s) in flight");
+    UW_LOG(Error) << status.message();
+    return status;
+  }
+  slot = std::make_unique<ThreadPool>(thread_count);
+  return Status::Ok();
 }
 
 ThreadPool::ThreadPool(int thread_count) {
@@ -138,6 +149,15 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
                              const std::function<void(int64_t)>& fn) {
   const int64_t n = end - begin;
   if (n <= 0) return;
+  // Every path (including the sequential fallback) counts as in-flight
+  // work: user code is running and the pool object must stay alive.
+  struct InflightScope {
+    explicit InflightScope(std::atomic<int64_t>& counter) : counter(counter) {
+      counter.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InflightScope() { counter.fetch_sub(1, std::memory_order_acq_rel); }
+    std::atomic<int64_t>& counter;
+  } inflight_scope(inflight_);
   // Exact sequential fallback: one lane, a nested call from inside a pool
   // task, or a range too small to split.
   if (thread_count_ == 1 || tl_inside_pool_task || n == 1) {

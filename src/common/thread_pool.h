@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace ultrawiki {
 
 /// Work-stealing thread pool behind every parallel stage of the library
@@ -49,9 +51,20 @@ class ThreadPool {
   static ThreadPool& Global();
 
   /// Replaces the global pool with one of `thread_count` lanes. Intended
-  /// for tests and benchmarks that compare thread counts in one process;
-  /// must not be called while parallel work is in flight.
-  static void SetGlobalThreadCount(int thread_count);
+  /// for tests and benchmarks that compare thread counts in one process.
+  /// Fails with kFailedPrecondition — and leaves the existing pool
+  /// untouched — if the global pool has parallel work in flight (an
+  /// `inflight()` check), since destroying a pool mid-ParallelFor is
+  /// undefined behaviour and, from inside one of its own tasks, a
+  /// guaranteed self-join deadlock.
+  static Status SetGlobalThreadCount(int thread_count);
+
+  /// Number of ParallelFor invocations currently executing on this pool
+  /// (including sequential-fallback and nested inline calls). Exact only
+  /// once callers are quiescent; used to refuse unsafe pool swaps.
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
 
   /// Calls `fn(i)` for every i in [begin, end), splitting the range into
   /// chunks of `grain` indices (`grain <= 0` picks one automatically).
@@ -95,6 +108,7 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<int64_t> queued_tasks_{0};
+  std::atomic<int64_t> inflight_{0};
   std::atomic<bool> stop_{false};
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;

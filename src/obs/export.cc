@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -68,6 +69,15 @@ void AppendHistogram(const HistogramData& data, std::string& out) {
   AppendInt(data.min, out);
   out += ",\"max\":";
   AppendInt(data.max, out);
+  // Bucket-resolution percentiles (deterministic integer math; see
+  // HistogramPercentile) so latency tails are readable without
+  // re-deriving them from the bucket arrays.
+  for (int pct : {50, 90, 95, 99}) {
+    out += ",\"p";
+    AppendInt(pct, out);
+    out += "\":";
+    AppendInt(HistogramPercentile(data, pct), out);
+  }
   out.push_back('}');
 }
 
@@ -174,6 +184,16 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
     std::snprintf(line, sizeof(line), "%s_count %" PRId64 "\n", prom.c_str(),
                   data.count);
     out += line;
+    // Summary-style quantile series from the same deterministic
+    // bucket-resolution math the JSON export uses.
+    static constexpr std::pair<int, const char*> kQuantiles[] = {
+        {50, "0.5"}, {90, "0.9"}, {95, "0.95"}, {99, "0.99"}};
+    for (const auto& [pct, label] : kQuantiles) {
+      std::snprintf(line, sizeof(line),
+                    "%s{quantile=\"%s\"} %" PRId64 "\n", prom.c_str(), label,
+                    HistogramPercentile(data, pct));
+      out += line;
+    }
   }
   return out;
 }

@@ -14,7 +14,9 @@ namespace obs {
 /// identical runs serialize to identical bytes.
 
 /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"bounds":
-/// [...], "counts": [...], "count": n, "sum": s, "min": m, "max": M}}}
+/// [...], "counts": [...], "count": n, "sum": s, "min": m, "max": M,
+/// "p50": ..., "p90": ..., "p95": ..., "p99": ...}}} — percentiles are
+/// bucket-resolution integers (HistogramPercentile).
 std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
 
 /// {"name": ..., "count": n, "total_ns": t, "self_ns": s, "children":
@@ -23,7 +25,9 @@ std::string ExportProfileJson(const ProfileNode& root);
 
 /// Prometheus text exposition format. Metric names are sanitized
 /// ([^a-zA-Z0-9_] -> '_') and prefixed with "uw_"; histograms emit the
-/// conventional _bucket/_sum/_count series with cumulative "le" labels.
+/// conventional _bucket/_sum/_count series with cumulative "le" labels
+/// plus summary-style {quantile="0.5|0.9|0.95|0.99"} series derived with
+/// the same deterministic bucket math as the JSON percentiles.
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
 
 /// Full machine-readable bench snapshot:

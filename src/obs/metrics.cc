@@ -176,6 +176,22 @@ void Histogram::Reset() {
   }
 }
 
+int64_t HistogramPercentile(const HistogramData& data, int percentile) {
+  if (data.count <= 0) return 0;
+  const int pct = std::clamp(percentile, 0, 100);
+  int64_t rank = (data.count * pct + 99) / 100;
+  if (rank < 1) rank = 1;
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < data.bucket_counts.size(); ++b) {
+    cumulative += data.bucket_counts[b];
+    if (cumulative >= rank) {
+      if (b >= data.bounds.size()) return data.max;  // overflow bucket
+      return std::min(data.bounds[b], data.max);
+    }
+  }
+  return data.max;
+}
+
 Counter& GetCounter(const std::string& name) {
   return Registry::Instance().GetCounter(name);
 }

@@ -132,6 +132,14 @@ Gauge& GetGauge(const std::string& name);
 /// `bounds` is consulted only on first registration of `name`.
 Histogram& GetHistogram(const std::string& name, std::vector<int64_t> bounds);
 
+/// Deterministic bucket-resolution percentile (`percentile` in [0, 100]).
+/// Integer math only: the rank is ceil(count * percentile / 100) and the
+/// result is the inclusive upper bound of the bucket holding that rank
+/// (clamped to the observed max; the overflow bucket reports the max), so
+/// identical runs export identical bytes regardless of thread scheduling.
+/// Returns 0 when the histogram is empty.
+int64_t HistogramPercentile(const HistogramData& data, int percentile);
+
 /// Geometric-ish bucket bounds for request latencies, in microseconds.
 const std::vector<int64_t>& LatencyBoundsUs();
 

@@ -1,0 +1,60 @@
+#ifndef ULTRAWIKI_SERVE_CLIENT_H_
+#define ULTRAWIKI_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace ultrawiki {
+namespace serve {
+
+/// Synchronous client for the framed TCP protocol: one connection, one
+/// request in flight (the server batches across connections, so load
+/// generators open one client per concurrent stream). Movable, not
+/// copyable; the destructor closes the socket.
+class ServeClient {
+ public:
+  static StatusOr<ServeClient> Connect(const std::string& host, int port);
+
+  ServeClient() = default;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+  /// Expands the server-side query at `query_index`. `timeout_ms` 0 means
+  /// the server default. Non-OK server statuses (shed, timeout, bad
+  /// method, bad index) come back as the corresponding Status.
+  StatusOr<std::vector<EntityId>> ExpandByIndex(const std::string& method,
+                                                uint32_t query_index, int k,
+                                                int timeout_ms = 0);
+
+  /// Expands an explicit query (seed ids must be meaningful to the
+  /// server's resident world).
+  StatusOr<std::vector<EntityId>> ExpandQuery(const std::string& method,
+                                              const Query& query, int k,
+                                              int timeout_ms = 0);
+
+  /// Closes the connection early (destructor does this too).
+  void Close();
+
+ private:
+  StatusOr<std::vector<EntityId>> RoundTrip(WireRequest request);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_SERVE_CLIENT_H_

@@ -1,0 +1,204 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ultrawiki {
+namespace serve {
+namespace {
+
+void AppendU32(uint32_t value, std::string& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(uint64_t value, std::string& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t ParseU32(const char* bytes) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+uint64_t ParseU64(const char* bytes) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+/// Frames `payload`: header, payload bytes, CRC32 over both.
+std::string FramePayload(FrameKind kind, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + 4);
+  AppendU32(kFrameMagic, out);
+  AppendU32(kFrameVersion, out);
+  AppendU32(static_cast<uint32_t>(kind), out);
+  AppendU64(payload.size(), out);
+  out.append(payload);
+  AppendU32(Crc32(out), out);
+  return out;
+}
+
+bool KnownFrameKind(uint32_t kind) {
+  return kind >= static_cast<uint32_t>(FrameKind::kExpandRequest) &&
+         kind <= static_cast<uint32_t>(FrameKind::kPong);
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(const WireRequest& request) {
+  SnapshotWriter writer;
+  writer.PutU64(request.request_id);
+  writer.PutString(request.method);
+  writer.PutU32(request.k);
+  writer.PutU32(request.timeout_ms);
+  writer.PutU32(request.by_index ? 1 : 0);
+  writer.PutU32(request.query_index);
+  writer.PutI32(request.query.ultra_class);
+  writer.PutI32Vec(request.query.pos_seeds);
+  writer.PutI32Vec(request.query.neg_seeds);
+  return FramePayload(FrameKind::kExpandRequest, writer.payload());
+}
+
+std::string EncodeResponseFrame(const WireResponse& response) {
+  SnapshotWriter writer;
+  writer.PutU64(response.request_id);
+  writer.PutU32(response.code);
+  writer.PutString(response.message);
+  writer.PutI32Vec(response.ranking);
+  return FramePayload(FrameKind::kExpandResponse, writer.payload());
+}
+
+std::string EncodeControlFrame(FrameKind kind) {
+  return FramePayload(kind, {});
+}
+
+Status DecodeRequestPayload(std::string_view payload, WireRequest* request) {
+  SnapshotReader reader(payload);
+  uint32_t by_index = 0;
+  reader.ReadU64(&request->request_id);
+  reader.ReadString(&request->method);
+  reader.ReadU32(&request->k);
+  reader.ReadU32(&request->timeout_ms);
+  reader.ReadU32(&by_index);
+  reader.ReadU32(&request->query_index);
+  reader.ReadI32(&request->query.ultra_class);
+  reader.ReadI32Vec(&request->query.pos_seeds);
+  reader.ReadI32Vec(&request->query.neg_seeds);
+  if (reader.ok() && by_index > 1) {
+    reader.Corrupt("by_index flag out of range");
+  }
+  request->by_index = by_index == 1;
+  return reader.Finish();
+}
+
+Status DecodeResponsePayload(std::string_view payload,
+                             WireResponse* response) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&response->request_id);
+  reader.ReadU32(&response->code);
+  reader.ReadString(&response->message);
+  reader.ReadI32Vec(&response->ranking);
+  if (reader.ok() &&
+      response->code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    reader.Corrupt("status code out of range");
+  }
+  return reader.Finish();
+}
+
+Status ReadExact(int fd, void* buffer, size_t bytes) {
+  char* cursor = static_cast<char*>(buffer);
+  size_t remaining = bytes;
+  while (remaining > 0) {
+    const ssize_t got = ::recv(fd, cursor, remaining, 0);
+    if (got == 0) {
+      if (remaining == bytes) return Status::Unavailable("eof");
+      return Status::Internal("connection closed mid-frame");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    cursor += got;
+    remaining -= static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const void* buffer, size_t bytes) {
+  const char* cursor = static_cast<const char*>(buffer);
+  size_t remaining = bytes;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    cursor += sent;
+    remaining -= static_cast<size_t>(sent);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Frame> ReadFrame(int fd) {
+  char header[kFrameHeaderBytes];
+  Status status = ReadExact(fd, header, sizeof(header));
+  if (!status.ok()) return status;
+  if (ParseU32(header) != kFrameMagic) {
+    return Status::Internal("bad frame magic");
+  }
+  if (ParseU32(header + 4) != kFrameVersion) {
+    return Status::Internal("frame version mismatch");
+  }
+  const uint32_t kind = ParseU32(header + 8);
+  if (!KnownFrameKind(kind)) {
+    return Status::Internal("unknown frame kind " + std::to_string(kind));
+  }
+  const uint64_t payload_len = ParseU64(header + 12);
+  if (payload_len > kMaxFramePayload) {
+    return Status::Internal("frame payload too large (" +
+                            std::to_string(payload_len) + " bytes)");
+  }
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(kind);
+  frame.payload.resize(static_cast<size_t>(payload_len));
+  if (payload_len > 0) {
+    status = ReadExact(fd, frame.payload.data(), frame.payload.size());
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kUnavailable) {
+        return Status::Internal("connection closed mid-frame");
+      }
+      return status;
+    }
+  }
+  char footer[4];
+  status = ReadExact(fd, footer, sizeof(footer));
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kUnavailable) {
+      return Status::Internal("connection closed before checksum");
+    }
+    return status;
+  }
+  uint32_t crc = Crc32(std::string_view(header, sizeof(header)));
+  crc = Crc32(frame.payload, crc);
+  if (crc != ParseU32(footer)) {
+    return Status::Internal("frame checksum mismatch");
+  }
+  return frame;
+}
+
+}  // namespace serve
+}  // namespace ultrawiki

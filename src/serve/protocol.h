@@ -1,0 +1,104 @@
+#ifndef ULTRAWIKI_SERVE_PROTOCOL_H_
+#define ULTRAWIKI_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+#include "io/snapshot.h"
+
+namespace ultrawiki {
+namespace serve {
+
+/// Length-prefixed framed wire protocol for the online expansion service.
+/// Frames reuse the UWS2 discipline from io/snapshot.h — the same header
+/// layout, field-explicit little-endian payload records (SnapshotWriter /
+/// SnapshotReader), and a trailing CRC32 over header + payload — under a
+/// distinct magic so a stray snapshot file never parses as a frame:
+///
+///   offset  size  field
+///        0     4  magic "UWF1" (0x55574631, little-endian u32)
+///        4     4  protocol version (kFrameVersion, u32)
+///        8     4  frame kind tag (FrameKind, u32)
+///       12     8  payload byte length (u64)
+///       20     N  payload
+///     20+N     4  CRC32 (IEEE) over bytes [0, 20+N)
+///
+/// Decoding fails closed into `Status`: bad magic, version skew, unknown
+/// kind, an implausible length (> kMaxFramePayload), checksum mismatch,
+/// and truncation all reject the frame before any payload field is
+/// trusted.
+
+inline constexpr uint32_t kFrameMagic = 0x55574631;  // "1FWU" on disk
+inline constexpr uint32_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Requests carry a handful of seed ids and responses at most a few
+/// thousand ranked ids; 16 MiB bounds a hostile length field.
+inline constexpr uint64_t kMaxFramePayload = 16ull << 20;
+
+enum class FrameKind : uint32_t {
+  kExpandRequest = 1,
+  kExpandResponse = 2,
+  kPing = 3,
+  kPong = 4,
+};
+
+/// One query over the wire. Either `by_index` (resolve against the
+/// server's dataset — the common scripting path) or an explicit Query
+/// (ultra_class is carried for bookkeeping but seeds drive expansion).
+struct WireRequest {
+  uint64_t request_id = 0;
+  std::string method;      // "retexpan", "genexpan", ... (service.h)
+  uint32_t k = 20;         // ranking length
+  uint32_t timeout_ms = 0; // 0 = server default (UW_SERVE_TIMEOUT_MS)
+  bool by_index = true;
+  uint32_t query_index = 0;
+  Query query;             // used when !by_index
+};
+
+/// The matching response: the request's id, a status, and (when OK) the
+/// ranked entity ids, best first.
+struct WireResponse {
+  uint64_t request_id = 0;
+  uint32_t code = 0;  // StatusCode
+  std::string message;
+  std::vector<EntityId> ranking;
+
+  Status ToStatus() const {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+};
+
+/// Serializes a request/response payload and frames it (header + CRC32).
+std::string EncodeRequestFrame(const WireRequest& request);
+std::string EncodeResponseFrame(const WireResponse& response);
+/// Payload-free control frames (ping/pong).
+std::string EncodeControlFrame(FrameKind kind);
+
+/// Decodes a payload previously carried by a verified frame.
+Status DecodeRequestPayload(std::string_view payload, WireRequest* request);
+Status DecodeResponsePayload(std::string_view payload,
+                             WireResponse* response);
+
+/// A verified frame read off a socket: kind + raw payload bytes.
+struct Frame {
+  FrameKind kind = FrameKind::kPing;
+  std::string payload;
+};
+
+/// Blocking exact-size socket I/O. `ReadExact` returns kUnavailable with
+/// message "eof" on a clean close before the first byte, kInternal on
+/// short reads / errors. `WriteAll` sends with MSG_NOSIGNAL so a dead
+/// peer surfaces as a Status, never SIGPIPE.
+Status ReadExact(int fd, void* buffer, size_t bytes);
+Status WriteAll(int fd, const void* buffer, size_t bytes);
+
+/// Reads and verifies one frame (header sanity, length cap, CRC32).
+StatusOr<Frame> ReadFrame(int fd);
+
+}  // namespace serve
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_SERVE_PROTOCOL_H_

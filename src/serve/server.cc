@@ -1,0 +1,205 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+
+namespace ultrawiki {
+namespace serve {
+namespace {
+
+struct NetMetrics {
+  obs::Counter& connections = obs::GetCounter("serve.net.connections");
+  obs::Counter& requests = obs::GetCounter("serve.net.requests");
+  obs::Counter& protocol_errors =
+      obs::GetCounter("serve.net.protocol_errors");
+};
+
+NetMetrics& Metrics() {
+  static NetMetrics* metrics = new NetMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ExpansionService& service) : service_(service) {
+  Metrics();
+}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+Status TcpServer::Start(int port) {
+  UW_CHECK_EQ(listen_fd_, -1) << "Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  if (::listen(listen_fd_, /*backlog=*/128) < 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown closed the listener out from under us.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      UW_LOG(Warning) << "accept: " << std::strerror(errno);
+      return;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().connections.Increment();
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  while (true) {
+    StatusOr<Frame> frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // A clean EOF ends the session; anything else is a protocol error
+      // worth counting (and fatal for this connection either way).
+      if (!(frame.status().code() == StatusCode::kUnavailable &&
+            frame.status().message() == "eof")) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().protocol_errors.Increment();
+        UW_LOG(Warning) << "connection dropped: " << frame.status();
+      }
+      break;
+    }
+    if (frame->kind == FrameKind::kPing) {
+      const std::string pong = EncodeControlFrame(FrameKind::kPong);
+      if (!WriteAll(fd, pong.data(), pong.size()).ok()) break;
+      continue;
+    }
+    if (frame->kind != FrameKind::kExpandRequest) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().protocol_errors.Increment();
+      break;
+    }
+    WireRequest request;
+    const Status decoded = DecodeRequestPayload(frame->payload, &request);
+    if (!decoded.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().protocol_errors.Increment();
+      UW_LOG(Warning) << "undecodable request: " << decoded;
+      break;
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().requests.Increment();
+
+    WireResponse response;
+    response.request_id = request.request_id;
+    ExpandRequest expand;
+    expand.method = request.method;
+    expand.k = static_cast<int>(request.k);
+    expand.timeout_ms =
+        request.timeout_ms > 0 ? static_cast<int>(request.timeout_ms) : -1;
+    bool resolved = true;
+    if (request.by_index) {
+      const auto& queries = service_.pipeline().dataset().queries;
+      if (request.query_index >= queries.size()) {
+        response.code = static_cast<uint32_t>(StatusCode::kOutOfRange);
+        response.message = "query index " +
+                           std::to_string(request.query_index) +
+                           " out of range (have " +
+                           std::to_string(queries.size()) + ")";
+        resolved = false;
+      } else {
+        expand.query = queries[request.query_index];
+      }
+    } else {
+      expand.query = std::move(request.query);
+    }
+    if (resolved) {
+      // Blocking per connection keeps responses in request order; the
+      // service batches across connections, not within one.
+      ExpandResult result = service_.ExpandSync(std::move(expand));
+      response.code = static_cast<uint32_t>(result.status.code());
+      response.message = result.status.message();
+      response.ranking = std::move(result.ranking);
+    }
+    const std::string encoded = EncodeResponseFrame(response);
+    if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) break;
+  }
+  ::close(fd);
+}
+
+void TcpServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    if (listen_fd_ >= 0) {
+      // Unblock accept(); the loop observes stopping_ and exits.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      // Read-shut every open connection: blocked ReadFrame calls see EOF,
+      // handlers flush their in-flight response and exit.
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    }
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      threads.swap(conn_threads_);
+    }
+    for (std::thread& thread : threads) thread.join();
+    service_.Drain();
+    listen_fd_ = -1;
+  });
+}
+
+}  // namespace serve
+}  // namespace ultrawiki

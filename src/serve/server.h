@@ -1,0 +1,82 @@
+#ifndef ULTRAWIKI_SERVE_SERVER_H_
+#define ULTRAWIKI_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace ultrawiki {
+namespace serve {
+
+/// TCP front-end over an ExpansionService: accepts connections on a
+/// loopback-reachable port and speaks the framed protocol of
+/// serve/protocol.h. One handler thread per connection; requests on a
+/// connection are served in order (clients that want concurrency open
+/// several connections — the micro-batcher coalesces across all of
+/// them).
+///
+/// `Shutdown()` is the graceful-drain path: the listener closes (no new
+/// connections), open connections are read-shut so handlers finish their
+/// in-flight responses and exit, handler threads are joined, and the
+/// underlying service drains its queue. Safe to call from a signal-
+/// triggered control flow (not from inside the handler threads).
+class TcpServer {
+ public:
+  /// `service` must outlive the server.
+  explicit TcpServer(ExpansionService& service);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port), listens, and
+  /// spawns the accept thread. Call at most once.
+  Status Start(int port);
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Graceful drain; idempotent. Blocks until every handler has exited
+  /// and the service queue is empty.
+  void Shutdown();
+
+  /// Lifetime totals, readable after Shutdown.
+  int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  int64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ExpansionService& service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;  // guards conn_fds_ and conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace serve
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_SERVE_SERVER_H_

@@ -1,0 +1,283 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace ultrawiki {
+namespace serve {
+namespace {
+
+int EnvInt(const char* name, int fallback, int min_value) {
+  if (const char* env = std::getenv(name)) {
+    const int parsed = std::atoi(env);
+    if (parsed >= min_value) return parsed;
+    UW_LOG(Warning) << name << "=" << env << " out of range; using "
+                    << fallback;
+  }
+  return fallback;
+}
+
+/// Serving metrics (see README "Online expansion service"). Counters
+/// partition every submitted request into exactly one terminal outcome:
+/// completed, shed, or timeout.
+struct ServeMetrics {
+  obs::Counter& accepted = obs::GetCounter("serve.accepted");
+  obs::Counter& completed = obs::GetCounter("serve.completed");
+  obs::Counter& shed = obs::GetCounter("serve.shed");
+  obs::Counter& timeout = obs::GetCounter("serve.timeout");
+  obs::Counter& rejected = obs::GetCounter("serve.rejected");
+  obs::Counter& batches = obs::GetCounter("serve.batches");
+  obs::Gauge& queue_depth = obs::GetGauge("serve.queue_depth");
+  obs::Gauge& queue_peak = obs::GetGauge("serve.queue_peak");
+  obs::Histogram& batch_size =
+      obs::GetHistogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  obs::Histogram& latency_us =
+      obs::GetHistogram("serve.latency_us", obs::LatencyBoundsUs());
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* metrics = new ServeMetrics();
+  return *metrics;
+}
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+std::future<ExpandResult> ImmediateResult(Status status) {
+  std::promise<ExpandResult> promise;
+  promise.set_value(ExpandResult{std::move(status), {}});
+  return promise.get_future();
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::FromEnv() {
+  ServeConfig config;
+  config.max_batch = EnvInt("UW_SERVE_BATCH", config.max_batch, 1);
+  config.batch_wait_ms =
+      EnvInt("UW_SERVE_BATCH_WAIT_MS", config.batch_wait_ms, 0);
+  config.max_queue = EnvInt("UW_SERVE_QUEUE", config.max_queue, 1);
+  config.default_timeout_ms =
+      EnvInt("UW_SERVE_TIMEOUT_MS", config.default_timeout_ms, 0);
+  return config;
+}
+
+const std::vector<std::string>& KnownMethods() {
+  static const std::vector<std::string>* methods =
+      new std::vector<std::string>{"retexpan", "genexpan", "probexpan",
+                                   "setexpan", "case",     "cgexpan",
+                                   "gpt4",     "interaction"};
+  return *methods;
+}
+
+std::unique_ptr<Expander> MakeExpanderByName(Pipeline& pipeline,
+                                             const std::string& method) {
+  if (method == "retexpan") return pipeline.MakeRetExpan();
+  if (method == "genexpan") return pipeline.MakeGenExpan();
+  if (method == "probexpan") return pipeline.MakeProbExpan();
+  if (method == "setexpan") return pipeline.MakeSetExpan();
+  if (method == "case") return pipeline.MakeCaSE();
+  if (method == "cgexpan") return pipeline.MakeCgExpan();
+  if (method == "gpt4") return pipeline.MakeGpt4Baseline();
+  if (method == "interaction") {
+    return pipeline.MakeInteraction(InteractionOrder::kGenThenRet);
+  }
+  return nullptr;
+}
+
+ExpansionService::ExpansionService(Pipeline& pipeline, ServeConfig config)
+    : pipeline_(pipeline), config_(config) {
+  Metrics();  // register eagerly so snapshots list the serve.* family
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+ExpansionService::~ExpansionService() { Drain(); }
+
+Status ExpansionService::PrewarmMethods(
+    const std::vector<std::string>& methods) {
+  for (const std::string& method : methods) {
+    if (GetOrBuildExpander(method) == nullptr) {
+      return Status::InvalidArgument("unknown method: " + method);
+    }
+  }
+  return Status::Ok();
+}
+
+Expander* ExpansionService::GetOrBuildExpander(const std::string& method) {
+  std::lock_guard<std::mutex> lock(expander_mutex_);
+  auto it = expanders_.find(method);
+  if (it != expanders_.end()) return it->second.get();
+  std::unique_ptr<Expander> expander = MakeExpanderByName(pipeline_, method);
+  if (expander == nullptr) return nullptr;
+  Expander* raw = expander.get();
+  expanders_.emplace(method, std::move(expander));
+  return raw;
+}
+
+std::future<ExpandResult> ExpansionService::Submit(ExpandRequest request) {
+  // Validate before admission so malformed requests never consume queue
+  // capacity or batch slots.
+  const auto& known = KnownMethods();
+  if (std::find(known.begin(), known.end(), request.method) == known.end()) {
+    Metrics().rejected.Increment();
+    return ImmediateResult(
+        Status::InvalidArgument("unknown method: " + request.method));
+  }
+  if (request.k <= 0) {
+    Metrics().rejected.Increment();
+    return ImmediateResult(Status::InvalidArgument("k must be positive"));
+  }
+
+  Pending pending;
+  pending.admitted = std::chrono::steady_clock::now();
+  const int timeout_ms = request.timeout_ms >= 0 ? request.timeout_ms
+                                                 : config_.default_timeout_ms;
+  if (timeout_ms > 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.admitted + std::chrono::milliseconds(timeout_ms);
+  }
+  pending.request = std::move(request);
+  std::future<ExpandResult> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      Metrics().rejected.Increment();
+      pending.promise.set_value(
+          ExpandResult{Status::Unavailable("service draining"), {}});
+      return future;
+    }
+    if (static_cast<int>(queue_.size()) >= config_.max_queue) {
+      // Admission control: shed immediately instead of growing the
+      // backlog past the configured bound.
+      Metrics().shed.Increment();
+      pending.promise.set_value(ExpandResult{
+          Status::Unavailable("overloaded: queue depth at limit"), {}});
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    Metrics().accepted.Increment();
+    Metrics().queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    Metrics().queue_peak.UpdateMax(static_cast<int64_t>(queue_.size()));
+  }
+  scheduler_cv_.notify_all();
+  return future;
+}
+
+ExpandResult ExpansionService::ExpandSync(ExpandRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+int ExpansionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void ExpansionService::Drain() {
+  std::call_once(drain_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      draining_ = true;
+    }
+    scheduler_cv_.notify_all();
+    if (scheduler_.joinable()) scheduler_.join();
+  });
+}
+
+void ExpansionService::SchedulerLoop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      scheduler_cv_.wait(lock,
+                         [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and fully served
+      // Dynamic micro-batching: give a partial batch a short window to
+      // fill before running it. Draining skips the window — latency no
+      // longer matters, only finishing the backlog.
+      if (static_cast<int>(queue_.size()) < config_.max_batch &&
+          config_.batch_wait_ms > 0 && !draining_) {
+        scheduler_cv_.wait_for(
+            lock, std::chrono::milliseconds(config_.batch_wait_ms), [this] {
+              return static_cast<int>(queue_.size()) >= config_.max_batch ||
+                     draining_;
+            });
+      }
+      const size_t take = std::min<size_t>(
+          static_cast<size_t>(config_.max_batch), queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      Metrics().queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void ExpansionService::ExecuteBatch(std::vector<Pending> batch) {
+  if (batch.empty()) return;
+  if (config_.synthetic_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.synthetic_delay_ms));
+  }
+  Metrics().batches.Increment();
+  Metrics().batch_size.Observe(static_cast<int64_t>(batch.size()));
+
+  // Expired deadlines complete without executing; resolving the expander
+  // happens on the scheduler thread because a first use may lazily train
+  // pipeline substrates (a mutation the parallel section must not race).
+  struct Runnable {
+    Pending* pending;
+    Expander* expander;
+  };
+  std::vector<Runnable> runnable;
+  runnable.reserve(batch.size());
+  const auto now = std::chrono::steady_clock::now();
+  for (Pending& pending : batch) {
+    if (pending.has_deadline && now >= pending.deadline) {
+      Metrics().timeout.Increment();
+      Metrics().latency_us.Observe(ElapsedUs(pending.admitted));
+      pending.promise.set_value(ExpandResult{
+          Status::DeadlineExceeded("deadline expired before execution"),
+          {}});
+      continue;
+    }
+    Expander* expander = GetOrBuildExpander(pending.request.method);
+    if (expander == nullptr) {  // unreachable: Submit validates methods
+      pending.promise.set_value(ExpandResult{
+          Status::Internal("expander vanished: " + pending.request.method),
+          {}});
+      continue;
+    }
+    runnable.push_back({&pending, expander});
+  }
+
+  // One lane per request. Expand is logically const, and any parallelism
+  // inside an expander collapses to the exact sequential path when
+  // invoked from a pool task, so rankings are independent of batch
+  // composition and thread count.
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(runnable.size()), /*grain=*/1, [&](int64_t i) {
+        Runnable& item = runnable[static_cast<size_t>(i)];
+        ExpandResult result;
+        result.ranking =
+            item.expander->Expand(item.pending->request.query,
+                                  static_cast<size_t>(item.pending->request.k));
+        result.status = Status::Ok();
+        Metrics().completed.Increment();
+        Metrics().latency_us.Observe(ElapsedUs(item.pending->admitted));
+        item.pending->promise.set_value(std::move(result));
+      });
+}
+
+}  // namespace serve
+}  // namespace ultrawiki

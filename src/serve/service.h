@@ -1,0 +1,146 @@
+#ifndef ULTRAWIKI_SERVE_SERVICE_H_
+#define ULTRAWIKI_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "expand/pipeline.h"
+
+namespace ultrawiki {
+namespace serve {
+
+/// Knobs of the online expansion service. `FromEnv()` resolves the
+/// production defaults from the environment:
+///
+///   UW_SERVE_BATCH         max requests coalesced into one batch (16)
+///   UW_SERVE_BATCH_WAIT_MS how long a forming batch waits to fill (1)
+///   UW_SERVE_QUEUE         admission-controlled queue depth bound (256)
+///   UW_SERVE_TIMEOUT_MS    default per-request deadline, 0 = none (0)
+struct ServeConfig {
+  int max_batch = 16;
+  int batch_wait_ms = 1;
+  int max_queue = 256;
+  int default_timeout_ms = 0;
+  /// Synthetic per-batch execution delay. Load-shaping knob for the
+  /// overload bench and the shedding/deadline tests; leave 0 in
+  /// production.
+  int synthetic_delay_ms = 0;
+
+  static ServeConfig FromEnv();
+};
+
+/// One expansion request submitted to the service. `timeout_ms < 0`
+/// inherits the config default; 0 disables the deadline.
+struct ExpandRequest {
+  std::string method;
+  Query query;
+  int k = 20;
+  int timeout_ms = -1;
+};
+
+/// Status + ranking. On any non-OK status the ranking is empty.
+struct ExpandResult {
+  Status status;
+  std::vector<EntityId> ranking;
+};
+
+/// Case-stable registry of method names the service can serve
+/// ("retexpan", "genexpan", "probexpan", "setexpan", "case", "cgexpan",
+/// "gpt4", "interaction"). Shared with the offline query runner.
+const std::vector<std::string>& KnownMethods();
+
+/// Builds the expander for `method`, or nullptr for an unknown name.
+/// May lazily train pipeline substrates (contrast store, distributions).
+std::unique_ptr<Expander> MakeExpanderByName(Pipeline& pipeline,
+                                             const std::string& method);
+
+/// Long-lived serving front-end over a resident Pipeline.
+///
+/// Requests enter a bounded MPMC queue (admission control: when
+/// `max_queue` requests are already waiting, new arrivals are shed
+/// immediately with kUnavailable rather than growing the backlog). A
+/// dedicated scheduler thread coalesces up to `max_batch` requests —
+/// waiting at most `batch_wait_ms` for a partial batch to fill — and
+/// executes the batch on the global ThreadPool, one request per lane.
+/// Expired deadlines complete with kDeadlineExceeded without executing.
+///
+/// Determinism: expanders are logically const (expander.h contract), so a
+/// request's ranking is bit-identical whether it is served alone or
+/// coalesced into any batch composition, at any thread count.
+///
+/// `Drain()` (also run by the destructor) stops admission, serves
+/// everything already queued, and joins the scheduler — the graceful
+/// SIGINT/SIGTERM path of `uw_serve`.
+class ExpansionService {
+ public:
+  /// `pipeline` must outlive the service. Expander instances are created
+  /// lazily on first use per method; `PrewarmMethods` front-loads that
+  /// cost before traffic arrives.
+  explicit ExpansionService(Pipeline& pipeline,
+                            ServeConfig config = ServeConfig::FromEnv());
+  ~ExpansionService();
+
+  ExpansionService(const ExpansionService&) = delete;
+  ExpansionService& operator=(const ExpansionService&) = delete;
+
+  /// Builds the expanders for `methods` now. Unknown names fail.
+  Status PrewarmMethods(const std::vector<std::string>& methods);
+
+  /// Asynchronous submission; the future resolves when the request is
+  /// served, shed, or timed out. Unknown methods and invalid k fail
+  /// immediately with kInvalidArgument.
+  std::future<ExpandResult> Submit(ExpandRequest request);
+
+  /// Blocking convenience over Submit.
+  ExpandResult ExpandSync(ExpandRequest request);
+
+  /// Stops admission, serves the backlog, joins the scheduler.
+  /// Idempotent.
+  void Drain();
+
+  const ServeConfig& config() const { return config_; }
+  const Pipeline& pipeline() const { return pipeline_; }
+  /// Requests currently waiting (excludes the executing batch).
+  int queue_depth() const;
+
+ private:
+  struct Pending {
+    ExpandRequest request;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<ExpandResult> promise;
+  };
+
+  void SchedulerLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  Expander* GetOrBuildExpander(const std::string& method);
+
+  Pipeline& pipeline_;
+  const ServeConfig config_;
+
+  mutable std::mutex mutex_;  // guards queue_ and draining_
+  std::condition_variable scheduler_cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+
+  std::mutex expander_mutex_;  // guards expanders_ and pipeline mutation
+  std::map<std::string, std::unique_ptr<Expander>> expanders_;
+
+  std::once_flag drain_once_;
+  std::thread scheduler_;
+};
+
+}  // namespace serve
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_SERVE_SERVICE_H_

@@ -105,6 +105,38 @@ TEST(MetricsTest, EmptyHistogramReportsZeroExtremes) {
   EXPECT_EQ(data.max, 0);
 }
 
+TEST(MetricsTest, HistogramPercentileUsesDeterministicBucketMath) {
+  HistogramData data;
+  data.bounds = {10, 100, 1000};
+  // 40 values <=10, 40 in (10,100], 15 in (100,1000], 5 overflow.
+  data.bucket_counts = {40, 40, 15, 5};
+  data.count = 100;
+  data.min = 3;
+  data.max = 5000;
+  // rank(p50) = 50 -> second bucket; ranks 90 and 95 -> third bucket.
+  EXPECT_EQ(HistogramPercentile(data, 50), 100);
+  EXPECT_EQ(HistogramPercentile(data, 90), 1000);
+  EXPECT_EQ(HistogramPercentile(data, 95), 1000);
+  // rank(p99) = 99 -> overflow bucket reports the observed max.
+  EXPECT_EQ(HistogramPercentile(data, 99), 5000);
+  EXPECT_EQ(HistogramPercentile(data, 100), 5000);
+  // p0 clamps the rank to 1 (the first non-empty bucket).
+  EXPECT_EQ(HistogramPercentile(data, 0), 10);
+
+  // The bucket bound is clamped to the observed max: all values equal 3
+  // must report 3, not the bucket's upper bound.
+  HistogramData tiny;
+  tiny.bounds = {10};
+  tiny.bucket_counts = {4, 0};
+  tiny.count = 4;
+  tiny.min = 3;
+  tiny.max = 3;
+  EXPECT_EQ(HistogramPercentile(tiny, 50), 3);
+  EXPECT_EQ(HistogramPercentile(tiny, 99), 3);
+
+  EXPECT_EQ(HistogramPercentile(HistogramData{}, 50), 0);
+}
+
 TEST(MetricsTest, GetterReturnsSameInstanceForSameName) {
   Counter& a = GetCounter("test.same_instance");
   Counter& b = GetCounter("test.same_instance");
@@ -251,6 +283,28 @@ TEST(ExportTest, PrometheusFormatSanitizesAndEmitsSeries) {
             std::string::npos);
   EXPECT_NE(text.find("uw_prom_hist_sum 45"), std::string::npos);
   EXPECT_NE(text.find("uw_prom_hist_count 3"), std::string::npos);
+  // Summary-style quantiles from the bucket-resolution percentile math:
+  // p50 lands in the <=20 bucket, p99 in the overflow bucket (max 25).
+  EXPECT_NE(text.find("uw_prom_hist{quantile=\"0.5\"} 20"),
+            std::string::npos);
+  EXPECT_NE(text.find("uw_prom_hist{quantile=\"0.99\"} 25"),
+            std::string::npos);
+}
+
+TEST(ExportTest, JsonHistogramCarriesPercentileKeys) {
+  ResetMetricsForTest();
+  Histogram& hist = GetHistogram("test.pct_hist", {25, 50, 75});
+  for (int v = 1; v <= 100; ++v) hist.Observe(v);
+  const std::string json = ExportMetricsJson(SnapshotMetrics());
+  // Ranks 50/90/95/99 over 25-per-bucket counts: p50 resolves to the
+  // <=50 bucket bound; the rest land in the overflow bucket (max 100).
+  EXPECT_NE(json.find("\"p50\":50"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":100"), std::string::npos);
+  // Identical histograms serialize to identical bytes, percentiles
+  // included.
+  EXPECT_EQ(json, ExportMetricsJson(SnapshotMetrics()));
 }
 
 }  // namespace

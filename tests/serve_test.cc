@@ -1,0 +1,384 @@
+// Tests for the online expansion service (src/serve/): wire-protocol
+// framing (round trips + the corruption matrix), batching determinism —
+// a request's ranking must be bit-identical whether it is served alone
+// or coalesced into any batch composition, at any thread count —
+// deadline expiry, overload shedding with correct accepted results, and
+// the TCP loopback path end to end.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace ultrawiki {
+namespace serve {
+namespace {
+
+/// One Tiny pipeline per test process (the usual expensive-fixture
+/// pattern of this suite; see tests/CMakeLists.txt).
+Pipeline& TestPipeline() {
+  static Pipeline* pipeline = [] {
+    PipelineConfig config = PipelineConfig::Tiny();
+    config.generator.scale = 0.08;
+    config.dataset.ultra_class_scale = 0.08;
+    return new Pipeline(Pipeline::Build(config));
+  }();
+  return *pipeline;
+}
+
+std::vector<EntityId> Reference(const std::string& method,
+                                const Query& query, int k) {
+  auto expander = MakeExpanderByName(TestPipeline(), method);
+  UW_CHECK(expander != nullptr);
+  return expander->Expand(query, static_cast<size_t>(k));
+}
+
+// ----------------------------------------------------------- Protocol.
+
+TEST(ServeProtocolTest, RequestFrameRoundTripsThroughASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  WireRequest request;
+  request.request_id = 77;
+  request.method = "retexpan";
+  request.k = 13;
+  request.timeout_ms = 250;
+  request.by_index = false;
+  request.query.ultra_class = 3;
+  request.query.pos_seeds = {1, 2, 5};
+  request.query.neg_seeds = {9, 11};
+  const std::string encoded = EncodeRequestFrame(request);
+  ASSERT_TRUE(WriteAll(fds[0], encoded.data(), encoded.size()).ok());
+
+  StatusOr<Frame> frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->kind, FrameKind::kExpandRequest);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(frame->payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.method, "retexpan");
+  EXPECT_EQ(decoded.k, 13u);
+  EXPECT_EQ(decoded.timeout_ms, 250u);
+  EXPECT_FALSE(decoded.by_index);
+  EXPECT_EQ(decoded.query.ultra_class, 3);
+  EXPECT_EQ(decoded.query.pos_seeds, request.query.pos_seeds);
+  EXPECT_EQ(decoded.query.neg_seeds, request.query.neg_seeds);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocolTest, ResponsePayloadRoundTrips) {
+  WireResponse response;
+  response.request_id = 42;
+  response.code = static_cast<uint32_t>(StatusCode::kDeadlineExceeded);
+  response.message = "deadline expired before execution";
+  response.ranking = {7, -1, 12};
+  const std::string frame = EncodeResponseFrame(response);
+  // Slice the payload out of the framed bytes (header is 20 bytes, CRC 4).
+  ASSERT_GT(frame.size(), kFrameHeaderBytes + 4);
+  const std::string_view payload(frame.data() + kFrameHeaderBytes,
+                                 frame.size() - kFrameHeaderBytes - 4);
+  WireResponse decoded;
+  ASSERT_TRUE(DecodeResponsePayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.message, response.message);
+  EXPECT_EQ(decoded.ranking, response.ranking);
+}
+
+TEST(ServeProtocolTest, CorruptionMatrixFailsClosed) {
+  WireRequest request;
+  request.method = "setexpan";
+  const std::string good = EncodeRequestFrame(request);
+
+  auto read_back = [](std::string bytes) {
+    int fds[2];
+    UW_CHECK_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    UW_CHECK(WriteAll(fds[0], bytes.data(), bytes.size()).ok());
+    ::shutdown(fds[0], SHUT_WR);
+    StatusOr<Frame> frame = ReadFrame(fds[1]);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return frame.status();
+  };
+
+  // Pristine bytes parse.
+  EXPECT_TRUE(read_back(good).ok());
+  // A flipped payload byte breaks the checksum.
+  {
+    std::string bad = good;
+    bad[kFrameHeaderBytes] ^= 0x40;
+    const Status status = read_back(bad);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("checksum"), std::string::npos);
+  }
+  // A flipped magic byte is rejected before anything else.
+  {
+    std::string bad = good;
+    bad[0] ^= 0xff;
+    EXPECT_NE(read_back(bad).message().find("magic"), std::string::npos);
+  }
+  // Truncation mid-payload is a hard error, not an EOF.
+  {
+    const Status status = read_back(good.substr(0, good.size() - 6));
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+  }
+  // A hostile length field is capped before allocation.
+  {
+    std::string bad = good;
+    bad[12] = '\xff';
+    bad[13] = '\xff';
+    bad[14] = '\xff';
+    bad[15] = '\xff';
+    const Status status = read_back(bad);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("too large"), std::string::npos);
+  }
+  // Clean EOF before the first byte is the distinguished "eof" status.
+  EXPECT_EQ(read_back("").message(), "eof");
+}
+
+// ------------------------------------------------------------ Service.
+
+TEST(ServeServiceTest, UnknownMethodAndBadKRejectImmediately) {
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  ExpandRequest request;
+  request.method = "no-such-method";
+  request.query = TestPipeline().dataset().queries.at(0);
+  ExpandResult result = service.ExpandSync(request);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+
+  request.method = "retexpan";
+  request.k = 0;
+  result = service.ExpandSync(request);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeServiceTest, RankingBitIdenticalAcrossBatchCompositions) {
+  const auto& queries = TestPipeline().dataset().queries;
+  ASSERT_GE(queries.size(), 2u);
+  constexpr int kK = 25;
+  const std::vector<EntityId> want_ret = Reference("retexpan", queries[0], kK);
+  const std::vector<EntityId> want_set = Reference("setexpan", queries[0], kK);
+
+  for (int threads : {1, 8}) {
+    ASSERT_TRUE(ThreadPool::SetGlobalThreadCount(threads).ok());
+    // Served alone: batch size pinned to 1, no coalescing window.
+    {
+      ServeConfig solo;
+      solo.max_batch = 1;
+      solo.batch_wait_ms = 0;
+      ExpansionService service(TestPipeline(), solo);
+      ExpandRequest request{"retexpan", queries[0], kK, -1};
+      EXPECT_EQ(service.ExpandSync(request).ranking, want_ret)
+          << "solo, threads=" << threads;
+    }
+    // Coalesced into a mixed batch: the same request rides with other
+    // methods and other queries; its ranking must not change.
+    {
+      ServeConfig batched;
+      batched.max_batch = 16;
+      batched.batch_wait_ms = 50;  // plenty to coalesce the burst below
+      ExpansionService service(TestPipeline(), batched);
+      std::vector<std::future<ExpandResult>> futures;
+      std::vector<const std::vector<EntityId>*> want;
+      for (int round = 0; round < 4; ++round) {
+        futures.push_back(
+            service.Submit({"retexpan", queries[0], kK, -1}));
+        want.push_back(&want_ret);
+        futures.push_back(
+            service.Submit({"setexpan", queries[0], kK, -1}));
+        want.push_back(&want_set);
+        futures.push_back(service.Submit(
+            {"retexpan", queries[1 + (round % (queries.size() - 1))], kK,
+             -1}));
+        want.push_back(nullptr);  // filler traffic, not checked
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        ExpandResult result = futures[i].get();
+        ASSERT_TRUE(result.status.ok()) << result.status;
+        if (want[i] != nullptr) {
+          EXPECT_EQ(result.ranking, *want[i])
+              << "slot " << i << ", threads=" << threads;
+        }
+      }
+      // The burst really was batched, not trickled one by one.
+      EXPECT_GT(obs::GetHistogram("serve.batch_size", {}).Aggregate().max, 1);
+    }
+  }
+  ASSERT_TRUE(ThreadPool::SetGlobalThreadCount(0).ok());
+}
+
+TEST(ServeServiceTest, ExpiredDeadlineTimesOutWithoutPoisoningTheQueue) {
+  const auto& queries = TestPipeline().dataset().queries;
+  ServeConfig config;
+  config.max_batch = 8;
+  // Every batch stalls long past the 1 ms deadline below.
+  config.synthetic_delay_ms = 50;
+  ExpansionService service(TestPipeline(), config);
+
+  ExpandRequest doomed{"retexpan", queries[0], 10, /*timeout_ms=*/1};
+  ExpandResult timed_out = service.ExpandSync(doomed);
+  EXPECT_EQ(timed_out.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(timed_out.ranking.empty());
+
+  // The queue keeps serving correct results afterwards.
+  ExpandRequest fine{"retexpan", queries[0], 10, /*timeout_ms=*/0};
+  ExpandResult ok = service.ExpandSync(fine);
+  ASSERT_TRUE(ok.status.ok()) << ok.status;
+  EXPECT_EQ(ok.ranking, Reference("retexpan", queries[0], 10));
+}
+
+TEST(ServeServiceTest, OverloadShedsButAcceptedResultsStayCorrect) {
+  const auto& queries = TestPipeline().dataset().queries;
+  constexpr int kK = 15;
+  const std::vector<EntityId> want = Reference("setexpan", queries[0], kK);
+
+  ServeConfig config;
+  config.max_queue = 4;
+  config.max_batch = 2;
+  config.batch_wait_ms = 0;
+  config.synthetic_delay_ms = 10;  // drain slower than the burst arrives
+  ExpansionService service(TestPipeline(), config);
+
+  constexpr int kBurst = 48;
+  std::vector<std::future<ExpandResult>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(service.Submit({"setexpan", queries[0], kK, -1}));
+  }
+  int served = 0;
+  int shed = 0;
+  for (auto& future : futures) {
+    ExpandResult result = future.get();
+    if (result.status.ok()) {
+      ++served;
+      // Shedding must never corrupt an accepted request's ranking.
+      ASSERT_EQ(result.ranking, want);
+    } else {
+      ASSERT_EQ(result.status.code(), StatusCode::kUnavailable)
+          << result.status;
+      EXPECT_TRUE(result.ranking.empty());
+      ++shed;
+    }
+  }
+  EXPECT_EQ(served + shed, kBurst);
+  // A 4-deep queue drained 2-at-a-time every 10 ms cannot absorb a
+  // 48-request burst: the bound must have shed some of it.
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(served, 0);
+}
+
+TEST(ServeServiceTest, DrainServesBacklogThenRejectsNewWork) {
+  const auto& queries = TestPipeline().dataset().queries;
+  ServeConfig config;
+  config.max_batch = 4;
+  config.batch_wait_ms = 20;
+  ExpansionService service(TestPipeline(), config);
+  std::vector<std::future<ExpandResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.Submit({"retexpan", queries[0], 10, -1}));
+  }
+  service.Drain();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  ExpandResult rejected = service.ExpandSync({"retexpan", queries[0], 10, -1});
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.queue_depth(), 0);
+}
+
+// ---------------------------------------------------------------- TCP.
+
+TEST(ServeTcpTest, LoopbackEndToEndMatchesLocalRankings) {
+  const auto& queries = TestPipeline().dataset().queries;
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto client = ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(client->Ping().ok());
+
+  for (const std::string method : {"retexpan", "setexpan"}) {
+    const auto remote = client->ExpandByIndex(method, 0, 20);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ(*remote, Reference(method, queries[0], 20)) << method;
+  }
+  // Explicit-seed queries take the other wire shape to the same answer.
+  const auto explicit_ranking =
+      client->ExpandQuery("retexpan", queries[0], 20);
+  ASSERT_TRUE(explicit_ranking.ok()) << explicit_ranking.status();
+  EXPECT_EQ(*explicit_ranking, Reference("retexpan", queries[0], 20));
+
+  // Server-side validation surfaces as typed statuses, not dead sockets.
+  EXPECT_EQ(client->ExpandByIndex("bogus", 0, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      client
+          ->ExpandByIndex("retexpan",
+                          static_cast<uint32_t>(queries.size() + 100), 5)
+          .status()
+          .code(),
+      StatusCode::kOutOfRange);
+
+  server.Shutdown();
+  EXPECT_EQ(server.protocol_errors(), 0);
+  EXPECT_GE(server.requests_served(), 5);
+}
+
+TEST(ServeTcpTest, GarbageBytesCountAsProtocolErrorAndCloseTheSession) {
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // A raw socket feeds the server a ping frame with a flipped CRC byte.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string bad = EncodeControlFrame(FrameKind::kPing);
+  bad.back() = static_cast<char>(bad.back() ^ 0x1);
+  ASSERT_TRUE(WriteAll(fd, bad.data(), bad.size()).ok());
+  // The server must drop the session: the next read sees EOF, not a pong.
+  char byte;
+  EXPECT_EQ(ReadExact(fd, &byte, 1).code(), StatusCode::kUnavailable);
+  ::close(fd);
+
+  // The error is counted, and healthy clients are unaffected.
+  for (int spin = 0; spin < 100 && server.protocol_errors() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.protocol_errors(), 1);
+  auto client = ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_TRUE(client->Ping().ok());
+  client->Close();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ultrawiki

@@ -10,6 +10,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "eval/evaluator.h"
@@ -44,6 +45,26 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
       ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
     }
   }
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadCountRefusedWhileWorkInFlight) {
+  ASSERT_TRUE(ThreadPool::SetGlobalThreadCount(4).ok());
+  ThreadPool& pool = ThreadPool::Global();
+  EXPECT_EQ(pool.inflight(), 0);
+  std::atomic<int> rejected{0};
+  pool.ParallelFor(0, 64, /*grain=*/1, [&](int64_t) {
+    // Every lane is inside in-flight work: a swap here would destroy the
+    // pool out from under its own tasks, so it must fail loudly instead.
+    EXPECT_GE(ThreadPool::Global().inflight(), 1);
+    const Status status = ThreadPool::SetGlobalThreadCount(2);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    rejected.fetch_add(1);
+  });
+  EXPECT_EQ(rejected.load(), 64);
+  // Quiescent again: the swap succeeds and resolves the default count.
+  EXPECT_EQ(pool.inflight(), 0);
+  EXPECT_TRUE(ThreadPool::SetGlobalThreadCount(0).ok());
 }
 
 TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
@@ -149,7 +170,7 @@ TEST(ThreadPoolMetricsTest, ParallelRunMetricsAreSelfConsistent) {
 class PoolDeterminismTest : public ::testing::Test {
  protected:
   ~PoolDeterminismTest() override {
-    ThreadPool::SetGlobalThreadCount(0);  // restore the default pool
+    EXPECT_TRUE(ThreadPool::SetGlobalThreadCount(0).ok());  // restore default
   }
 
   /// Everything a Tiny run produces through the parallel stages: the
@@ -162,7 +183,7 @@ class PoolDeterminismTest : public ::testing::Test {
   };
 
   static RunOutputs RunTiny(int threads) {
-    ThreadPool::SetGlobalThreadCount(threads);
+    UW_CHECK_OK(ThreadPool::SetGlobalThreadCount(threads));
     // The pipeline build itself exercises EntityStore::Build and the
     // batched BM25 hard-negative mining under `threads` lanes.
     Pipeline pipeline = Pipeline::Build(PipelineConfig::Tiny());
@@ -204,7 +225,7 @@ TEST_F(PoolDeterminismTest, TinyRunBitIdenticalAcrossThreadCounts) {
 }
 
 TEST_F(PoolDeterminismTest, BatchedBm25MatchesPerQueryScores) {
-  ThreadPool::SetGlobalThreadCount(8);
+  UW_CHECK_OK(ThreadPool::SetGlobalThreadCount(8));
   InvertedIndex index;
   Rng rng(123);
   for (int d = 0; d < 200; ++d) {

@@ -1,0 +1,142 @@
+// uw_serve — the single-binary online expansion server.
+//
+//   $ ./uw_serve [--port=N] [--config=tiny|bench] [--scale=S]
+//                [--prewarm=m1,m2,...]
+//
+// Builds the pipeline once (warm-started from UW_CACHE_DIR when set),
+// then serves framed TCP queries (serve/protocol.h) with dynamic
+// micro-batching and admission control (serve/service.h knobs:
+// UW_SERVE_BATCH, UW_SERVE_BATCH_WAIT_MS, UW_SERVE_QUEUE,
+// UW_SERVE_TIMEOUT_MS). `--port=0` (default UW_SERVE_PORT or 0) binds an
+// ephemeral port; the bound port is printed to stdout as
+// "listening on port N" and, when UW_SERVE_PORT_FILE is set, written to
+// that path for scripts.
+//
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, serve every
+// queued request, report lifetime stats, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "io/artifact_cache.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace ultrawiki;
+
+// Self-pipe: the handler only writes one byte; the main thread blocks on
+// the read end and runs the (non-async-signal-safe) drain itself.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int /*signum*/) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t written = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* port_env = std::getenv("UW_SERVE_PORT");
+  const int port = std::atoi(
+      FlagValue(argc, argv, "port", port_env != nullptr ? port_env : "0")
+          .c_str());
+  const std::string config_name =
+      FlagValue(argc, argv, "config", "tiny");
+  const double scale =
+      std::atof(FlagValue(argc, argv, "scale", "0.12").c_str());
+  const std::string prewarm_csv =
+      FlagValue(argc, argv, "prewarm", "retexpan,setexpan");
+
+  PipelineConfig config;
+  if (config_name == "tiny") {
+    config = PipelineConfig::Tiny();
+    config.generator.scale = scale;
+    config.dataset.ultra_class_scale = scale;
+  } else if (config_name == "bench") {
+    config = PipelineConfig::Bench();
+  } else {
+    std::fprintf(stderr, "unknown --config=%s (tiny|bench)\n",
+                 config_name.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "[uw_serve] building pipeline (%s, %d thread(s), cache %s)\n",
+               config_name.c_str(), ThreadPool::Global().thread_count(),
+               ArtifactCache::Global().enabled()
+                   ? ArtifactCache::Global().root().c_str()
+                   : "disabled");
+  Pipeline pipeline = Pipeline::Build(config);
+
+  serve::ExpansionService service(pipeline);
+  const std::vector<std::string> prewarm = SplitString(prewarm_csv, ',');
+  if (!prewarm.empty()) {
+    const Status warmed = service.PrewarmMethods(prewarm);
+    if (!warmed.ok()) {
+      std::fprintf(stderr, "[uw_serve] prewarm failed: %s\n",
+                   warmed.ToString().c_str());
+      return 2;
+    }
+  }
+
+  serve::TcpServer server(service);
+  const Status started = server.Start(port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "[uw_serve] %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %d\n", server.port());
+  std::fflush(stdout);
+  if (const char* port_file = std::getenv("UW_SERVE_PORT_FILE")) {
+    std::FILE* file = std::fopen(port_file, "w");
+    if (file != nullptr) {
+      std::fprintf(file, "%d\n", server.port());
+      std::fclose(file);
+    } else {
+      std::fprintf(stderr, "[uw_serve] cannot write UW_SERVE_PORT_FILE %s\n",
+                   port_file);
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "[uw_serve] pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "[uw_serve] signal received; draining...\n");
+  server.Shutdown();
+  std::printf(
+      "drained cleanly: connections=%lld requests=%lld protocol_errors=%lld "
+      "queue_depth=%d\n",
+      static_cast<long long>(server.connections_accepted()),
+      static_cast<long long>(server.requests_served()),
+      static_cast<long long>(server.protocol_errors()),
+      service.queue_depth());
+  return 0;
+}
