@@ -1,8 +1,13 @@
 // google-benchmark micro-benchmarks for the hot substrates: BM25 scoring,
-// encoder forward pass, entity-representation extraction, constrained
-// beam search, LM probability lookups, and the ranking metrics.
+// encoder forward pass, entity-representation extraction, the similarity
+// kernels (scalar per-pair vs blocked batched, cold vs cached norms),
+// streaming top-k, constrained beam search, LM probability lookups, and
+// the ranking metrics.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
 
 #include "bench_env.h"
 #include "embedding/entity_store.h"
@@ -11,6 +16,9 @@
 #include "expand/pipeline.h"
 #include "index/bm25.h"
 #include "lm/beam_search.h"
+#include "math/simd_kernels.h"
+#include "math/topk.h"
+#include "obs/metrics.h"
 
 namespace ultrawiki {
 namespace {
@@ -69,6 +77,138 @@ void BM_EntitySimilarity(benchmark::State& state) {
 }
 BENCHMARK(BM_EntitySimilarity);
 
+/// Pre-kernel reference: float-accumulated cosine with norms recomputed on
+/// every call. This is the exact shape of the scalar per-pair path the
+/// blocked kernels replaced; kept here as the baseline the speedup gauges
+/// are measured against.
+float ScalarCosineFloat(std::span<const float> a, std::span<const float> b) {
+  float dot = 0.0f;
+  float na = 0.0f;
+  float nb = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0f) return 0.0f;
+  return dot / denom;
+}
+
+void BM_KernelDotScalarFloat(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const auto& candidates = pipeline.candidates();
+  const std::span<const float> a = pipeline.store().HiddenOf(candidates[0]);
+  const std::span<const float> b = pipeline.store().HiddenOf(candidates[1]);
+  for (auto _ : state) {
+    float dot = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+    benchmark::DoNotOptimize(dot);
+  }
+}
+BENCHMARK(BM_KernelDotScalarFloat);
+
+void BM_KernelDotBlocked(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const auto& candidates = pipeline.candidates();
+  const std::span<const float> a = pipeline.store().HiddenOf(candidates[0]);
+  const std::span<const float> b = pipeline.store().HiddenOf(candidates[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotBlocked(a, b));
+  }
+}
+BENCHMARK(BM_KernelDotBlocked);
+
+/// Cold path: cosine from raw rows, norms recomputed per pair (pre-kernel
+/// EntityStore::Similarity behavior).
+void BM_KernelSimilarityColdNorms(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const auto& candidates = pipeline.candidates();
+  const EntityStore& store = pipeline.store();
+  size_t i = 0;
+  for (auto _ : state) {
+    const EntityId a = candidates[i % candidates.size()];
+    const EntityId b = candidates[(i * 7 + 3) % candidates.size()];
+    benchmark::DoNotOptimize(
+        ScalarCosineFloat(store.HiddenOf(a), store.HiddenOf(b)));
+    ++i;
+  }
+}
+BENCHMARK(BM_KernelSimilarityColdNorms);
+
+/// Cached path: pre-normalized unit rows, cosine is a pure blocked dot.
+void BM_KernelSimilarityCachedNorms(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const auto& candidates = pipeline.candidates();
+  const EntityStore& store = pipeline.store();
+  size_t i = 0;
+  for (auto _ : state) {
+    const EntityId a = candidates[i % candidates.size()];
+    const EntityId b = candidates[(i * 7 + 3) % candidates.size()];
+    benchmark::DoNotOptimize(store.Similarity(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_KernelSimilarityCachedNorms);
+
+/// Per-pair scalar seed scoring: for every candidate, average the float
+/// cosine against each positive seed (the pre-kernel InitialExpansion
+/// inner loop).
+void BM_KernelSeedScoresScalar(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const EntityStore& store = pipeline.store();
+  const Query& query = pipeline.dataset().queries.front();
+  const auto& candidates = pipeline.candidates();
+  for (auto _ : state) {
+    float checksum = 0.0f;
+    for (const EntityId c : candidates) {
+      float sum = 0.0f;
+      for (const EntityId s : query.pos_seeds) {
+        sum += ScalarCosineFloat(store.HiddenOf(c), store.HiddenOf(s));
+      }
+      checksum += sum / static_cast<float>(query.pos_seeds.size());
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_KernelSeedScoresScalar);
+
+/// Batched centroid scoring over the same seeds/candidates: one blocked
+/// dot per candidate against the folded seed centroid.
+void BM_KernelSeedScoresBatched(benchmark::State& state) {
+  const Pipeline& pipeline = SharedPipeline();
+  const EntityStore& store = pipeline.store();
+  const Query& query = pipeline.dataset().queries.front();
+  const auto& candidates = pipeline.candidates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.SeedCentroidScores(query.pos_seeds, candidates));
+  }
+}
+BENCHMARK(BM_KernelSeedScoresBatched);
+
+void BM_TopKMaterializeThenSort(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<float> scores(20000);
+  for (float& s : scores) s = static_cast<float>(rng.UniformUint64(1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopK(scores, 50));
+  }
+}
+BENCHMARK(BM_TopKMaterializeThenSort);
+
+void BM_TopKStreaming(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<float> scores(20000);
+  for (float& s : scores) s = static_cast<float>(rng.UniformUint64(1 << 20));
+  TopKStream stream(50);
+  for (auto _ : state) {
+    for (size_t i = 0; i < scores.size(); ++i) stream.Push(scores[i], i);
+    benchmark::DoNotOptimize(stream.TakeSortedDescending());
+  }
+}
+BENCHMARK(BM_TopKStreaming);
+
 void BM_ConstrainedBeamSearch(benchmark::State& state) {
   const Pipeline& pipeline = SharedPipeline();
   const Query& query = pipeline.dataset().queries.front();
@@ -117,6 +257,75 @@ void BM_AveragePrecisionAtK(benchmark::State& state) {
 BENCHMARK(BM_AveragePrecisionAtK);
 
 }  // namespace
+
+/// Measures seed-similarity throughput for the scalar per-pair baseline and
+/// the batched centroid kernel over the same (seeds x candidates) workload,
+/// then records both rates — plus the speedup ratio — as gauges so they land
+/// in the UW_BENCH_JSON snapshot written by BenchTimer. CI asserts on
+/// `kernel.bench.batched_speedup_x100`.
+void EmitKernelThroughputGauges() {
+  const Pipeline& pipeline = SharedPipeline();
+  const EntityStore& store = pipeline.store();
+  const Query& query = pipeline.dataset().queries.front();
+  const auto& candidates = pipeline.candidates();
+  const size_t pairs_per_sweep = query.pos_seeds.size() * candidates.size();
+  if (pairs_per_sweep == 0) return;
+
+  using Clock = std::chrono::steady_clock;
+  constexpr double kMinSeconds = 0.05;
+
+  // Scalar per-pair baseline: float cosine, norms recomputed every pair.
+  double scalar_seconds = 0.0;
+  size_t scalar_sweeps = 0;
+  float checksum = 0.0f;
+  {
+    const Clock::time_point start = Clock::now();
+    do {
+      for (const EntityId c : candidates) {
+        for (const EntityId s : query.pos_seeds) {
+          checksum += ScalarCosineFloat(store.HiddenOf(c), store.HiddenOf(s));
+        }
+      }
+      ++scalar_sweeps;
+      scalar_seconds = std::chrono::duration<double>(Clock::now() - start)
+                           .count();
+    } while (scalar_seconds < kMinSeconds);
+  }
+
+  // Batched centroid kernel over the identical workload.
+  double batched_seconds = 0.0;
+  size_t batched_sweeps = 0;
+  {
+    const Clock::time_point start = Clock::now();
+    do {
+      const std::vector<float> scores =
+          store.SeedCentroidScores(query.pos_seeds, candidates);
+      checksum += scores.empty() ? 0.0f : scores.front();
+      ++batched_sweeps;
+      batched_seconds = std::chrono::duration<double>(Clock::now() - start)
+                            .count();
+    } while (batched_seconds < kMinSeconds);
+  }
+
+  const double scalar_pps =
+      static_cast<double>(scalar_sweeps * pairs_per_sweep) / scalar_seconds;
+  const double batched_pps =
+      static_cast<double>(batched_sweeps * pairs_per_sweep) / batched_seconds;
+  obs::GetGauge("kernel.bench.dim").Set(static_cast<int64_t>(store.dim()));
+  obs::GetGauge("kernel.bench.pairs_per_sweep")
+      .Set(static_cast<int64_t>(pairs_per_sweep));
+  obs::GetGauge("kernel.bench.scalar_pairs_per_sec")
+      .Set(static_cast<int64_t>(scalar_pps));
+  obs::GetGauge("kernel.bench.batched_pairs_per_sec")
+      .Set(static_cast<int64_t>(batched_pps));
+  obs::GetGauge("kernel.bench.batched_speedup_x100")
+      .Set(static_cast<int64_t>(batched_pps / scalar_pps * 100.0));
+  std::fprintf(stderr,
+               "[micro_substrates] kernel throughput: scalar %.3g pairs/s, "
+               "batched %.3g pairs/s (%.1fx, checksum %g)\n",
+               scalar_pps, batched_pps, batched_pps / scalar_pps, checksum);
+}
+
 }  // namespace ultrawiki
 
 // Expanded BENCHMARK_MAIN() with a BenchTimer wrapped around the run so
@@ -127,6 +336,7 @@ int main(int argc, char** argv) {
   {
     ::ultrawiki::BenchTimer timer("micro_substrates");
     ::benchmark::RunSpecifiedBenchmarks();
+    ::ultrawiki::EmitKernelThroughputGauges();
   }
   ::benchmark::Shutdown();
   return 0;

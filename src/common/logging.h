@@ -101,6 +101,17 @@ class FatalLogMessage {
 #define UW_CHECK_GT(a, b) UW_CHECK_OP(a, b, >)
 #define UW_CHECK_GE(a, b) UW_CHECK_OP(a, b, >=)
 
+/// Debug-only UW_CHECK: active when NDEBUG is not defined, compiled to a
+/// dead branch (condition unevaluated) in release builds. For invariants
+/// that are too expensive to verify on the hot path, e.g. sortedness of a
+/// top-k result under the total-order comparator.
+#ifndef NDEBUG
+#define UW_DCHECK(cond) UW_CHECK(cond)
+#else
+#define UW_DCHECK(cond) \
+  while (false) UW_CHECK(true)
+#endif
+
 /// Aborts if `status_expr` is not OK.
 #define UW_CHECK_OK(status_expr)                                       \
   do {                                                                 \

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "math/simd_kernels.h"
 #include "math/vec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,8 +68,7 @@ EntityStore EntityStore::Build(const Corpus& corpus,
       obs::GetCounter("entity_store.sentences_encoded");
   entities_built.Increment(static_cast<int64_t>(entities.size()));
   EntityStore store(static_cast<size_t>(encoder.config().hidden_dim));
-  store.zero_.assign(store.dim_, 0.0f);
-  store.hidden_.resize(corpus.entity_count());
+  std::vector<Vec> slots(corpus.entity_count());
   for (EntityId id : entities) {
     UW_CHECK_GE(id, 0);
     UW_CHECK_LT(static_cast<size_t>(id), corpus.entity_count());
@@ -100,50 +100,134 @@ EntityStore EntityStore::Build(const Corpus& corpus,
       });
   for (size_t e = 0; e < entities.size(); ++e) {
     if (built[e].empty()) continue;
-    store.hidden_[static_cast<size_t>(entities[e])] = std::move(built[e]);
+    slots[static_cast<size_t>(entities[e])] = std::move(built[e]);
   }
   if (config.center) {
     Vec mean(store.dim_, 0.0f);
     int64_t built = 0;
-    for (const Vec& h : store.hidden_) {
+    for (const Vec& h : slots) {
       if (h.empty()) continue;
       AccumulateInPlace(mean, h);
       ++built;
     }
     if (built > 0) {
       Scale(1.0f / static_cast<float>(built), mean);
-      for (Vec& h : store.hidden_) {
+      for (Vec& h : slots) {
         if (h.empty()) continue;
         for (size_t i = 0; i < h.size(); ++i) h[i] -= mean[i];
       }
     }
   }
+  store.FinalizeFromSlots(std::move(slots));
   return store;
 }
 
 EntityStore EntityStore::Restore(size_t dim, std::vector<Vec> hidden) {
   EntityStore store(dim);
-  store.zero_.assign(dim, 0.0f);
   for (const Vec& h : hidden) {
     UW_CHECK(h.empty() || h.size() == dim);
   }
-  store.hidden_ = std::move(hidden);
+  store.FinalizeFromSlots(std::move(hidden));
   return store;
 }
 
-const Vec& EntityStore::HiddenOf(EntityId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= hidden_.size()) return zero_;
-  const Vec& h = hidden_[static_cast<size_t>(id)];
-  return h.empty() ? zero_ : h;
+void EntityStore::FinalizeFromSlots(std::vector<Vec> hidden) {
+  zero_.assign(dim_, 0.0f);
+  row_of_.assign(hidden.size(), -1);
+  size_t rows = 0;
+  for (const Vec& h : hidden) {
+    if (!h.empty()) ++rows;
+  }
+  data_.resize(rows * dim_);
+  unit_.resize(rows * dim_);
+  norms_.resize(rows);
+  // Rows are packed in ascending EntityId order, so the layout — and with
+  // it every kernel result — is a pure function of the slot contents,
+  // identical between a fresh Build() and a snapshot Restore().
+  size_t row = 0;
+  for (size_t slot = 0; slot < hidden.size(); ++slot) {
+    const Vec& h = hidden[slot];
+    if (h.empty()) continue;
+    row_of_[slot] = static_cast<int32_t>(row);
+    std::copy(h.begin(), h.end(), data_.begin() + row * dim_);
+    const std::span<const float> raw(data_.data() + row * dim_, dim_);
+    const double norm = NormBlocked(raw);
+    norms_[row] = static_cast<float>(norm);
+    float* unit = unit_.data() + row * dim_;
+    if (norm > 0.0) {
+      const double inv = 1.0 / norm;
+      for (size_t i = 0; i < dim_; ++i) {
+        unit[i] = static_cast<float>(static_cast<double>(raw[i]) * inv);
+      }
+    } else {
+      std::fill(unit, unit + dim_, 0.0f);
+    }
+    ++row;
+  }
+}
+
+std::span<const float> EntityStore::HiddenOf(EntityId id) const {
+  if (!Has(id)) return zero_;
+  const size_t row =
+      static_cast<size_t>(row_of_[static_cast<size_t>(id)]);
+  return std::span<const float>(data_.data() + row * dim_, dim_);
+}
+
+std::span<const float> EntityStore::UnitOf(EntityId id) const {
+  if (!Has(id)) return zero_;
+  const size_t row =
+      static_cast<size_t>(row_of_[static_cast<size_t>(id)]);
+  return std::span<const float>(unit_.data() + row * dim_, dim_);
+}
+
+float EntityStore::NormOf(EntityId id) const {
+  if (!Has(id)) return 0.0f;
+  return norms_[static_cast<size_t>(row_of_[static_cast<size_t>(id)])];
 }
 
 bool EntityStore::Has(EntityId id) const {
-  return id >= 0 && static_cast<size_t>(id) < hidden_.size() &&
-         !hidden_[static_cast<size_t>(id)].empty();
+  return id >= 0 && static_cast<size_t>(id) < row_of_.size() &&
+         row_of_[static_cast<size_t>(id)] >= 0;
 }
 
 float EntityStore::Similarity(EntityId a, EntityId b) const {
-  return CosineSimilarity(HiddenOf(a), HiddenOf(b));
+  // Rows are pre-normalized, so cosine is a pure blocked dot; the
+  // zero-norm/absent convention (similarity 0) falls out of the zero unit
+  // rows.
+  return static_cast<float>(DotBlocked(UnitOf(a), UnitOf(b)));
+}
+
+std::vector<float> EntityStore::SeedCentroidScores(
+    const std::vector<EntityId>& seeds,
+    const std::vector<EntityId>& candidates) const {
+  UW_SPAN("kernel.seed_centroid_scores");
+  static obs::Counter& folds = obs::GetCounter("kernel.centroid_folds");
+  static obs::Counter& rows = obs::GetCounter("kernel.rows_scored");
+  std::vector<float> out(candidates.size(), 0.0f);
+  if (seeds.empty() || candidates.empty()) return out;
+  folds.Increment();
+  rows.Increment(static_cast<int64_t>(candidates.size()));
+  // mean_s cos(c, s) = mean_s dot(ĉ, ŝ) = dot(ĉ, mean_s ŝ): fold the
+  // per-seed average into one centroid (double accumulation, seed order
+  // fixed by the argument), then one dot per candidate. Absent seeds keep
+  // their slot in the denominator via the zero unit row, matching the
+  // per-pair path.
+  std::vector<double> centroid(dim_, 0.0);
+  for (EntityId seed : seeds) {
+    const std::span<const float> u = UnitOf(seed);
+    for (size_t i = 0; i < dim_; ++i) {
+      centroid[i] += static_cast<double>(u[i]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(seeds.size());
+  Vec centroid_f(dim_, 0.0f);
+  for (size_t i = 0; i < dim_; ++i) {
+    centroid_f[i] = static_cast<float>(centroid[i] * inv);
+  }
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    out[c] = static_cast<float>(DotBlocked(UnitOf(candidates[c]), centroid_f));
+  }
+  return out;
 }
 
 float SparseCosine(const SparseVec& a, const SparseVec& b) {

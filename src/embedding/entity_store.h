@@ -1,6 +1,7 @@
 #ifndef ULTRAWIKI_EMBEDDING_ENTITY_STORE_H_
 #define ULTRAWIKI_EMBEDDING_ENTITY_STORE_H_
 
+#include <span>
 #include <vector>
 
 #include "corpus/corpus.h"
@@ -36,6 +37,13 @@ struct EntityStoreConfig {
 /// hidden state h(e) over the entity's masked sentence contexts (the
 /// paper's "average of the contextual embedding at the mask position
 /// across all sentences containing it").
+///
+/// Storage is one contiguous row-major matrix over the present entities
+/// plus a per-entity L2-norm cache and a pre-normalized (unit-row) copy,
+/// all (re)built deterministically by Build() and Restore(): cosine
+/// similarity is a single cached-norm dot, and the batched scoring paths
+/// (SeedCentroidScores) run the blocked kernels of math/simd_kernels.h
+/// over the unit rows with no per-call norm recomputation.
 class EntityStore {
  public:
   /// Encodes every entity in `entities` with `encoder`.
@@ -51,27 +59,58 @@ class EntityStore {
 
   /// Mean hidden state of `id`; the zero vector if the entity was not in
   /// the build set or has no sentences.
-  const Vec& HiddenOf(EntityId id) const;
+  std::span<const float> HiddenOf(EntityId id) const;
+
+  /// Unit-normalized row of `id`; the zero vector if absent or zero-norm.
+  std::span<const float> UnitOf(EntityId id) const;
+
+  /// Cached L2 norm of `id`'s representation; 0 if absent.
+  float NormOf(EntityId id) const;
 
   bool Has(EntityId id) const;
 
-  /// Cosine similarity between the representations of two entities.
+  /// Cosine similarity between the representations of two entities,
+  /// computed as a blocked dot over the pre-normalized rows (norms are
+  /// cached at Build()/Restore() time, never recomputed per call).
   float Similarity(EntityId a, EntityId b) const;
+
+  /// Batched seed–candidate scoring for the paper's sco^pos/sco^neg: for
+  /// every candidate c, returns mean_{s in seeds} cosine(c, s). Because
+  /// rows are pre-normalized, the per-seed average folds exactly into one
+  /// dot against the seed centroid (dot is linear in its second
+  /// argument), turning O(|candidates|·|seeds|·dim) per-pair work into
+  /// O((|candidates| + |seeds|)·dim). Absent seeds/candidates contribute
+  /// a zero vector, matching the per-pair convention that their cosine
+  /// is 0. Deterministic at any UW_THREADS.
+  std::vector<float> SeedCentroidScores(
+      const std::vector<EntityId>& seeds,
+      const std::vector<EntityId>& candidates) const;
 
   size_t dim() const { return dim_; }
 
-  /// Serialization access: the per-EntityId slots (empty vector = absent).
-  const std::vector<Vec>& hidden_states() const { return hidden_; }
+  /// Serialization access: number of per-EntityId slots (present or not).
+  size_t slot_count() const { return row_of_.size(); }
 
   /// Rebuilds a store from serialized parts (the snapshot load path).
   /// Every non-empty slot of `hidden` must have exactly `dim` entries.
+  /// The norm cache and unit rows are rebuilt deterministically with the
+  /// same kernels Build() uses, so a restored store scores bit-identically
+  /// to the freshly built one it was saved from.
   static EntityStore Restore(size_t dim, std::vector<Vec> hidden);
 
  private:
   explicit EntityStore(size_t dim) : dim_(dim) {}
 
+  /// Packs per-EntityId slots (empty = absent) into the contiguous
+  /// matrix, norm cache, and unit rows. Shared by Build() and Restore()
+  /// so both construction paths produce bit-identical scoring state.
+  void FinalizeFromSlots(std::vector<Vec> hidden);
+
   size_t dim_;
-  std::vector<Vec> hidden_;  // indexed by EntityId; empty => absent
+  std::vector<int32_t> row_of_;  // indexed by EntityId; -1 => absent
+  std::vector<float> data_;      // row-major raw hiddens, one row per present entity
+  std::vector<float> unit_;      // row-major L2-normalized rows (zero row if norm 0)
+  std::vector<float> norms_;     // per-row cached L2 norms
   Vec zero_;
 };
 

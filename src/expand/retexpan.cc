@@ -35,17 +35,30 @@ std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
                                                  size_t size) const {
   UW_SPAN("retexpan.initial_expansion");
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
-  std::vector<ScoredIndex> scored;
-  scored.reserve(candidates_->size());
+  // Batched recall: one centroid fold plus one blocked dot per candidate
+  // (EntityStore::SeedCentroidScores) instead of |seeds| per-pair cosines
+  // with recomputed norms, streamed into a bounded top-k heap instead of
+  // materialize-then-partial-sort. Candidate positions keep the original
+  // index tie-break.
+  std::vector<size_t> positions;
+  std::vector<EntityId> non_seed;
+  positions.reserve(candidates_->size());
+  non_seed.reserve(candidates_->size());
   for (size_t i = 0; i < candidates_->size(); ++i) {
     const EntityId id = (*candidates_)[i];
     if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
-    scored.push_back(ScoredIndex{
-        static_cast<float>(SeedSimilarity(query.pos_seeds, id)), i});
+    positions.push_back(i);
+    non_seed.push_back(id);
   }
+  const std::vector<float> scores =
+      store_->SeedCentroidScores(query.pos_seeds, non_seed);
   obs::GetCounter("retexpan.candidates_scored")
-      .Increment(static_cast<int64_t>(scored.size()));
-  scored = TopKOfPairs(std::move(scored), size);
+      .Increment(static_cast<int64_t>(non_seed.size()));
+  TopKStream stream(size);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    stream.Push(scores[i], positions[i]);
+  }
+  const std::vector<ScoredIndex> scored = stream.TakeSortedDescending();
   std::vector<EntityId> initial;
   initial.reserve(scored.size());
   for (const ScoredIndex& s : scored) {
@@ -72,14 +85,19 @@ std::vector<EntityId> RetExpan::Expand(const Query& query, size_t k) {
     // not exceed their positive evidence keep their original order (the
     // segment sort is stable), so re-ranking is a pure demotion of
     // negative-aligned entities, never a reshuffle of the positives.
-    list = SegmentedRerank(
-        list,
-        [this, &query](EntityId id) {
-          const double margin = SeedSimilarity(query.neg_seeds, id) -
-                                SeedSimilarity(query.pos_seeds, id);
-          return std::max(0.0, margin);
-        },
-        config_.rerank_segment_length);
+    // Both sides' seed similarities come from one batched centroid pass
+    // over the list instead of per-entity per-seed cosines.
+    const std::vector<float> neg =
+        store_->SeedCentroidScores(query.neg_seeds, list);
+    const std::vector<float> pos =
+        store_->SeedCentroidScores(query.pos_seeds, list);
+    std::vector<double> margins(list.size(), 0.0);
+    for (size_t i = 0; i < list.size(); ++i) {
+      margins[i] = std::max(
+          0.0, static_cast<double>(neg[i]) - static_cast<double>(pos[i]));
+    }
+    list = SegmentedRerankByPosition(list, margins,
+                                     config_.rerank_segment_length);
   }
   if (list.size() > k) list.resize(k);
   return list;

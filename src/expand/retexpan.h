@@ -39,6 +39,8 @@ class RetExpan : public Expander {
   std::string name() const override { return name_; }
 
   /// Mean cosine similarity of `candidate` to `seeds` (paper Eq. 4).
+  /// Per-pair scalar path, kept as the reference the batched
+  /// EntityStore::SeedCentroidScores ranking is validated against.
   double SeedSimilarity(const std::vector<EntityId>& seeds,
                         EntityId candidate) const;
 

@@ -70,7 +70,14 @@ std::vector<std::vector<float>> Bm25Scorer::ScoreAllBatch(
 
 std::vector<ScoredIndex> Bm25Scorer::Search(const std::vector<TokenId>& query,
                                             size_t k) const {
-  return TopK(ScoreAll(query), k);
+  // Stream the dense scores through a bounded heap: O(k) selection state
+  // instead of a full (score, doc) materialize-then-sort.
+  const std::vector<float> scores = ScoreAll(query);
+  TopKStream stream(k);
+  for (size_t doc = 0; doc < scores.size(); ++doc) {
+    stream.Push(scores[doc], doc);
+  }
+  return stream.TakeSortedDescending();
 }
 
 }  // namespace ultrawiki

@@ -716,13 +716,17 @@ StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path) {
 
 Status SaveEntityStoreSnapshot(const EntityStore& store,
                                const std::string& path) {
+  // Only the raw hidden rows are serialized; the norm cache and unit rows
+  // are rebuilt deterministically by EntityStore::Restore, so a restored
+  // store scores bit-identically to the one that was saved.
   SnapshotWriter out;
   out.PutU64(store.dim());
-  const std::vector<Vec>& hidden = store.hidden_states();
-  out.PutU64(hidden.size());
-  for (const Vec& h : hidden) {
-    out.PutU32(h.empty() ? 0 : 1);
-    if (!h.empty()) out.PutFloats(h);
+  out.PutU64(store.slot_count());
+  for (EntityId id = 0; static_cast<size_t>(id) < store.slot_count();
+       ++id) {
+    const bool present = store.Has(id);
+    out.PutU32(present ? 1 : 0);
+    if (present) out.PutFloats(store.HiddenOf(id));
   }
   return WriteSnapshotFile(path, SnapshotKind::kEntityStore, out);
 }

@@ -1,0 +1,82 @@
+#include "math/simd_kernels.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+namespace {
+
+/// Fixed pairwise tree over the lane accumulators. Written out explicitly
+/// so the reduction order is part of the function's contract, not an
+/// artifact of loop unrolling.
+inline double ReduceLanes(const double lanes[kDotLanes]) {
+  static_assert(kDotLanes == 8, "ReduceLanes is written for 8 lanes");
+  const double s01 = lanes[0] + lanes[1];
+  const double s23 = lanes[2] + lanes[3];
+  const double s45 = lanes[4] + lanes[5];
+  const double s67 = lanes[6] + lanes[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+}  // namespace
+
+double DotBlocked(std::span<const float> a, std::span<const float> b) {
+  UW_CHECK_EQ(a.size(), b.size());
+  double lanes[kDotLanes] = {};
+  const size_t n = a.size();
+  const size_t full = n - n % kDotLanes;
+  // Independent lane accumulators: the compiler may run the lanes in one
+  // vector register because no lane depends on another.
+  for (size_t i = 0; i < full; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      lanes[l] += static_cast<double>(a[i + l]) * static_cast<double>(b[i + l]);
+    }
+  }
+  for (size_t i = full; i < n; ++i) {
+    lanes[i - full] +=
+        static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return ReduceLanes(lanes);
+}
+
+double SquaredNormBlocked(std::span<const float> x) {
+  double lanes[kDotLanes] = {};
+  const size_t n = x.size();
+  const size_t full = n - n % kDotLanes;
+  for (size_t i = 0; i < full; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      const double v = static_cast<double>(x[i + l]);
+      lanes[l] += v * v;
+    }
+  }
+  for (size_t i = full; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    lanes[i - full] += v * v;
+  }
+  return ReduceLanes(lanes);
+}
+
+double NormBlocked(std::span<const float> x) {
+  return std::sqrt(SquaredNormBlocked(x));
+}
+
+void DotBatch(std::span<const float> matrix, size_t dim,
+              std::span<const float> query, std::span<float> out) {
+  UW_CHECK_EQ(query.size(), dim);
+  UW_CHECK_EQ(matrix.size(), out.size() * dim);
+  for (size_t r = 0; r < out.size(); ++r) {
+    out[r] = static_cast<float>(
+        DotBlocked(matrix.subspan(r * dim, dim), query));
+  }
+}
+
+std::vector<float> ScoreMany(std::span<const float> matrix, size_t dim,
+                             std::span<const float> query) {
+  UW_CHECK_GT(dim, 0u);
+  std::vector<float> out(matrix.size() / dim, 0.0f);
+  DotBatch(matrix, dim, query, out);
+  return out;
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,48 @@
+#ifndef ULTRAWIKI_MATH_SIMD_KERNELS_H_
+#define ULTRAWIKI_MATH_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ultrawiki {
+
+/// Blocked, compiler-vectorizable reduction kernels with a *fixed*
+/// reduction order.
+///
+/// Every kernel accumulates into `kDotLanes` independent double-precision
+/// lane accumulators (element i goes to lane i % kDotLanes) and reduces
+/// the lanes with a fixed pairwise tree. Because the abstract-machine
+/// operation order is fully determined by the input length — never by the
+/// SIMD width the compiler picks, the thread count, or the machine — the
+/// result is bit-identical everywhere, while the independent lanes leave
+/// the compiler free to vectorize the inner loop without reassociating
+/// floating-point math.
+inline constexpr size_t kDotLanes = 8;
+
+/// Dot product of `a` and `b` with deterministic blocked double
+/// accumulation. Spans must have equal length.
+double DotBlocked(std::span<const float> a, std::span<const float> b);
+
+/// Sum of squares of `x` (same blocked accumulation as DotBlocked, single
+/// pass).
+double SquaredNormBlocked(std::span<const float> x);
+
+/// L2 norm of `x` via SquaredNormBlocked.
+double NormBlocked(std::span<const float> x);
+
+/// Scores every row of the row-major `matrix` (`out.size()` rows of
+/// `dim` floats each; `matrix.size() == out.size() * dim`) against
+/// `query`, writing `out[r] = float(DotBlocked(row r, query))`. Rows are
+/// processed in index order; each output is a pure function of its row
+/// and the query, so the batch is deterministic at any thread count.
+void DotBatch(std::span<const float> matrix, size_t dim,
+              std::span<const float> query, std::span<float> out);
+
+/// Convenience wrapper over DotBatch that allocates the output.
+std::vector<float> ScoreMany(std::span<const float> matrix, size_t dim,
+                             std::span<const float> query);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_MATH_SIMD_KERNELS_H_

@@ -3,14 +3,16 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "math/simd_kernels.h"
 
 namespace ultrawiki {
 
 float Dot(std::span<const float> a, std::span<const float> b) {
-  UW_CHECK_EQ(a.size(), b.size());
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  // Same deterministic blocked double accumulation as the batch kernels:
+  // a single running float sum loses low-order bits at large dims, where
+  // near-tied candidates would flip order whenever a code change (or a
+  // vectorizer) reassociated the summation.
+  return static_cast<float>(DotBlocked(a, b));
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
@@ -23,9 +25,7 @@ void Scale(float alpha, std::span<float> x) {
 }
 
 float Norm(std::span<const float> x) {
-  float sum = 0.0f;
-  for (float v : x) sum += v * v;
-  return std::sqrt(sum);
+  return static_cast<float>(NormBlocked(x));
 }
 
 void NormalizeInPlace(std::span<float> x) {
@@ -35,10 +35,10 @@ void NormalizeInPlace(std::span<float> x) {
 }
 
 float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
-  const float na = Norm(a);
-  const float nb = Norm(b);
-  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
-  return Dot(a, b) / (na * nb);
+  const double na = NormBlocked(a);
+  const double nb = NormBlocked(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(DotBlocked(a, b) / (na * nb));
 }
 
 void AccumulateInPlace(std::span<float> acc, std::span<const float> x) {

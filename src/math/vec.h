@@ -10,7 +10,9 @@ namespace ultrawiki {
 /// Dense float vector used for entity/context representations.
 using Vec = std::vector<float>;
 
-/// Dot product; spans must have equal length.
+/// Dot product; spans must have equal length. Accumulates with the
+/// deterministic blocked double-precision kernel (simd_kernels.h), so the
+/// result is bit-identical across machines, SIMD widths, and UW_THREADS.
 float Dot(std::span<const float> a, std::span<const float> b);
 
 /// y += alpha * x
@@ -19,7 +21,7 @@ void Axpy(float alpha, std::span<const float> x, std::span<float> y);
 /// x *= alpha
 void Scale(float alpha, std::span<float> x);
 
-/// Euclidean norm.
+/// Euclidean norm (deterministic blocked accumulation, see Dot).
 float Norm(std::span<const float> x);
 
 /// In-place L2 normalization; leaves zero vectors untouched.

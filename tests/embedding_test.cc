@@ -234,6 +234,53 @@ TEST_F(TrainerTest, StoreSimilaritySelfIsOne) {
   EXPECT_FLOAT_EQ(store.Similarity(0, 999999), 0.0f);
 }
 
+TEST_F(TrainerTest, StoreNormCacheMatchesRowNorms) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  const std::vector<EntityId> entities = {0, 1, 2, 5};
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, entities, {});
+  for (EntityId id : entities) {
+    ASSERT_TRUE(store.Has(id));
+    // The cached norm is the norm of the raw row...
+    EXPECT_EQ(store.NormOf(id), Norm(store.HiddenOf(id)));
+    // ...and the unit row is the raw row scaled by 1/norm, so cosine is a
+    // pure dot.
+    EXPECT_NEAR(Norm(store.UnitOf(id)), 1.0f, 1e-5f);
+    EXPECT_NEAR(static_cast<double>(store.Similarity(id, id)), 1.0, 1e-5);
+  }
+  // Absent entities expose a zero row, zero norm, and zero similarity.
+  const EntityId absent = 3;
+  ASSERT_FALSE(store.Has(absent));
+  EXPECT_FLOAT_EQ(store.NormOf(absent), 0.0f);
+  for (float v : store.UnitOf(absent)) EXPECT_FLOAT_EQ(v, 0.0f);
+  EXPECT_FLOAT_EQ(store.Similarity(0, absent), 0.0f);
+}
+
+TEST_F(TrainerTest, SeedCentroidScoresAbsentSeedsCountInDenominator) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  const std::vector<EntityId> entities = {0, 1, 2};
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, entities, {});
+  const std::vector<EntityId> candidates = {0, 1, 2, 999999};
+  // An absent seed contributes a zero cosine to every candidate but still
+  // counts in the average — exactly the per-pair convention.
+  const std::vector<float> with_absent =
+      store.SeedCentroidScores({0, 999998}, candidates);
+  ASSERT_EQ(with_absent.size(), candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const double per_pair =
+        (static_cast<double>(store.Similarity(candidates[c], 0)) + 0.0) /
+        2.0;
+    EXPECT_NEAR(with_absent[c], per_pair, 1e-6) << "candidate " << c;
+  }
+  // Empty seeds / empty candidates degrade to zeros / empty.
+  EXPECT_EQ(store.SeedCentroidScores({}, candidates),
+            std::vector<float>(candidates.size(), 0.0f));
+  EXPECT_TRUE(store.SeedCentroidScores({0}, {}).empty());
+}
+
 TEST_F(TrainerTest, SparseDistributionsTruncated) {
   ContextEncoder encoder(world_->corpus.tokens().size(),
                          world_->corpus.entity_count(), TinyEncoderConfig());

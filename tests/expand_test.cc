@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <span>
 
+#include "common/thread_pool.h"
 #include "expand/contrastive_miner.h"
 #include "expand/pipeline.h"
 #include "expand/rerank.h"
+#include "expand/retexpan.h"
 #include "expand/retrieval_augmentation.h"
+#include "math/topk.h"
 
 namespace ultrawiki {
 namespace {
@@ -69,6 +74,34 @@ TEST(RerankTest, PositionalVariantHandlesDuplicates) {
   EXPECT_EQ(out, (std::vector<EntityId>{4, 3, -2, -2}));
 }
 
+TEST(RerankTest, ShortFinalSegmentSortsOnlyItself) {
+  // 5 entries with segment length 3: the final segment is the short tail
+  // {30, 40} and must be sorted independently of the first segment.
+  const std::vector<EntityId> initial = {10, 20, 30, 40, 50};
+  const std::vector<double> scores = {0.0, 0.5, 0.1, 0.9, 0.2};
+  const auto out = SegmentedRerankByPosition(initial, scores, 3);
+  EXPECT_EQ(out, (std::vector<EntityId>{10, 30, 20, 50, 40}));
+}
+
+TEST(RerankTest, SingleElementFinalSegment) {
+  const std::vector<EntityId> initial = {1, 2, 3};
+  const std::vector<double> scores = {0.9, 0.1, 0.5};
+  const auto out = SegmentedRerankByPosition(initial, scores, 2);
+  EXPECT_EQ(out, (std::vector<EntityId>{2, 1, 3}));
+}
+
+TEST(RerankTest, AllZeroMarginsIsIdentity) {
+  // The pure-demotion invariant of RetExpan's clamped margin key: when no
+  // entity's negative evidence exceeds its positive evidence, every
+  // margin is 0 and the stable segment sort must leave the list intact.
+  const std::vector<EntityId> initial = {9, 4, 7, 2, 8, 6, 1};
+  const std::vector<double> margins(initial.size(), 0.0);
+  for (const int segment : {1, 2, 3, 100}) {
+    EXPECT_EQ(SegmentedRerankByPosition(initial, margins, segment), initial)
+        << "segment length " << segment;
+  }
+}
+
 // ------------------------------------------------- Tiny pipeline fixture.
 
 class ExpandTest : public ::testing::Test {
@@ -123,6 +156,114 @@ TEST_F(ExpandTest, InitialExpansionRespectsSize) {
   auto method = pipeline_->MakeRetExpan();
   const Query& query = pipeline_->dataset().queries.front();
   EXPECT_EQ(method->InitialExpansion(query, 25).size(), 25u);
+}
+
+// ---- Pre-kernel scalar reference: float-accumulated cosine with norms
+// recomputed per pair and the per-seed average taken in double — the
+// exact arithmetic RetExpan ran before the blocked kernels. The batched
+// centroid path must reproduce its rankings bit-for-bit.
+
+float ScalarCosineRef(std::span<const float> a, std::span<const float> b) {
+  float na = 0.0f;
+  float nb = 0.0f;
+  float dot = 0.0f;
+  for (float v : a) na += v * v;
+  for (float v : b) nb += v * v;
+  na = std::sqrt(na);
+  nb = std::sqrt(nb);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  return dot / (na * nb);
+}
+
+double ScalarSeedSimilarityRef(const EntityStore& store,
+                               const std::vector<EntityId>& seeds,
+                               EntityId candidate) {
+  if (seeds.empty()) return 0.0;
+  double sum = 0.0;
+  for (EntityId seed : seeds) {
+    sum += static_cast<double>(
+        ScalarCosineRef(store.HiddenOf(candidate), store.HiddenOf(seed)));
+  }
+  return sum / static_cast<double>(seeds.size());
+}
+
+std::vector<EntityId> ScalarExpandRef(const EntityStore& store,
+                                      const std::vector<EntityId>& candidates,
+                                      const Query& query, size_t k,
+                                      const RetExpanConfig& config) {
+  const size_t initial_size =
+      std::max<size_t>(k, static_cast<size_t>(config.initial_list_size));
+  const std::vector<EntityId> seeds = SortedSeedsOf(query);
+  std::vector<ScoredIndex> scored;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const EntityId id = candidates[i];
+    if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+    scored.push_back(ScoredIndex{
+        static_cast<float>(
+            ScalarSeedSimilarityRef(store, query.pos_seeds, id)),
+        i});
+  }
+  scored = TopKOfPairs(std::move(scored), initial_size);
+  std::vector<EntityId> list;
+  for (const ScoredIndex& s : scored) list.push_back(candidates[s.index]);
+  if (config.use_negative_rerank && !query.neg_seeds.empty()) {
+    std::vector<double> margins;
+    for (EntityId id : list) {
+      margins.push_back(std::max(
+          0.0, ScalarSeedSimilarityRef(store, query.neg_seeds, id) -
+                   ScalarSeedSimilarityRef(store, query.pos_seeds, id)));
+    }
+    list = SegmentedRerankByPosition(list, margins,
+                                     config.rerank_segment_length);
+  }
+  if (list.size() > k) list.resize(k);
+  return list;
+}
+
+TEST_F(ExpandTest, BatchedRankingBitIdenticalToScalarReference) {
+  for (const bool rerank : {true, false}) {
+    RetExpanConfig config;
+    config.use_negative_rerank = rerank;
+    auto method = pipeline_->MakeRetExpan(config);
+    for (size_t q = 0; q < 4 && q < pipeline_->dataset().queries.size();
+         ++q) {
+      const Query& query = pipeline_->dataset().queries[q];
+      EXPECT_EQ(method->Expand(query, 50),
+                ScalarExpandRef(pipeline_->store(), pipeline_->candidates(),
+                                query, 50, config))
+          << "query " << q << " rerank=" << rerank;
+    }
+  }
+}
+
+TEST_F(ExpandTest, BatchedRankingIdenticalAcrossThreadCounts) {
+  auto method = pipeline_->MakeRetExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  ASSERT_TRUE(ThreadPool::SetGlobalThreadCount(1).ok());
+  const auto one_thread = method->Expand(query, 50);
+  ASSERT_TRUE(ThreadPool::SetGlobalThreadCount(8).ok());
+  const auto eight_threads = method->Expand(query, 50);
+  ASSERT_TRUE(ThreadPool::SetGlobalThreadCount(0).ok());  // restore default
+  EXPECT_EQ(one_thread, eight_threads);
+}
+
+TEST_F(ExpandTest, SeedCentroidScoresMatchPerPairAverage) {
+  const EntityStore& store = pipeline_->store();
+  const Query& query = pipeline_->dataset().queries.front();
+  const std::vector<EntityId>& candidates = pipeline_->candidates();
+  const std::vector<float> batched =
+      store.SeedCentroidScores(query.pos_seeds, candidates);
+  ASSERT_EQ(batched.size(), candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double per_pair = 0.0;
+    for (EntityId seed : query.pos_seeds) {
+      per_pair += static_cast<double>(
+          store.Similarity(candidates[i], seed));
+    }
+    per_pair /= static_cast<double>(query.pos_seeds.size());
+    EXPECT_NEAR(batched[i], per_pair, 1e-5) << "candidate " << i;
+  }
 }
 
 TEST_F(ExpandTest, GenExpanProducesCandidatesOnly) {
@@ -256,7 +397,10 @@ TEST_F(ExpandTest, ContrastStoreDiffersFromBase) {
   const EntityStore& base = pipeline_->store();
   const EntityStore& tuned = pipeline_->contrast_store();
   const EntityId probe = pipeline_->candidates().front();
-  EXPECT_NE(base.HiddenOf(probe), tuned.HiddenOf(probe));
+  const auto base_h = base.HiddenOf(probe);
+  const auto tuned_h = tuned.HiddenOf(probe);
+  EXPECT_FALSE(base_h.size() == tuned_h.size() &&
+               std::equal(base_h.begin(), base_h.end(), tuned_h.begin()));
 }
 
 TEST_F(ExpandTest, CotPrefixedGenExpanDiffersFromBase) {

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "math/matrix.h"
 #include "math/optimizer.h"
 #include "math/sampling.h"
+#include "math/simd_kernels.h"
 #include "math/softmax.h"
 #include "math/topk.h"
 #include "math/vec.h"
@@ -290,6 +292,207 @@ TEST(SortByScoreTest, Descending) {
   SortByScoreDescending(pairs);
   EXPECT_EQ(pairs[0].index, 1u);
   EXPECT_EQ(pairs[2].index, 0u);
+}
+
+TEST(TopKTest, KZeroReturnsEmpty) {
+  EXPECT_TRUE(TopK({0.4f, 0.2f}, 0).empty());
+  EXPECT_TRUE(TopKOfPairs({{0.4f, 0}, {0.2f, 1}}, 0).empty());
+}
+
+TEST(TopKTest, AllDuplicateScoresOrderByIndex) {
+  std::vector<float> scores(8, 0.25f);
+  const auto top = TopK(scores, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].index, i);
+    EXPECT_FLOAT_EQ(top[i].score, 0.25f);
+  }
+}
+
+// Regression: a bare `a.score > b.score` comparator is not a strict weak
+// ordering when NaN is present (NaN > x and x > NaN are both false while
+// NaN != x), which makes std::partial_sort UB. RanksBefore must rank NaN
+// after every real score with the index tie-break, deterministically.
+TEST(TopKTest, NaNScoresSortLastDeterministically) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> scores = {0.3f, nan, 0.9f, nan, -1.0f, 0.9f};
+  const auto all = TopK(scores, scores.size());
+  ASSERT_EQ(all.size(), scores.size());
+  EXPECT_EQ(all[0].index, 2u);  // 0.9 first by index
+  EXPECT_EQ(all[1].index, 5u);
+  EXPECT_EQ(all[2].index, 0u);
+  EXPECT_EQ(all[3].index, 4u);
+  EXPECT_EQ(all[4].index, 1u);  // NaNs last, index order
+  EXPECT_EQ(all[5].index, 3u);
+  // NaNs never crowd out real scores in a truncated selection.
+  const auto top = TopK(scores, 4);
+  for (const ScoredIndex& s : top) {
+    EXPECT_FALSE(std::isnan(s.score)) << "index " << s.index;
+  }
+  // partial_sort path (TopKOfPairs) agrees with the streaming path.
+  std::vector<ScoredIndex> pairs;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    pairs.push_back(ScoredIndex{scores[i], i});
+  }
+  EXPECT_EQ(TopKOfPairs(pairs, 4), top);
+}
+
+TEST(RanksBeforeTest, IsStrictAndTotalWithNaN) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<ScoredIndex> elems = {
+      {0.5f, 0}, {0.5f, 1}, {nan, 2}, {nan, 3}, {-0.5f, 4}};
+  for (const ScoredIndex& a : elems) {
+    EXPECT_FALSE(RanksBefore(a, a));  // irreflexive
+    for (const ScoredIndex& b : elems) {
+      if (a.index == b.index) continue;
+      // Totality: distinct elements are always strictly ordered one way.
+      EXPECT_NE(RanksBefore(a, b), RanksBefore(b, a));
+    }
+  }
+}
+
+// ----------------------------------------------------------- TopKStream.
+
+TEST(TopKStreamTest, MatchesTopKOfPairsOnRandomData) {
+  Rng rng(17);
+  for (const size_t n : {0u, 1u, 7u, 100u}) {
+    for (const size_t k : {0u, 1u, 5u, 100u, 200u}) {
+      std::vector<ScoredIndex> pairs;
+      TopKStream stream(k);
+      for (size_t i = 0; i < n; ++i) {
+        // Coarse quantization forces plenty of score ties.
+        const float score =
+            static_cast<float>(rng.UniformUint64(16)) / 16.0f;
+        pairs.push_back(ScoredIndex{score, i});
+        stream.Push(score, i);
+      }
+      EXPECT_EQ(stream.TakeSortedDescending(), TopKOfPairs(pairs, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TopKStreamTest, KeepsBestKAndResetsOnTake) {
+  TopKStream stream(2);
+  stream.Push(0.1f, 0);
+  stream.Push(0.9f, 1);
+  stream.Push(0.5f, 2);
+  stream.Push(0.7f, 3);
+  EXPECT_EQ(stream.size(), 2u);
+  const auto top = stream.TakeSortedDescending();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1u);
+  EXPECT_EQ(top[1].index, 3u);
+  EXPECT_EQ(stream.size(), 0u);  // reusable after Take
+  stream.Push(0.2f, 9);
+  EXPECT_EQ(stream.TakeSortedDescending().front().index, 9u);
+}
+
+TEST(TopKStreamTest, NaNRanksBelowEveryRealScore) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  TopKStream stream(2);
+  stream.Push(nan, 0);
+  stream.Push(-5.0f, 1);
+  stream.Push(nan, 2);
+  const auto top = stream.TakeSortedDescending();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1u);
+  EXPECT_EQ(top[1].index, 0u);  // lower-index NaN retained
+}
+
+// -------------------------------------------------------- simd kernels.
+
+TEST(SimdKernelsTest, DotBlockedMatchesDoubleReference) {
+  Rng rng(23);
+  for (const size_t dim : {0u, 1u, 3u, 8u, 17u, 256u, 1000u}) {
+    Vec a(dim);
+    Vec b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = static_cast<float>(rng.UniformUint64(2000)) / 1000.0f - 1.0f;
+      b[i] = static_cast<float>(rng.UniformUint64(2000)) / 1000.0f - 1.0f;
+    }
+    double want = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      want += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    }
+    EXPECT_NEAR(DotBlocked(a, b), want, 1e-9) << "dim " << dim;
+    double want_sq = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      want_sq += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    }
+    EXPECT_NEAR(SquaredNormBlocked(a), want_sq, 1e-9);
+    EXPECT_NEAR(NormBlocked(a), std::sqrt(want_sq), 1e-9);
+  }
+}
+
+TEST(SimdKernelsTest, DotBatchScoresEveryRow) {
+  const size_t dim = 24;
+  const size_t rows = 7;
+  Rng rng(29);
+  std::vector<float> matrix(rows * dim);
+  Vec query(dim);
+  for (float& v : matrix) {
+    v = static_cast<float>(rng.UniformUint64(100)) / 50.0f - 1.0f;
+  }
+  for (float& v : query) {
+    v = static_cast<float>(rng.UniformUint64(100)) / 50.0f - 1.0f;
+  }
+  const std::vector<float> out = ScoreMany(matrix, dim, query);
+  ASSERT_EQ(out.size(), rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const std::span<const float> row(matrix.data() + r * dim, dim);
+    EXPECT_EQ(out[r], static_cast<float>(DotBlocked(row, query)));
+  }
+}
+
+// Golden-ranking lock for the deterministic accumulation: at a large dim
+// with near-tied candidates, a float running sum depends on summation
+// order, so rankings could flip whenever kernels change the order. The
+// blocked double path must agree with an order-independent(-enough)
+// double reference ranking, run-to-run and path-to-path.
+TEST(SimdKernelsTest, GoldenRankingStableAtLargeDim) {
+  const size_t dim = 4096;
+  const size_t n_candidates = 64;
+  Rng rng(31);
+  Vec query(dim);
+  for (float& v : query) {
+    v = static_cast<float>(rng.UniformUint64(1u << 20)) /
+            static_cast<float>(1u << 19) -
+        1.0f;
+  }
+  // Candidates are tiny perturbations of one base vector: their true
+  // scores are separated by far less than the float rounding noise a
+  // naive float accumulation produces at this dim.
+  Vec base(dim);
+  for (float& v : base) {
+    v = static_cast<float>(rng.UniformUint64(1u << 20)) /
+            static_cast<float>(1u << 19) -
+        1.0f;
+  }
+  std::vector<Vec> candidates(n_candidates, base);
+  for (size_t c = 0; c < n_candidates; ++c) {
+    candidates[c][c % dim] += 1e-4f * static_cast<float>(c + 1);
+  }
+  std::vector<float> scores(n_candidates);
+  std::vector<double> reference(n_candidates);
+  for (size_t c = 0; c < n_candidates; ++c) {
+    scores[c] = Dot(candidates[c], query);  // deterministic blocked path
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      sum += static_cast<double>(candidates[c][i]) *
+             static_cast<double>(query[i]);
+    }
+    reference[c] = sum;
+  }
+  const auto got = TopK(scores, n_candidates);
+  std::vector<ScoredIndex> want;
+  for (size_t c = 0; c < n_candidates; ++c) {
+    want.push_back(ScoredIndex{static_cast<float>(reference[c]), c});
+  }
+  SortByScoreDescending(want);
+  for (size_t i = 0; i < n_candidates; ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -193,14 +194,37 @@ TEST_F(SnapshotTest, EntityStoreRoundTrip) {
   ASSERT_TRUE(loaded.ok()) << loaded.status();
 
   EXPECT_EQ(loaded->dim(), store.dim());
-  ASSERT_EQ(loaded->hidden_states().size(), store.hidden_states().size());
-  for (EntityId id = 0;
-       id < static_cast<EntityId>(store.hidden_states().size()); ++id) {
+  ASSERT_EQ(loaded->slot_count(), store.slot_count());
+  for (EntityId id = 0; id < static_cast<EntityId>(store.slot_count());
+       ++id) {
     EXPECT_EQ(loaded->Has(id), store.Has(id));
-    // Bit-exact float round trip.
-    EXPECT_EQ(loaded->HiddenOf(id), store.HiddenOf(id));
+    // Bit-exact float round trip of rows and the rebuilt norm cache.
+    const auto want = store.HiddenOf(id);
+    const auto got = loaded->HiddenOf(id);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+    EXPECT_EQ(loaded->NormOf(id), store.NormOf(id));
   }
-  EXPECT_FLOAT_EQ(loaded->Similarity(0, 1), store.Similarity(0, 1));
+  // A restored store must score bit-identically to the freshly built one:
+  // the norm cache and unit rows are rebuilt with the same deterministic
+  // kernels, per-pair and batched alike.
+  for (EntityId a = 0; a < static_cast<EntityId>(store.slot_count()); ++a) {
+    for (EntityId b = a; b < static_cast<EntityId>(store.slot_count());
+         ++b) {
+      EXPECT_EQ(loaded->Similarity(a, b), store.Similarity(a, b));
+    }
+  }
+  std::vector<EntityId> all(store.slot_count());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<EntityId>(i);
+  }
+  const std::vector<EntityId> seeds = {0, 1, 2};
+  const std::vector<float> fresh = store.SeedCentroidScores(seeds, all);
+  const std::vector<float> restored = loaded->SeedCentroidScores(seeds, all);
+  ASSERT_EQ(fresh.size(), restored.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i], restored[i]) << "candidate slot " << i;
+  }
 }
 
 TEST_F(SnapshotTest, EncoderRejectsTrailingGarbage) {
@@ -451,11 +475,15 @@ TEST_F(SnapshotTest, PipelineWarmBuildMatchesCold) {
 
   EXPECT_EQ(warm.world().fingerprint, cold.world().fingerprint);
   EXPECT_EQ(warm.candidates(), cold.candidates());
-  ASSERT_EQ(warm.store().hidden_states().size(),
-            cold.store().hidden_states().size());
-  for (size_t i = 0; i < warm.store().hidden_states().size(); ++i) {
-    EXPECT_EQ(warm.store().hidden_states()[i],
-              cold.store().hidden_states()[i]);
+  ASSERT_EQ(warm.store().slot_count(), cold.store().slot_count());
+  for (EntityId id = 0;
+       id < static_cast<EntityId>(warm.store().slot_count()); ++id) {
+    ASSERT_EQ(warm.store().Has(id), cold.store().Has(id));
+    const auto want = cold.store().HiddenOf(id);
+    const auto got = warm.store().HiddenOf(id);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+    EXPECT_EQ(warm.store().NormOf(id), cold.store().NormOf(id));
   }
   ArtifactCache::OverrideGlobalForTest("");
 }
