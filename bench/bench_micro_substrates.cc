@@ -8,8 +8,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <set>
 
 #include "bench_env.h"
+#include "common/logging.h"
 #include "embedding/entity_store.h"
 #include "embedding/trainer.h"
 #include "eval/metrics.h"
@@ -42,6 +44,7 @@ void BM_Bm25ScoreAll(benchmark::State& state) {
     }
     index.AddDocument(doc);
   }
+  index.Freeze();
   Bm25Scorer scorer(&index);
   std::vector<TokenId> query;
   for (int t = 0; t < 12; ++t) {
@@ -53,6 +56,68 @@ void BM_Bm25ScoreAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Bm25ScoreAll);
+
+/// Synthetic retrieval corpus for the index micro-benches: zipf-skewed
+/// token draws so common terms produce long multi-block posting lists and
+/// rare terms short ones — the shape block skipping is built for.
+const InvertedIndex& SyntheticRetrievalIndex() {
+  static InvertedIndex* index = [] {
+    auto* built = new InvertedIndex();
+    Rng rng(29);
+    constexpr int kDocs = 20000;
+    constexpr uint64_t kVocab = 200;
+    for (int d = 0; d < kDocs; ++d) {
+      std::vector<TokenId> doc;
+      const int len = 8 + static_cast<int>(rng.UniformUint64(24));
+      for (int t = 0; t < len; ++t) {
+        const uint64_t r = rng.UniformUint64(kVocab);
+        doc.push_back(static_cast<TokenId>(r * r / kVocab));
+      }
+      built->AddDocument(doc);
+    }
+    built->Freeze();
+    return built;
+  }();
+  return *index;
+}
+
+/// Mixed rare + common query terms: the common lists get demoted to
+/// non-essential once the heap fills, which is where pruning pays.
+std::vector<std::vector<TokenId>> SyntheticRetrievalQueries() {
+  std::vector<std::vector<TokenId>> queries;
+  Rng rng(31);
+  for (int q = 0; q < 24; ++q) {
+    const auto rare =
+        static_cast<TokenId>(150 + rng.UniformUint64(50));  // short lists
+    const auto common = static_cast<TokenId>(rng.UniformUint64(8));
+    queries.push_back({rare, common, static_cast<TokenId>(common + 1)});
+  }
+  return queries;
+}
+
+void BM_Bm25DenseTopK(benchmark::State& state) {
+  const InvertedIndex& index = SyntheticRetrievalIndex();
+  Bm25Scorer scorer(&index);
+  const auto queries = SyntheticRetrievalQueries();
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopK(scorer.ScoreAll(queries[q]), 10));
+    q = (q + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_Bm25DenseTopK);
+
+void BM_Bm25SearchPruned(benchmark::State& state) {
+  const InvertedIndex& index = SyntheticRetrievalIndex();
+  Bm25Scorer scorer(&index);
+  const auto queries = SyntheticRetrievalQueries();
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Search(queries[q], 10));
+    q = (q + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_Bm25SearchPruned);
 
 void BM_EncoderForward(benchmark::State& state) {
   const Pipeline& pipeline = SharedPipeline();
@@ -326,6 +391,121 @@ void EmitKernelThroughputGauges() {
                scalar_pps, batched_pps, batched_pps / scalar_pps, checksum);
 }
 
+/// Measures the block-compressed index substrate on the synthetic
+/// retrieval workload: compressed vs raw posting bytes, dense-scan vs
+/// pruned-search postings touched and throughput, and the blocks skipped
+/// without decoding. Before timing anything it verifies the exactness
+/// contract — the pruned Search must reproduce the dense ranking over
+/// matched documents bit-identically — so a pruning bug fails the bench
+/// run instead of quietly inflating the speedup. CI asserts on
+/// `index.bench.blocks_skipped`, the compressed/raw byte ratio, and the
+/// dense-vs-pruned postings counts.
+void EmitIndexBenchGauges() {
+  const InvertedIndex& index = SyntheticRetrievalIndex();
+  Bm25Scorer scorer(&index);
+  const std::vector<std::vector<TokenId>> queries =
+      SyntheticRetrievalQueries();
+  constexpr size_t kTopK = 10;
+
+  // Exactness check: pruned == dense restricted to matched documents.
+  for (const std::vector<TokenId>& query : queries) {
+    const std::vector<float> scores = scorer.ScoreAll(query);
+    std::vector<char> matched(index.document_count(), 0);
+    for (const TokenId term :
+         std::set<TokenId>(query.begin(), query.end())) {
+      for (const Posting& posting : index.DecodedPostings(term)) {
+        matched[static_cast<size_t>(posting.doc)] = 1;
+      }
+    }
+    TopKStream stream(kTopK);
+    for (size_t doc = 0; doc < scores.size(); ++doc) {
+      if (matched[doc]) stream.Push(scores[doc], doc);
+    }
+    const std::vector<ScoredIndex> reference = stream.TakeSortedDescending();
+    const std::vector<ScoredIndex> pruned = scorer.Search(query, kTopK);
+    UW_CHECK(pruned == reference)
+        << "pruned Search diverged from the dense reference ranking";
+  }
+
+  using Clock = std::chrono::steady_clock;
+  constexpr double kMinSeconds = 0.05;
+
+  obs::Counter& postings_counter = obs::GetCounter("bm25.postings_scanned");
+  obs::Counter& skipped_counter = obs::GetCounter("index.blocks_skipped");
+
+  // Dense full-scan baseline: score every posting, then select top-k.
+  double dense_seconds = 0.0;
+  size_t dense_sweeps = 0;
+  const int64_t dense_postings_before = postings_counter.Value();
+  {
+    const Clock::time_point start = Clock::now();
+    do {
+      for (const std::vector<TokenId>& query : queries) {
+        benchmark::DoNotOptimize(TopK(scorer.ScoreAll(query), kTopK));
+      }
+      ++dense_sweeps;
+      dense_seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+    } while (dense_seconds < kMinSeconds);
+  }
+  const int64_t dense_postings =
+      (postings_counter.Value() - dense_postings_before) /
+      static_cast<int64_t>(dense_sweeps);
+
+  // Pruned cursor search over the identical queries.
+  double pruned_seconds = 0.0;
+  size_t pruned_sweeps = 0;
+  const int64_t pruned_postings_before = postings_counter.Value();
+  const int64_t skipped_before = skipped_counter.Value();
+  {
+    const Clock::time_point start = Clock::now();
+    do {
+      for (const std::vector<TokenId>& query : queries) {
+        benchmark::DoNotOptimize(scorer.Search(query, kTopK));
+      }
+      ++pruned_sweeps;
+      pruned_seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+    } while (pruned_seconds < kMinSeconds);
+  }
+  const int64_t pruned_postings =
+      (postings_counter.Value() - pruned_postings_before) /
+      static_cast<int64_t>(pruned_sweeps);
+  const int64_t blocks_skipped =
+      (skipped_counter.Value() - skipped_before) /
+      static_cast<int64_t>(pruned_sweeps);
+
+  const double dense_qps =
+      static_cast<double>(dense_sweeps * queries.size()) / dense_seconds;
+  const double pruned_qps =
+      static_cast<double>(pruned_sweeps * queries.size()) / pruned_seconds;
+  obs::GetGauge("index.bench.documents")
+      .Set(static_cast<int64_t>(index.document_count()));
+  obs::GetGauge("index.bench.raw_bytes")
+      .Set(static_cast<int64_t>(index.raw_posting_bytes()));
+  obs::GetGauge("index.bench.compressed_bytes")
+      .Set(static_cast<int64_t>(index.compressed_payload().size()));
+  obs::GetGauge("index.bench.postings_scanned_dense").Set(dense_postings);
+  obs::GetGauge("index.bench.postings_scanned_pruned").Set(pruned_postings);
+  obs::GetGauge("index.bench.blocks_skipped").Set(blocks_skipped);
+  obs::GetGauge("index.bench.dense_queries_per_sec")
+      .Set(static_cast<int64_t>(dense_qps));
+  obs::GetGauge("index.bench.pruned_queries_per_sec")
+      .Set(static_cast<int64_t>(pruned_qps));
+  obs::GetGauge("index.bench.pruned_speedup_x100")
+      .Set(static_cast<int64_t>(pruned_qps / dense_qps * 100.0));
+  std::fprintf(stderr,
+               "[micro_substrates] index: %zu -> %zu bytes compressed, "
+               "postings/sweep dense %lld pruned %lld, blocks skipped %lld, "
+               "dense %.3g q/s, pruned %.3g q/s (%.1fx)\n",
+               static_cast<size_t>(index.raw_posting_bytes()),
+               index.compressed_payload().size(),
+               static_cast<long long>(dense_postings),
+               static_cast<long long>(pruned_postings),
+               static_cast<long long>(blocks_skipped), dense_qps, pruned_qps,
+               pruned_qps / dense_qps);
+}
+
 }  // namespace ultrawiki
 
 // Expanded BENCHMARK_MAIN() with a BenchTimer wrapped around the run so
@@ -337,6 +517,7 @@ int main(int argc, char** argv) {
     ::ultrawiki::BenchTimer timer("micro_substrates");
     ::benchmark::RunSpecifiedBenchmarks();
     ::ultrawiki::EmitKernelThroughputGauges();
+    ::ultrawiki::EmitIndexBenchGauges();
   }
   ::benchmark::Shutdown();
   return 0;

@@ -19,6 +19,9 @@ CaSE::CaSE(const Corpus* corpus, const EntityStore* store,
   for (EntityId id : *candidates) {
     index_.AddDocument(DocumentOf(id));
   }
+  // Scoring runs against the frozen block-compressed form; CaSE's rank
+  // fusion consumes every candidate's score, so it stays on ScoreAll.
+  index_.Freeze();
 }
 
 std::vector<TokenId> CaSE::DocumentOf(EntityId id) const {

@@ -297,6 +297,7 @@ StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
         }
         built.AddDocument(doc);
       }
+      built.Freeze();
       if (world.fingerprint != 0) {
         StoreCached(cache, "mined-index", index_key,
                     [&built](const std::string& path) {
@@ -306,7 +307,6 @@ StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
       return built;
     }();
     Bm25Scorer scorer(&index);
-    std::vector<float> best_scores(pool.size(), 0.0f);
     std::vector<std::vector<TokenId>> class_queries;
     class_queries.reserve(world.schema.size());
     for (const FineClassSpec& spec : world.schema) {
@@ -320,22 +320,36 @@ StatusOr<UltraWikiDataset> BuildDataset(const GeneratedWorld& world,
       }
       class_queries.push_back(std::move(query));
     }
-    // All class queries scored in one parallel batch; the max-reduction
-    // runs in schema order afterwards.
-    const std::vector<std::vector<float>> per_class =
-        scorer.ScoreAllBatch(class_queries);
-    for (const std::vector<float>& scores : per_class) {
-      for (size_t i = 0; i < scores.size(); ++i) {
-        best_scores[i] = std::max(best_scores[i], scores[i]);
-      }
-    }
+    // Per-class pruned top-k searches in one parallel batch instead of
+    // dense score vectors over the whole pool: the global top
+    // `hard_target` documents by max-over-classes score are provably
+    // contained in the union of the per-class top `hard_target` lists
+    // (a doc's best-scoring class ranks at least as many docs ahead of it
+    // as the global ranking does), and each doc's exact max score is its
+    // score in that best class, which its top-k entry carries. The merged
+    // ranking is therefore identical to the old dense max-reduction —
+    // minus never-matched docs, which scored 0 and were only ever
+    // admitted as "hard" negatives by the score-0 padding bug.
     const int hard_target = static_cast<int>(
         config.hard_negative_fraction * static_cast<double>(keep));
-    std::vector<ScoredIndex> ranked = TopK(best_scores, pool.size());
     std::set<size_t> admitted;
-    for (int i = 0; i < hard_target && i < static_cast<int>(ranked.size());
-         ++i) {
-      admitted.insert(ranked[static_cast<size_t>(i)].index);
+    if (hard_target > 0) {
+      const std::vector<std::vector<ScoredIndex>> per_class =
+          scorer.SearchBatch(class_queries, static_cast<size_t>(hard_target));
+      std::map<size_t, float> best;
+      for (const std::vector<ScoredIndex>& hits : per_class) {
+        for (const ScoredIndex& hit : hits) {
+          auto [it, inserted] = best.try_emplace(hit.index, hit.score);
+          if (!inserted) it->second = std::max(it->second, hit.score);
+        }
+      }
+      std::vector<ScoredIndex> merged;
+      merged.reserve(best.size());
+      for (const auto& [doc, score] : best) {
+        merged.push_back(ScoredIndex{score, doc});
+      }
+      merged = TopKOfPairs(std::move(merged), static_cast<size_t>(hard_target));
+      for (const ScoredIndex& hit : merged) admitted.insert(hit.index);
     }
     dataset.hard_negative_count = static_cast<int>(admitted.size());
     // Fill the remainder uniformly from the unadmitted pool.

@@ -1,0 +1,75 @@
+#include "index/block_codec.h"
+
+#include "common/logging.h"
+
+namespace ultrawiki {
+
+void PutVarint32(uint32_t value, std::string* out) {
+  while (value >= 0x80u) {
+    out->push_back(static_cast<char>((value & 0x7Fu) | 0x80u));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* end,
+                           uint32_t* value) {
+  uint32_t result = 0;
+  for (int shift = 0; shift < 35; shift += 7) {
+    if (p == end) return nullptr;  // truncated
+    const uint32_t byte = *p++;
+    if (shift == 28 && (byte & 0xF0u) != 0) return nullptr;  // > 32 bits
+    result |= (byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;  // more than 5 continuation bytes
+}
+
+size_t EncodePostingBlock(std::span<const int32_t> docs,
+                          std::span<const int32_t> tfs, int32_t previous_doc,
+                          std::string* out) {
+  UW_CHECK_EQ(docs.size(), tfs.size());
+  UW_CHECK_LE(docs.size(), kPostingBlockSize);
+  const size_t before = out->size();
+  int32_t previous = previous_doc;
+  for (const int32_t doc : docs) {
+    UW_CHECK_GT(doc, previous);
+    PutVarint32(static_cast<uint32_t>(doc - previous), out);
+    previous = doc;
+  }
+  for (const int32_t tf : tfs) {
+    UW_CHECK_GE(tf, 1);
+    PutVarint32(static_cast<uint32_t>(tf), out);
+  }
+  return out->size() - before;
+}
+
+bool DecodePostingBlock(const uint8_t* data, size_t length, size_t count,
+                        int32_t previous_doc, int32_t* docs_out,
+                        int32_t* tfs_out) {
+  const uint8_t* p = data;
+  const uint8_t* const end = data + length;
+  int64_t previous = previous_doc;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t delta;
+    p = GetVarint32(p, end, &delta);
+    if (p == nullptr || delta == 0) return false;
+    previous += static_cast<int64_t>(delta);
+    if (previous > INT32_MAX) return false;
+    docs_out[i] = static_cast<int32_t>(previous);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t tf;
+    p = GetVarint32(p, end, &tf);
+    if (p == nullptr || tf == 0 || tf > static_cast<uint32_t>(INT32_MAX)) {
+      return false;
+    }
+    tfs_out[i] = static_cast<int32_t>(tf);
+  }
+  return p == end;  // trailing bytes mean a corrupt block
+}
+
+}  // namespace ultrawiki

@@ -1,0 +1,54 @@
+#ifndef ULTRAWIKI_INDEX_BLOCK_CODEC_H_
+#define ULTRAWIKI_INDEX_BLOCK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ultrawiki {
+
+/// Byte-oriented codec for fixed-size posting blocks (PISA-style). A block
+/// holds up to `kPostingBlockSize` postings from one term's list and is
+/// encoded as two varint streams:
+///
+///   [doc-id deltas]  block-internal gaps; the first posting is stored as
+///                    `doc - previous_block_last_doc` (with an implicit
+///                    previous doc of -1 at the start of a list), so every
+///                    delta is >= 1 and strictly-ascending doc ids are a
+///                    decode-time invariant, not a convention.
+///   [term freqs]     raw tf values, each >= 1.
+///
+/// Varints are LEB128 (7 data bits per byte, high bit = continuation),
+/// capped at 5 bytes / 32 data bits. Decoding is fail-closed: a truncated
+/// stream, an overlong varint, a delta of 0, a tf of 0, or trailing bytes
+/// all reject the block rather than producing postings.
+inline constexpr size_t kPostingBlockSize = 128;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+void PutVarint32(uint32_t value, std::string* out);
+
+/// Decodes one LEB128 varint from [p, end). Returns the position one past
+/// the varint, or nullptr on truncation/overflow (value > 32 bits or more
+/// than 5 bytes).
+const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* end,
+                           uint32_t* value);
+
+/// Encodes `count` postings (parallel doc/tf arrays, docs strictly
+/// ascending and all > `previous_doc`, tfs >= 1) as one block appended to
+/// `out`. Returns the encoded byte length.
+size_t EncodePostingBlock(std::span<const int32_t> docs,
+                          std::span<const int32_t> tfs, int32_t previous_doc,
+                          std::string* out);
+
+/// Decodes a block of exactly `count` postings from the `length` bytes at
+/// `data` into the parallel output arrays (each sized >= count). Returns
+/// false on any malformed input: truncation, trailing bytes, zero deltas
+/// (non-ascending docs), zero tfs, or doc-id overflow past INT32_MAX.
+bool DecodePostingBlock(const uint8_t* data, size_t length, size_t count,
+                        int32_t previous_doc, int32_t* docs_out,
+                        int32_t* tfs_out);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_INDEX_BLOCK_CODEC_H_

@@ -628,39 +628,13 @@ StatusOr<GeneratedWorld> LoadWorldSnapshot(const std::string& path) {
 
 // --- InvertedIndex ---
 
-Status SaveIndexSnapshot(const InvertedIndex& index,
-                         const std::string& path) {
-  SnapshotWriter out;
-  std::vector<int32_t> doc_lengths(index.document_count());
-  for (size_t d = 0; d < doc_lengths.size(); ++d) {
-    doc_lengths[d] = index.DocumentLength(static_cast<DocId>(d));
-  }
-  out.PutI32Vec(doc_lengths);
-  // Hash-map iteration order is nondeterministic; sort terms so identical
-  // indexes serialize to identical bytes.
-  std::vector<TokenId> terms;
-  terms.reserve(index.postings_map().size());
-  for (const auto& [term, postings] : index.postings_map()) {
-    terms.push_back(term);
-  }
-  std::sort(terms.begin(), terms.end());
-  out.PutU64(terms.size());
-  for (const TokenId term : terms) {
-    const std::vector<Posting>& postings = index.PostingsOf(term);
-    out.PutI32(term);
-    out.PutU64(postings.size());
-    for (const Posting& posting : postings) {
-      out.PutI32(posting.doc);
-      out.PutI32(posting.term_frequency);
-    }
-  }
-  return WriteSnapshotFile(path, SnapshotKind::kInvertedIndex, out);
-}
+namespace {
 
-StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path) {
-  auto payload = ReadSnapshotFile(path, SnapshotKind::kInvertedIndex);
-  if (!payload.ok()) return payload.status();
-  SnapshotReader in(*payload);
+/// Parses the legacy raw-postings index payload (every posting as an
+/// explicit (doc, tf) i32 pair — the pre-compression on-disk form, still
+/// produced by old artifact caches). The returned index is unfrozen.
+StatusOr<InvertedIndex> ParseRawIndexPayload(std::string_view payload) {
+  SnapshotReader in(payload);
   std::vector<int32_t> doc_lengths;
   if (!in.ReadI32Vec(&doc_lengths)) {
     return Status::Internal("corrupt index snapshot (document lengths)");
@@ -710,6 +684,135 @@ StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path) {
   if (!status.ok()) return status;
   return InvertedIndex::Restore(std::move(doc_lengths),
                                 std::move(postings_map));
+}
+
+}  // namespace
+
+Status SaveIndexSnapshot(const InvertedIndex& index,
+                         const std::string& path) {
+  if (!index.is_frozen()) {
+    return Status::InvalidArgument(
+        "index snapshots serialize the compressed form; call Freeze() "
+        "before SaveIndexSnapshot");
+  }
+  SnapshotWriter out;
+  out.PutU64(kIndexPayloadTagBase | kIndexPayloadVersion);
+  std::vector<int32_t> doc_lengths(index.document_count());
+  for (size_t d = 0; d < doc_lengths.size(); ++d) {
+    doc_lengths[d] = index.DocumentLength(static_cast<DocId>(d));
+  }
+  out.PutI32Vec(doc_lengths);
+  // The frozen term directory is already ascending by term id, so the
+  // bytes are deterministic without re-sorting.
+  const std::vector<CompressedTermList>& terms = index.frozen_terms();
+  out.PutU64(terms.size());
+  for (const CompressedTermList& list : terms) {
+    out.PutI32(list.term);
+    out.PutI64(list.doc_frequency);
+    out.PutU64(list.block_end - list.block_begin);
+  }
+  const std::vector<PostingBlockMeta>& blocks = index.frozen_blocks();
+  out.PutU64(blocks.size());
+  for (const PostingBlockMeta& meta : blocks) {
+    out.PutI32(meta.last_doc);
+    out.PutU32(meta.count);
+    out.PutI32(meta.max_tf);
+    out.PutI32(meta.min_dl);
+    out.PutU64(meta.length);
+  }
+  out.PutString(index.compressed_payload());
+  return WriteSnapshotFile(path, SnapshotKind::kInvertedIndex, out);
+}
+
+StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path) {
+  auto payload = ReadSnapshotFile(path, SnapshotKind::kInvertedIndex);
+  if (!payload.ok()) return payload.status();
+  SnapshotReader in(*payload);
+  uint64_t first_word;
+  if (!in.ReadU64(&first_word)) {
+    return Status::Internal("corrupt index snapshot (empty payload)");
+  }
+  if ((first_word & ~kIndexPayloadVersionMask) != kIndexPayloadTagBase) {
+    // No version tag: the legacy raw-postings format, whose payload opens
+    // with the doc-length count (far below the tag's byte pattern).
+    // Re-parse from the start, then freeze so every load path hands back
+    // a searchable compressed index.
+    auto raw = ParseRawIndexPayload(*payload);
+    if (!raw.ok()) return raw.status();
+    InvertedIndex index = std::move(*raw);
+    index.Freeze();
+    return index;
+  }
+  const uint64_t version = first_word & kIndexPayloadVersionMask;
+  if (version != kIndexPayloadVersion) {
+    return Status::Internal("unsupported index payload version " +
+                            std::to_string(version));
+  }
+
+  std::vector<int32_t> doc_lengths;
+  if (!in.ReadI32Vec(&doc_lengths)) {
+    return Status::Internal("corrupt index snapshot (document lengths)");
+  }
+  uint64_t term_count;
+  // term id + doc frequency + block count.
+  if (!ReadCount(in, 20, "index term", &term_count)) {
+    return Status::Internal("corrupt index snapshot (term directory)");
+  }
+  std::vector<CompressedTermList> terms(static_cast<size_t>(term_count));
+  uint64_t declared_blocks = 0;
+  for (CompressedTermList& list : terms) {
+    uint64_t block_count;
+    if (!in.ReadI32(&list.term) || !in.ReadI64(&list.doc_frequency) ||
+        !in.ReadU64(&block_count)) {
+      return Status::Internal("corrupt index snapshot (term record)");
+    }
+    if (list.doc_frequency <= 0 || block_count == 0 ||
+        block_count > UINT32_MAX - declared_blocks) {
+      return Status::Internal("corrupt index snapshot (term geometry)");
+    }
+    list.block_begin = static_cast<uint32_t>(declared_blocks);
+    declared_blocks += block_count;
+    list.block_end = static_cast<uint32_t>(declared_blocks);
+  }
+  uint64_t block_count;
+  // last doc + count + max tf + min dl + byte length.
+  if (!ReadCount(in, 24, "index block", &block_count) ||
+      block_count != declared_blocks) {
+    return Status::Internal("corrupt index snapshot (block directory)");
+  }
+  std::vector<PostingBlockMeta> blocks(static_cast<size_t>(block_count));
+  uint64_t offset = 0;
+  for (PostingBlockMeta& meta : blocks) {
+    uint64_t length;
+    if (!in.ReadI32(&meta.last_doc) || !in.ReadU32(&meta.count) ||
+        !in.ReadI32(&meta.max_tf) || !in.ReadI32(&meta.min_dl) ||
+        !in.ReadU64(&length)) {
+      return Status::Internal("corrupt index snapshot (block record)");
+    }
+    if (length == 0 || length > UINT32_MAX || offset > UINT64_MAX - length) {
+      return Status::Internal("corrupt index snapshot (block length)");
+    }
+    meta.offset = offset;
+    meta.length = static_cast<uint32_t>(length);
+    offset += length;
+  }
+  std::string encoded;
+  if (!in.ReadString(&encoded)) {
+    return Status::Internal("corrupt index snapshot (block payload)");
+  }
+  Status status = in.Finish();
+  if (!status.ok()) return status;
+  InvertedIndex index;
+  // RestoreCompressed decodes and cross-checks every block against its
+  // metadata, so a file that passes CRC but carries inconsistent pruning
+  // bounds still fails closed here.
+  if (!InvertedIndex::RestoreCompressed(std::move(doc_lengths),
+                                        std::move(terms), std::move(blocks),
+                                        std::move(encoded), &index)) {
+    return Status::Internal(
+        "corrupt index snapshot (compressed postings failed validation)");
+  }
+  return index;
 }
 
 // --- EntityStore ---

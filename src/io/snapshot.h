@@ -44,6 +44,18 @@ inline constexpr uint32_t kSnapshotMagic = 0x55575332;  // "2SWU" on disk
 /// framing with a CRC32 footer.
 inline constexpr uint32_t kSnapshotVersion = 2;
 
+/// The kInvertedIndex payload is itself versioned (the framing version
+/// above covers the envelope, not the index encoding). Version 2 payloads
+/// open with `kIndexPayloadTagBase | kIndexPayloadVersion` — a 64-bit
+/// pattern ("\0UWSIDX" + version byte) that no legacy payload can start
+/// with, because the legacy raw-postings format opens with a doc-length
+/// count that ReadCount caps far below it. Loads of a tagged payload with
+/// an unknown version fail closed; untagged payloads take the raw-format
+/// compatibility path and are frozen on load.
+inline constexpr uint64_t kIndexPayloadTagBase = 0x0055575349445800ULL;
+inline constexpr uint64_t kIndexPayloadVersionMask = 0xFFULL;
+inline constexpr uint64_t kIndexPayloadVersion = 2;
+
 /// Artifact tag stored in the header; a file of one kind never parses as
 /// another.
 enum class SnapshotKind : uint32_t {
@@ -150,10 +162,16 @@ Status SaveWorldSnapshot(const GeneratedWorld& world,
                          const std::string& path);
 StatusOr<GeneratedWorld> LoadWorldSnapshot(const std::string& path);
 
-/// Inverted index with document lengths and per-term postings, so a
-/// Bm25Scorer over the loaded index needs no corpus pass to rebuild its
-/// statistics. Terms are written in ascending id order (deterministic
-/// bytes despite the in-memory hash map).
+/// Inverted index in its frozen block-compressed form (payload version
+/// 2): document lengths, the ascending term directory, per-block skip and
+/// max-score metadata, and the concatenated varint-encoded blocks — so a
+/// Bm25Scorer over the loaded index needs no corpus pass and no
+/// re-compression. Save requires a frozen index (kInvalidArgument
+/// otherwise). Load accepts both payload versions — the legacy raw
+/// (doc, tf) format is parsed then frozen — and always returns a frozen
+/// index whose searches are bit-identical to the saved one; every block
+/// is decoded and validated against its metadata before the index is
+/// accepted.
 Status SaveIndexSnapshot(const InvertedIndex& index,
                          const std::string& path);
 StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path);

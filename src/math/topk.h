@@ -58,6 +58,16 @@ class TopKStream {
   size_t size() const { return heap_.size(); }
   size_t k() const { return k_; }
 
+  /// True once `k` elements are retained — from then on `Worst()` is the
+  /// admission threshold: a later push enters only if it ranks before it.
+  bool AtCapacity() const { return k_ > 0 && heap_.size() == k_; }
+
+  /// The worst-ranked retained element (heap front). Only meaningful when
+  /// AtCapacity(); producers use it as a dynamic pruning bound — any
+  /// candidate provably not ranking before it can be skipped without
+  /// changing the final result.
+  const ScoredIndex& Worst() const { return heap_.front(); }
+
   /// Returns the retained elements ordered by RanksBefore (best first)
   /// and resets the stream for reuse.
   std::vector<ScoredIndex> TakeSortedDescending();

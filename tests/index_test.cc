@@ -1,10 +1,103 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "index/block_codec.h"
 #include "index/bm25.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
 
 namespace ultrawiki {
 namespace {
+
+// ---------------------------------------------------------- Block codec.
+
+TEST(BlockCodecTest, VarintRoundTrip) {
+  std::string buffer;
+  const std::vector<uint32_t> values = {0,    1,       127,        128,
+                                        300,  16383,   16384,      1u << 21,
+                                        1u << 28, 0xFFFFFFFFu};
+  for (const uint32_t v : values) PutVarint32(v, &buffer);
+  const auto* p = reinterpret_cast<const uint8_t*>(buffer.data());
+  const auto* end = p + buffer.size();
+  for (const uint32_t want : values) {
+    uint32_t got = 0;
+    p = GetVarint32(p, end, &got);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(BlockCodecTest, VarintRejectsTruncationAndOverflow) {
+  std::string buffer;
+  PutVarint32(1u << 30, &buffer);
+  const auto* p = reinterpret_cast<const uint8_t*>(buffer.data());
+  uint32_t value;
+  // Truncated: stop one byte short of the final (continuation-free) byte.
+  EXPECT_EQ(GetVarint32(p, p + buffer.size() - 1, &value), nullptr);
+  // Overlong: six continuation bytes can never be a valid 32-bit varint.
+  const std::string overlong(6, '\x80');
+  const auto* q = reinterpret_cast<const uint8_t*>(overlong.data());
+  EXPECT_EQ(GetVarint32(q, q + overlong.size(), &value), nullptr);
+  // > 32 bits of payload.
+  const std::string wide = "\xff\xff\xff\xff\x7f";
+  const auto* w = reinterpret_cast<const uint8_t*>(wide.data());
+  EXPECT_EQ(GetVarint32(w, w + wide.size(), &value), nullptr);
+}
+
+TEST(BlockCodecTest, PostingBlockRoundTrip) {
+  for (const size_t count : {size_t{1}, size_t{7}, kPostingBlockSize}) {
+    std::vector<int32_t> docs(count);
+    std::vector<int32_t> tfs(count);
+    Rng rng(count);
+    int32_t doc = -1;
+    for (size_t i = 0; i < count; ++i) {
+      doc += 1 + static_cast<int32_t>(rng.UniformUint64(1000));
+      docs[i] = doc;
+      tfs[i] = 1 + static_cast<int32_t>(rng.UniformUint64(9));
+    }
+    std::string encoded;
+    const size_t length = EncodePostingBlock(docs, tfs, -1, &encoded);
+    ASSERT_EQ(length, encoded.size());
+    std::vector<int32_t> docs_out(count);
+    std::vector<int32_t> tfs_out(count);
+    ASSERT_TRUE(DecodePostingBlock(
+        reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size(),
+        count, -1, docs_out.data(), tfs_out.data()));
+    EXPECT_EQ(docs_out, docs);
+    EXPECT_EQ(tfs_out, tfs);
+  }
+}
+
+TEST(BlockCodecTest, DecodeFailsClosed) {
+  const std::vector<int32_t> docs = {3, 5, 9};
+  const std::vector<int32_t> tfs = {1, 2, 1};
+  std::string encoded;
+  EncodePostingBlock(docs, tfs, -1, &encoded);
+  const auto* bytes = reinterpret_cast<const uint8_t*>(encoded.data());
+  int32_t docs_out[3];
+  int32_t tfs_out[3];
+  // Truncation.
+  EXPECT_FALSE(DecodePostingBlock(bytes, encoded.size() - 1, 3, -1, docs_out,
+                                  tfs_out));
+  // Trailing bytes.
+  std::string padded = encoded + '\x01';
+  EXPECT_FALSE(DecodePostingBlock(
+      reinterpret_cast<const uint8_t*>(padded.data()), padded.size(), 3, -1,
+      docs_out, tfs_out));
+  // A zero delta (first byte encodes the first gap) is non-ascending.
+  std::string zeroed = encoded;
+  zeroed[0] = '\x00';
+  EXPECT_FALSE(DecodePostingBlock(
+      reinterpret_cast<const uint8_t*>(zeroed.data()), zeroed.size(), 3, -1,
+      docs_out, tfs_out));
+}
 
 // -------------------------------------------------------- InvertedIndex.
 
@@ -48,6 +141,119 @@ TEST(InvertedIndexTest, DocumentFrequency) {
   EXPECT_TRUE(index.PostingsOf(99).empty());
 }
 
+/// Builds a deterministic random index; `vocab` terms, zipf-ish token
+/// draws so some lists span many blocks and others are short.
+InvertedIndex BuildRandomIndex(int docs, int vocab, int max_len,
+                               uint64_t seed, bool with_empty_docs = false) {
+  InvertedIndex index;
+  Rng rng(seed);
+  for (int d = 0; d < docs; ++d) {
+    std::vector<TokenId> doc;
+    if (!with_empty_docs || d % 17 != 3) {
+      const int len = 1 + static_cast<int>(rng.UniformUint64(
+                              static_cast<uint64_t>(max_len)));
+      for (int t = 0; t < len; ++t) {
+        // Squared draw skews mass toward low token ids: long posting
+        // lists for common terms, short tails for rare ones.
+        const uint64_t r = rng.UniformUint64(static_cast<uint64_t>(vocab));
+        doc.push_back(static_cast<TokenId>(r * r / vocab));
+      }
+    }
+    index.AddDocument(doc);
+  }
+  return index;
+}
+
+TEST(InvertedIndexTest, FreezePreservesPostings) {
+  InvertedIndex index = BuildRandomIndex(500, 60, 30, 42,
+                                         /*with_empty_docs=*/true);
+  // Capture raw postings before the freeze discards them.
+  std::vector<std::vector<Posting>> raw(60);
+  for (TokenId term = 0; term < 60; ++term) raw[term] = index.PostingsOf(term);
+  index.Freeze();
+  EXPECT_TRUE(index.is_frozen());
+  for (TokenId term = 0; term < 60; ++term) {
+    EXPECT_EQ(index.DecodedPostings(term), raw[static_cast<size_t>(term)])
+        << "term " << term;
+    EXPECT_EQ(index.DocumentFrequency(term),
+              static_cast<int32_t>(raw[static_cast<size_t>(term)].size()));
+  }
+  EXPECT_TRUE(index.DecodedPostings(9999).empty());
+  EXPECT_LT(index.compressed_payload().size(), index.raw_posting_bytes());
+}
+
+TEST(InvertedIndexTest, FreezeHandlesBlockBoundaries) {
+  // Posting counts exactly at, just under, and just over the block size.
+  for (const int df : {static_cast<int>(kPostingBlockSize) - 1,
+                       static_cast<int>(kPostingBlockSize),
+                       static_cast<int>(kPostingBlockSize) + 1,
+                       2 * static_cast<int>(kPostingBlockSize)}) {
+    InvertedIndex index;
+    for (int d = 0; d < df; ++d) index.AddDocument({7, 7});
+    index.Freeze();
+    const std::vector<Posting> postings = index.DecodedPostings(7);
+    ASSERT_EQ(postings.size(), static_cast<size_t>(df));
+    for (int d = 0; d < df; ++d) {
+      EXPECT_EQ(postings[static_cast<size_t>(d)].doc, d);
+      EXPECT_EQ(postings[static_cast<size_t>(d)].term_frequency, 2);
+    }
+    const size_t expected_blocks =
+        (static_cast<size_t>(df) + kPostingBlockSize - 1) / kPostingBlockSize;
+    ASSERT_EQ(index.frozen_terms().size(), 1u);
+    EXPECT_EQ(index.frozen_blocks().size(), expected_blocks);
+  }
+}
+
+TEST(InvertedIndexTest, BlockMetadataBoundsAreExact) {
+  InvertedIndex index = BuildRandomIndex(1000, 40, 24, 7);
+  index.Freeze();
+  for (const CompressedTermList& list : index.frozen_terms()) {
+    const std::vector<Posting> postings = index.DecodedPostings(list.term);
+    ASSERT_EQ(postings.size(), static_cast<size_t>(list.doc_frequency));
+    size_t i = 0;
+    for (uint32_t b = list.block_begin; b < list.block_end; ++b) {
+      const PostingBlockMeta& meta = index.frozen_blocks()[b];
+      int32_t max_tf = 0;
+      int32_t min_dl = INT32_MAX;
+      DocId last = -1;
+      for (uint32_t j = 0; j < meta.count; ++j, ++i) {
+        max_tf = std::max(max_tf, postings[i].term_frequency);
+        min_dl = std::min(min_dl, index.DocumentLength(postings[i].doc));
+        last = postings[i].doc;
+      }
+      EXPECT_EQ(meta.max_tf, max_tf);
+      EXPECT_EQ(meta.min_dl, min_dl);
+      EXPECT_EQ(meta.last_doc, last);
+    }
+    EXPECT_EQ(i, postings.size());
+  }
+}
+
+TEST(PostingCursorTest, SkipsUndecodedBlocksAndSeeks) {
+  InvertedIndex index;
+  const int df = 5 * static_cast<int>(kPostingBlockSize);
+  for (int d = 0; d < df; ++d) index.AddDocument({3});
+  index.Freeze();
+  PostingCursor cursor = index.OpenCursor(3);
+  ASSERT_FALSE(cursor.at_end());
+  EXPECT_EQ(cursor.doc(), 0);
+  // Seek into the 4th block: blocks 2 and 3 are skipped without decoding
+  // (block 0 was decoded when the cursor opened; the target block is
+  // decoded by the seek).
+  const DocId target = static_cast<DocId>(3 * kPostingBlockSize + 5);
+  ASSERT_TRUE(cursor.SeekTo(target));
+  EXPECT_EQ(cursor.doc(), target);
+  EXPECT_EQ(cursor.blocks_skipped(), 2);
+  EXPECT_EQ(cursor.blocks_decoded(), 2);
+  // Walking off the end exhausts cleanly.
+  ASSERT_TRUE(cursor.SeekTo(df - 1));
+  cursor.Next();
+  EXPECT_TRUE(cursor.at_end());
+  EXPECT_FALSE(cursor.SeekTo(df + 10));
+  // Unseen term: immediately exhausted cursor.
+  EXPECT_TRUE(index.OpenCursor(9999).at_end());
+}
+
 // ----------------------------------------------------------------- BM25.
 
 TEST(Bm25Test, IdfDecreasesWithDocumentFrequency) {
@@ -56,6 +262,7 @@ TEST(Bm25Test, IdfDecreasesWithDocumentFrequency) {
   index.AddDocument({1, 3});
   index.AddDocument({1, 4});
   index.AddDocument({5});
+  index.Freeze();
   Bm25Scorer scorer(&index);
   EXPECT_GT(scorer.Idf(5), scorer.Idf(1));
   EXPECT_GT(scorer.Idf(99), scorer.Idf(5));  // unseen term: max idf
@@ -66,6 +273,7 @@ TEST(Bm25Test, ExactMatchOutranksPartial) {
   index.AddDocument({1, 2, 3});  // full match for query {1,2,3}
   index.AddDocument({1, 9, 9});  // partial
   index.AddDocument({8, 9, 7});  // none
+  index.Freeze();
   Bm25Scorer scorer(&index);
   const std::vector<float> scores = scorer.ScoreAll({1, 2, 3});
   EXPECT_GT(scores[0], scores[1]);
@@ -78,6 +286,7 @@ TEST(Bm25Test, SearchReturnsSortedTopK) {
   index.AddDocument({1});
   index.AddDocument({1, 1, 1});
   index.AddDocument({2});
+  index.Freeze();
   Bm25Scorer scorer(&index);
   const auto hits = scorer.Search({1}, 2);
   ASSERT_EQ(hits.size(), 2u);
@@ -90,6 +299,7 @@ TEST(Bm25Test, TermFrequencySaturates) {
   index.AddDocument({1, 9, 9, 9, 9, 9});
   index.AddDocument({1, 1, 1, 9, 9, 9});
   index.AddDocument({7});
+  index.Freeze();
   Bm25Scorer scorer(&index);
   const std::vector<float> scores = scorer.ScoreAll({1});
   EXPECT_GT(scores[1], scores[0]);
@@ -100,6 +310,7 @@ TEST(Bm25Test, LengthNormalizationPenalizesLongDocs) {
   InvertedIndex index;
   index.AddDocument({1, 2});
   index.AddDocument({1, 2, 9, 9, 9, 9, 9, 9, 9, 9});
+  index.Freeze();
   Bm25Scorer scorer(&index);
   const std::vector<float> scores = scorer.ScoreAll({1});
   EXPECT_GT(scores[0], scores[1]);
@@ -108,6 +319,7 @@ TEST(Bm25Test, LengthNormalizationPenalizesLongDocs) {
 TEST(Bm25Test, EmptyQueryScoresZero) {
   InvertedIndex index;
   index.AddDocument({1, 2});
+  index.Freeze();
   Bm25Scorer scorer(&index);
   for (float s : scorer.ScoreAll({})) {
     EXPECT_FLOAT_EQ(s, 0.0f);
@@ -118,10 +330,189 @@ TEST(Bm25Test, DuplicateQueryTermsScaleContribution) {
   InvertedIndex index;
   index.AddDocument({1, 3});
   index.AddDocument({2, 3});
+  index.Freeze();
   Bm25Scorer scorer(&index);
   const std::vector<float> once = scorer.ScoreAll({1});
   const std::vector<float> twice = scorer.ScoreAll({1, 1});
   EXPECT_NEAR(twice[0], 2.0f * once[0], 1e-5f);
+}
+
+// Regression (score-0 padding): Search must return only documents that
+// match at least one query term, never arbitrary unmatched docs pushed
+// with score 0 to fill the tail.
+TEST(Bm25Test, SearchNeverPadsWithUnmatchedDocuments) {
+  InvertedIndex index;
+  index.AddDocument({9, 9});     // unmatched
+  index.AddDocument({1, 2});     // matched
+  index.AddDocument({8});        // unmatched
+  index.AddDocument({2, 7});     // matched
+  index.AddDocument({5, 6});     // unmatched
+  index.Freeze();
+  Bm25Scorer scorer(&index);
+  const auto hits = scorer.Search({1, 2}, 4);
+  ASSERT_EQ(hits.size(), 2u) << "k=4 but only 2 docs match any query term";
+  std::set<size_t> docs;
+  for (const ScoredIndex& hit : hits) {
+    EXPECT_GT(hit.score, 0.0f);
+    docs.insert(hit.index);
+  }
+  EXPECT_EQ(docs, (std::set<size_t>{1, 3}));
+}
+
+TEST(Bm25Test, SearchEdgeCases) {
+  InvertedIndex index;
+  index.AddDocument({1, 2});
+  index.AddDocument({});
+  index.AddDocument({2, 2});
+  index.Freeze();
+  Bm25Scorer scorer(&index);
+  EXPECT_TRUE(scorer.Search({}, 5).empty());        // empty query
+  EXPECT_TRUE(scorer.Search({1}, 0).empty());       // k = 0
+  EXPECT_TRUE(scorer.Search({42}, 5).empty());      // no matching term
+  const auto hits = scorer.Search({2}, 10);         // k > matched docs
+  ASSERT_EQ(hits.size(), 2u);
+  // The empty document can never match.
+  for (const ScoredIndex& hit : hits) EXPECT_NE(hit.index, 1u);
+}
+
+// Regression (misleading counter): bm25.scores_computed counts documents
+// that actually received a score contribution, not document_count() per
+// query regardless of matches.
+TEST(Bm25Test, ScoresComputedCountsScoredDocumentsOnly) {
+  InvertedIndex index;
+  index.AddDocument({1, 2});
+  index.AddDocument({3});
+  index.AddDocument({9});
+  index.Freeze();
+  Bm25Scorer scorer(&index);
+  obs::Counter& counter = obs::GetCounter("bm25.scores_computed");
+
+  int64_t before = counter.Value();
+  scorer.ScoreAll({});  // empty query: nothing scored
+  EXPECT_EQ(counter.Value(), before);
+
+  before = counter.Value();
+  scorer.ScoreAll({42});  // no matching postings: nothing scored
+  EXPECT_EQ(counter.Value(), before);
+
+  before = counter.Value();
+  scorer.ScoreAll({1, 3});  // docs 0 and 1 match
+  EXPECT_EQ(counter.Value(), before + 2);
+
+  before = counter.Value();
+  scorer.Search({1, 3}, 10);  // cursor path scores the same two docs
+  EXPECT_EQ(counter.Value(), before + 2);
+}
+
+/// Reference implementation of Search: dense-scan every document, stream
+/// only the docs matching >= 1 query term through the same bounded heap.
+/// The pruned cursor search must be bit-identical to this.
+std::vector<ScoredIndex> DenseReferenceSearch(const Bm25Scorer& scorer,
+                                              const InvertedIndex& index,
+                                              const std::vector<TokenId>& query,
+                                              size_t k) {
+  const std::vector<float> scores = scorer.ScoreAll(query);
+  std::vector<char> matched(index.document_count(), 0);
+  for (const TokenId term : std::set<TokenId>(query.begin(), query.end())) {
+    for (const Posting& posting : index.DecodedPostings(term)) {
+      matched[static_cast<size_t>(posting.doc)] = 1;
+    }
+  }
+  TopKStream stream(k);
+  for (size_t doc = 0; doc < scores.size(); ++doc) {
+    if (matched[doc]) stream.Push(scores[doc], doc);
+  }
+  return stream.TakeSortedDescending();
+}
+
+TEST(Bm25Test, PrunedSearchMatchesDenseReferenceBitIdentically) {
+  // Corpora crossing block boundaries, with empty docs and skewed term
+  // distributions; queries with duplicates, unseen terms, and mixed
+  // common/rare terms; several k including 1, boundary, and > matches.
+  const struct {
+    int docs;
+    int vocab;
+    int max_len;
+    uint64_t seed;
+  } configs[] = {
+      {60, 12, 8, 1},            // single-block lists
+      {400, 25, 20, 2},          // multi-block lists
+      {1500, 30, 24, 3},         // long lists, heavy skew
+      {257, 10, 16, 4},          // block-size boundary doc counts
+  };
+  for (const auto& config : configs) {
+    InvertedIndex index =
+        BuildRandomIndex(config.docs, config.vocab, config.max_len,
+                         config.seed, /*with_empty_docs=*/true);
+    index.Freeze();
+    Bm25Scorer scorer(&index);
+    Rng rng(config.seed * 977);
+    for (int q = 0; q < 40; ++q) {
+      std::vector<TokenId> query;
+      const int width = 1 + static_cast<int>(rng.UniformUint64(6));
+      for (int t = 0; t < width; ++t) {
+        query.push_back(static_cast<TokenId>(
+            rng.UniformUint64(static_cast<uint64_t>(config.vocab + 4))));
+      }
+      if (q % 5 == 0) query.push_back(query.front());  // duplicate term
+      for (const size_t k : {size_t{1}, size_t{3}, size_t{10},
+                             static_cast<size_t>(config.docs)}) {
+        const auto pruned = scorer.Search(query, k);
+        const auto reference = DenseReferenceSearch(scorer, index, query, k);
+        ASSERT_EQ(pruned, reference)
+            << "docs=" << config.docs << " q=" << q << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Bm25Test, PrunedSearchSkipsBlocksOnLargeCorpora) {
+  // A common term (every doc, tf=1 -> tiny idf and a tight list bound)
+  // plus a rare high-idf term in docs 0, 5, and 3900. Once the rare docs
+  // fill the heap, MaxScore demotes the common list to non-essential; the
+  // jump from doc ~5 to candidate 3900 then passes ~29 of its 32 blocks
+  // without decoding them.
+  InvertedIndex index;
+  for (int d = 0; d < 4096; ++d) {
+    if (d == 0 || d == 5 || d == 3900) {
+      index.AddDocument({0, 1, 1, 1});
+    } else {
+      index.AddDocument({0});
+    }
+  }
+  index.Freeze();
+  Bm25Scorer scorer(&index);
+  obs::Counter& skipped = obs::GetCounter("index.blocks_skipped");
+  const int64_t before = skipped.Value();
+  const auto hits = scorer.Search({0, 1}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_GT(skipped.Value(), before + 20);
+  ASSERT_EQ(hits, DenseReferenceSearch(scorer, index, {0, 1}, 2));
+}
+
+TEST(Bm25Test, SearchBatchIsDeterministicAcrossThreadCounts) {
+  InvertedIndex index = BuildRandomIndex(900, 28, 20, 5);
+  index.Freeze();
+  Bm25Scorer scorer(&index);
+  Rng rng(17);
+  std::vector<std::vector<TokenId>> queries;
+  for (int q = 0; q < 32; ++q) {
+    std::vector<TokenId> query;
+    for (int t = 0; t < 4; ++t) {
+      query.push_back(static_cast<TokenId>(rng.UniformUint64(30)));
+    }
+    queries.push_back(std::move(query));
+  }
+  UW_CHECK_OK(ThreadPool::SetGlobalThreadCount(1));
+  const auto sequential = scorer.SearchBatch(queries, 12);
+  UW_CHECK_OK(ThreadPool::SetGlobalThreadCount(8));
+  const auto parallel = scorer.SearchBatch(queries, 12);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(sequential[q], parallel[q]) << "query " << q;
+    ASSERT_EQ(sequential[q], scorer.Search(queries[q], 12)) << "query " << q;
+  }
+  UW_CHECK_OK(ThreadPool::SetGlobalThreadCount(0));  // restore default
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "embedding/trainer.h"
 #include "expand/pipeline.h"
+#include "index/bm25.h"
 #include "io/artifact_cache.h"
 #include "io/model_io.h"
 #include "obs/metrics.h"
@@ -150,17 +151,28 @@ TEST_F(SnapshotTest, WorldSnapshotBytesAreDeterministic) {
   EXPECT_EQ(ReadFileBytes(a), ReadFileBytes(b));
 }
 
-TEST_F(SnapshotTest, IndexRoundTrip) {
+/// A small corpus whose term-5 list spans multiple compressed blocks.
+InvertedIndex BuildIndexForSnapshotTests() {
   InvertedIndex index;
   index.AddDocument({1, 2, 2, 3});
   index.AddDocument({2, 3, 3, 3, 7});
   index.AddDocument({});
   index.AddDocument({7, 1});
+  for (int d = 0; d < 300; ++d) {
+    index.AddDocument({5, 5, 3});
+  }
+  return index;
+}
+
+TEST_F(SnapshotTest, IndexRoundTrip) {
+  InvertedIndex index = BuildIndexForSnapshotTests();
+  index.Freeze();
 
   const auto path = dir_ / "index.uws";
   ASSERT_TRUE(SaveIndexSnapshot(index, path.string()).ok());
   auto loaded = LoadIndexSnapshot(path.string());
   ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->is_frozen());
 
   ASSERT_EQ(loaded->document_count(), index.document_count());
   for (DocId d = 0; d < static_cast<DocId>(index.document_count()); ++d) {
@@ -168,16 +180,94 @@ TEST_F(SnapshotTest, IndexRoundTrip) {
   }
   EXPECT_DOUBLE_EQ(loaded->AverageDocumentLength(),
                    index.AverageDocumentLength());
-  for (const TokenId term : {1, 2, 3, 7, 99}) {
+  EXPECT_EQ(loaded->compressed_payload(), index.compressed_payload());
+  for (const TokenId term : {1, 2, 3, 5, 7, 99}) {
     EXPECT_EQ(loaded->DocumentFrequency(term), index.DocumentFrequency(term));
-    const auto& got = loaded->PostingsOf(term);
-    const auto& want = index.PostingsOf(term);
-    ASSERT_EQ(got.size(), want.size());
-    for (size_t i = 0; i < got.size(); ++i) {
-      EXPECT_EQ(got[i].doc, want[i].doc);
-      EXPECT_EQ(got[i].term_frequency, want[i].term_frequency);
+    EXPECT_EQ(loaded->DecodedPostings(term), index.DecodedPostings(term));
+  }
+
+  // The restored index must search bit-identically to the saved one.
+  Bm25Scorer saved_scorer(&index);
+  Bm25Scorer loaded_scorer(&*loaded);
+  for (const std::vector<TokenId>& query :
+       {std::vector<TokenId>{2, 3}, std::vector<TokenId>{5},
+        std::vector<TokenId>{1, 5, 7}}) {
+    ASSERT_EQ(loaded_scorer.Search(query, 10), saved_scorer.Search(query, 10));
+    ASSERT_EQ(loaded_scorer.ScoreAll(query), saved_scorer.ScoreAll(query));
+  }
+
+  // Unfrozen indexes cannot be saved: the snapshot is the frozen form.
+  InvertedIndex unfrozen;
+  unfrozen.AddDocument({1});
+  const auto status =
+      SaveIndexSnapshot(unfrozen, (dir_ / "unfrozen.uws").string());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, IndexLoadsLegacyRawFormatIntoCompressedForm) {
+  // Hand-write the pre-compression payload (doc lengths + explicit
+  // (doc, tf) posting pairs), exactly what old artifact caches contain.
+  InvertedIndex reference = BuildIndexForSnapshotTests();
+  SnapshotWriter writer;
+  writer.PutU64(reference.document_count());
+  for (DocId d = 0; d < static_cast<DocId>(reference.document_count()); ++d) {
+    writer.PutI32(reference.DocumentLength(d));
+  }
+  const std::vector<TokenId> terms = {1, 2, 3, 5, 7};
+  writer.PutU64(terms.size());
+  for (const TokenId term : terms) {
+    const std::vector<Posting>& postings = reference.PostingsOf(term);
+    ASSERT_FALSE(postings.empty());
+    writer.PutI32(term);
+    writer.PutU64(postings.size());
+    for (const Posting& posting : postings) {
+      writer.PutI32(posting.doc);
+      writer.PutI32(posting.term_frequency);
     }
   }
+  const auto path = dir_ / "legacy_index.uws";
+  ASSERT_TRUE(
+      WriteSnapshotFile(path.string(), SnapshotKind::kInvertedIndex, writer)
+          .ok());
+
+  auto loaded = LoadIndexSnapshot(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->is_frozen());
+  reference.Freeze();
+  ASSERT_EQ(loaded->document_count(), reference.document_count());
+  for (const TokenId term : terms) {
+    EXPECT_EQ(loaded->DecodedPostings(term), reference.DecodedPostings(term));
+  }
+  Bm25Scorer loaded_scorer(&*loaded);
+  Bm25Scorer reference_scorer(&reference);
+  ASSERT_EQ(loaded_scorer.Search({2, 3, 5}, 20),
+            reference_scorer.Search({2, 3, 5}, 20));
+
+  // Saving the migrated index re-serializes it in the current format,
+  // which must round-trip bit-identically from here on.
+  const auto resaved = dir_ / "legacy_resaved.uws";
+  ASSERT_TRUE(SaveIndexSnapshot(*loaded, resaved.string()).ok());
+  auto reloaded = LoadIndexSnapshot(resaved.string());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->compressed_payload(), loaded->compressed_payload());
+}
+
+TEST_F(SnapshotTest, IndexRejectsUnknownPayloadVersion) {
+  // A tagged payload with a version this build does not understand must
+  // fail closed, not fall through to the legacy parser.
+  SnapshotWriter writer;
+  writer.PutU64(kIndexPayloadTagBase | (kIndexPayloadVersion + 1));
+  writer.PutU64(0);  // arbitrary trailing bytes; the tag alone must reject
+  const auto path = dir_ / "future_index.uws";
+  ASSERT_TRUE(
+      WriteSnapshotFile(path.string(), SnapshotKind::kInvertedIndex, writer)
+          .ok());
+  auto loaded = LoadIndexSnapshot(path.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  EXPECT_NE(loaded.status().message().find("unsupported index payload"),
+            std::string::npos);
 }
 
 TEST_F(SnapshotTest, EntityStoreRoundTrip) {

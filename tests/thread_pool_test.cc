@@ -236,6 +236,7 @@ TEST_F(PoolDeterminismTest, BatchedBm25MatchesPerQueryScores) {
     }
     index.AddDocument(doc);
   }
+  index.Freeze();
   Bm25Scorer scorer(&index);
   std::vector<std::vector<TokenId>> queries;
   for (int q = 0; q < 37; ++q) {
