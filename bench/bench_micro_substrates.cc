@@ -432,6 +432,7 @@ void EmitIndexBenchGauges() {
 
   obs::Counter& postings_counter = obs::GetCounter("bm25.postings_scanned");
   obs::Counter& skipped_counter = obs::GetCounter("index.blocks_skipped");
+  obs::Counter& decoded_counter = obs::GetCounter("index.blocks_decoded");
 
   // Dense full-scan baseline: score every posting, then select top-k.
   double dense_seconds = 0.0;
@@ -457,6 +458,7 @@ void EmitIndexBenchGauges() {
   size_t pruned_sweeps = 0;
   const int64_t pruned_postings_before = postings_counter.Value();
   const int64_t skipped_before = skipped_counter.Value();
+  const int64_t decoded_before = decoded_counter.Value();
   {
     const Clock::time_point start = Clock::now();
     do {
@@ -474,6 +476,9 @@ void EmitIndexBenchGauges() {
   const int64_t blocks_skipped =
       (skipped_counter.Value() - skipped_before) /
       static_cast<int64_t>(pruned_sweeps);
+  const int64_t blocks_decoded =
+      (decoded_counter.Value() - decoded_before) /
+      static_cast<int64_t>(pruned_sweeps);
 
   const double dense_qps =
       static_cast<double>(dense_sweeps * queries.size()) / dense_seconds;
@@ -488,6 +493,16 @@ void EmitIndexBenchGauges() {
   obs::GetGauge("index.bench.postings_scanned_dense").Set(dense_postings);
   obs::GetGauge("index.bench.postings_scanned_pruned").Set(pruned_postings);
   obs::GetGauge("index.bench.blocks_skipped").Set(blocks_skipped);
+  // Skipped blocks as a fraction of all blocks the sweep touched, in
+  // permille. The micro workload is built so MaxScore engages (small k,
+  // many matched docs per query); a zero here means pruning regressed.
+  // Contrast with the main table2 workload, whose only Search calls are
+  // hard-negative mining with k >= the matched set — no admission
+  // threshold ever forms there, so its skip ratio is legitimately 0
+  // (see EXPERIMENTS.md "Why table2 reports blocks_skipped == 0").
+  const int64_t blocks_touched = blocks_skipped + blocks_decoded;
+  obs::GetGauge("index.bench.skip_ratio_x1000")
+      .Set(blocks_touched > 0 ? blocks_skipped * 1000 / blocks_touched : 0);
   obs::GetGauge("index.bench.dense_queries_per_sec")
       .Set(static_cast<int64_t>(dense_qps));
   obs::GetGauge("index.bench.pruned_queries_per_sec")

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "math/topk.h"
 
 namespace ultrawiki {
@@ -45,6 +46,7 @@ std::vector<TokenId> CaSE::DocumentOf(EntityId id) const {
 }
 
 std::vector<EntityId> CaSE::Expand(const Query& query, size_t k) {
+  UW_SPAN("case.expand");
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
 
   // Lexical channel: BM25 of every candidate document against the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "math/topk.h"
 
 namespace ultrawiki {
@@ -56,6 +57,7 @@ TokenId CgExpan::InferClassNoun(const std::vector<EntityId>& seeds) const {
 }
 
 std::vector<EntityId> CgExpan::Expand(const Query& query, size_t k) {
+  UW_SPAN("cgexpan.expand");
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
   const TokenId class_noun = InferClassNoun(query.pos_seeds);
 

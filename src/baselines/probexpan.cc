@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "expand/rerank.h"
 #include "math/topk.h"
 
@@ -41,6 +42,7 @@ double ProbExpan::SeedSimilarity(const std::vector<EntityId>& seeds,
 }
 
 std::vector<EntityId> ProbExpan::Expand(const Query& query, size_t k) {
+  UW_SPAN("probexpan.expand");
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
   std::vector<ScoredIndex> scored;
   scored.reserve(candidates_->size());

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "math/topk.h"
 
 namespace ultrawiki {
@@ -76,6 +77,7 @@ SetExpan::SetExpan(const Corpus* corpus,
 }
 
 std::vector<EntityId> SetExpan::Expand(const Query& query, size_t k) {
+  UW_SPAN("setexpan.expand");
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
   std::set<EntityId> current(query.pos_seeds.begin(), query.pos_seeds.end());
 
@@ -83,6 +85,7 @@ std::vector<EntityId> SetExpan::Expand(const Query& query, size_t k) {
   std::unordered_map<EntityId, double> ensemble;
 
   for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    UW_SPAN("setexpan.iteration");
     // Feature selection: affinity of each feature with the current set.
     std::unordered_map<uint64_t, double> feature_affinity;
     for (EntityId member : current) {

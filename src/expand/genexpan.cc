@@ -302,6 +302,7 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
   for (int round = 0; round < config_.max_rounds; ++round) {
     if (expansion.size() >= k) break;
     if (stale_rounds >= config_.stale_rounds_to_stop) break;
+    UW_SPAN("genexpan.round");
 
     // Prompt entities: round 0 takes 3 positive seeds; later rounds take
     // 2 positive seeds + 1 previously expanded entity (paper §5.2.1).

@@ -291,6 +291,16 @@ std::vector<ScoredIndex> Bm25Scorer::Search(const std::vector<TokenId>& query,
   obs::GetCounter("bm25.scores_computed").Increment(docs_scored);
   obs::GetCounter("index.blocks_skipped").Increment(blocks_skipped);
   obs::GetCounter("index.blocks_decoded").Increment(blocks_decoded);
+  // Pruning only engages once the top-k heap fills and forms an admission
+  // threshold; searches where k >= the number of matching documents never
+  // get one, so every list stays essential and no block is skipped. These
+  // two counters make that visible: a workload with threshold_formed == 0
+  // (e.g. table2's hard-negative mining, where k is large relative to the
+  // matched set) legitimately reports blocks_skipped == 0.
+  obs::GetCounter("bm25.pruned_searches").Increment();
+  if (have_threshold) {
+    obs::GetCounter("bm25.threshold_formed").Increment();
+  }
   return stream.TakeSortedDescending();
 }
 

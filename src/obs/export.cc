@@ -148,6 +148,86 @@ std::string ExportProfileJson(const ProfileNode& root) {
   return out;
 }
 
+std::string ExportChromeTraceJson(
+    const std::vector<RequestTraceData>& traces) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const RequestTraceData& trace : traces) {
+    const int64_t pid = static_cast<int64_t>(trace.trace_id);
+    // Process-name metadata record so chrome://tracing labels the row.
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    AppendInt(pid, out);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    AppendJsonString(trace.method + " #" + std::to_string(trace.trace_id),
+                     out);
+    out += "}}";
+    // The whole request as the root complete event, stages nested under
+    // it by their own ts/dur (chrome nests events on one tid by
+    // containment, which the LIFO span discipline guarantees).
+    out += ",{\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":0,"
+           "\"dur\":";
+    AppendInt(trace.total_us, out);
+    out += ",\"pid\":";
+    AppendInt(pid, out);
+    out += ",\"tid\":0,\"args\":{\"method\":";
+    AppendJsonString(trace.method, out);
+    out += ",\"events_dropped\":";
+    AppendInt(trace.events_dropped, out);
+    out += "}}";
+    for (const RequestSpanEvent& event : trace.events) {
+      out += ",{\"name\":";
+      AppendJsonString(event.name, out);
+      out += ",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":";
+      AppendInt(event.start_us, out);
+      out += ",\"dur\":";
+      AppendInt(event.dur_us, out);
+      out += ",\"pid\":";
+      AppendInt(pid, out);
+      out += ",\"tid\":0}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string ExportRequestTracesJson(
+    const std::vector<RequestTraceData>& traces) {
+  std::string out = "{\"slow_queries\":[";
+  for (size_t t = 0; t < traces.size(); ++t) {
+    const RequestTraceData& trace = traces[t];
+    if (t > 0) out.push_back(',');
+    out += "{\"trace_id\":";
+    AppendInt(static_cast<int64_t>(trace.trace_id), out);
+    out += ",\"method\":";
+    AppendJsonString(trace.method, out);
+    out += ",\"sequence\":";
+    AppendInt(static_cast<int64_t>(trace.sequence), out);
+    out += ",\"total_us\":";
+    AppendInt(trace.total_us, out);
+    out += ",\"events_dropped\":";
+    AppendInt(trace.events_dropped, out);
+    out += ",\"events\":[";
+    for (size_t i = 0; i < trace.events.size(); ++i) {
+      const RequestSpanEvent& event = trace.events[i];
+      if (i > 0) out.push_back(',');
+      out += "{\"name\":";
+      AppendJsonString(event.name, out);
+      out += ",\"start_us\":";
+      AppendInt(event.start_us, out);
+      out += ",\"dur_us\":";
+      AppendInt(event.dur_us, out);
+      out += ",\"parent\":";
+      AppendInt(event.parent, out);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   char line[256];

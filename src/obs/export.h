@@ -2,8 +2,10 @@
 #define ULTRAWIKI_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 
 namespace ultrawiki {
@@ -29,6 +31,23 @@ std::string ExportProfileJson(const ProfileNode& root);
 /// plus summary-style {quantile="0.5|0.9|0.95|0.99"} series derived with
 /// the same deterministic bucket math as the JSON percentiles.
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// Chrome trace-event JSON (the `chrome://tracing` / Perfetto "JSON
+/// Array Format"): every request trace becomes one process (pid =
+/// trace_id) whose complete events ("ph":"X", microsecond ts/dur on the
+/// request's own timeline) are the recorded stage tree — queue wait,
+/// batch wait, execute, and the expander's UW_SPAN scopes. A metadata
+/// record names the process "<method> #<trace_id>". Deterministic for a
+/// fixed input: traces are emitted in the given order, events in
+/// recording order.
+std::string ExportChromeTraceJson(const std::vector<RequestTraceData>& traces);
+
+/// {"slow_queries": [{"trace_id": ..., "method": ..., "sequence": ...,
+/// "total_us": ..., "events_dropped": ..., "events": [{"name", "start_us",
+/// "dur_us", "parent"}...]}, ...]} — the slow-query log in a shape meant
+/// for programmatic checks; use ExportChromeTraceJson for timelines.
+std::string ExportRequestTracesJson(
+    const std::vector<RequestTraceData>& traces);
 
 /// Full machine-readable bench snapshot:
 /// {"bench": name, "threads": n, "trace_enabled": 0|1,

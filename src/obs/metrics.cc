@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 
@@ -70,6 +71,19 @@ class Registry {
     return *slot;
   }
 
+  WindowedHistogram& GetWindowedHistogram(const std::string& name,
+                                          std::vector<int64_t> bounds,
+                                          int64_t slot_width_ms,
+                                          int slot_count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = windowed_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<WindowedHistogram>(name, std::move(bounds),
+                                                 slot_width_ms, slot_count);
+    }
+    return *slot;
+  }
+
   MetricsSnapshot Snapshot() {
     std::lock_guard<std::mutex> lock(mutex_);
     MetricsSnapshot snapshot;
@@ -82,6 +96,9 @@ class Registry {
     for (const auto& [name, histogram] : histograms_) {
       snapshot.histograms[name] = histogram->Aggregate();
     }
+    for (const auto& [name, windowed] : windowed_) {
+      snapshot.histograms[name] = windowed->Aggregate();
+    }
     return snapshot;
   }
 
@@ -90,6 +107,7 @@ class Registry {
     for (auto& [name, counter] : counters_) counter->Reset();
     for (auto& [name, gauge] : gauges_) gauge->Reset();
     for (auto& [name, histogram] : histograms_) histogram->Reset();
+    for (auto& [name, windowed] : windowed_) windowed->Reset();
   }
 
  private:
@@ -97,6 +115,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windowed_;
 };
 
 }  // namespace
@@ -176,6 +195,105 @@ void Histogram::Reset() {
   }
 }
 
+WindowedHistogram::WindowedHistogram(std::string name,
+                                     std::vector<int64_t> bounds,
+                                     int64_t slot_width_ms, int slot_count)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      slot_width_ms_(slot_width_ms > 0 ? slot_width_ms : 1),
+      slot_count_(slot_count > 0 ? slot_count : 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  slots_.resize(static_cast<size_t>(slot_count_));
+  for (Slot& slot : slots_) {
+    slot.bucket_counts.assign(bounds_.size() + 1, 0);
+  }
+}
+
+namespace {
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void WindowedHistogram::ResetSlotLocked(Slot& slot, int64_t epoch) {
+  slot.epoch = epoch;
+  std::fill(slot.bucket_counts.begin(), slot.bucket_counts.end(), 0);
+  slot.count = 0;
+  slot.sum = 0;
+  slot.min = 0;
+  slot.max = 0;
+}
+
+void WindowedHistogram::Observe(int64_t value) {
+  ObserveAtMs(value, SteadyNowMs());
+}
+
+void WindowedHistogram::ObserveAtMs(int64_t value, int64_t now_ms) {
+  const int64_t epoch = std::max<int64_t>(0, now_ms) / slot_width_ms_;
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[static_cast<size_t>(epoch %
+                                          static_cast<int64_t>(slot_count_))];
+  // A stale epoch means the slot's samples fell out of the window while
+  // it waited to be reused — possibly many rotations ago, possibly
+  // because the clock stepped. Either way they are dead; clear first.
+  if (slot.epoch != epoch) ResetSlotLocked(slot, epoch);
+  slot.bucket_counts[bucket] += 1;
+  slot.count += 1;
+  slot.sum += value;
+  if (slot.count == 1) {
+    slot.min = value;
+    slot.max = value;
+  } else {
+    slot.min = std::min(slot.min, value);
+    slot.max = std::max(slot.max, value);
+  }
+}
+
+HistogramData WindowedHistogram::Aggregate() const {
+  return AggregateAtMs(SteadyNowMs());
+}
+
+HistogramData WindowedHistogram::AggregateAtMs(int64_t now_ms) const {
+  const int64_t newest_epoch = std::max<int64_t>(0, now_ms) / slot_width_ms_;
+  const int64_t oldest_epoch =
+      newest_epoch - static_cast<int64_t>(slot_count_) + 1;
+  HistogramData data;
+  data.bounds = bounds_;
+  data.bucket_counts.assign(bounds_.size() + 1, 0);
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Slot& slot : slots_) {
+    // Only slots whose epoch falls inside the window count; anything
+    // else is a leftover from a previous rotation (or untouched).
+    if (slot.epoch < oldest_epoch || slot.epoch > newest_epoch) continue;
+    if (slot.count == 0) continue;
+    for (size_t b = 0; b < data.bucket_counts.size(); ++b) {
+      data.bucket_counts[b] += slot.bucket_counts[b];
+    }
+    data.count += slot.count;
+    data.sum += slot.sum;
+    min = std::min(min, slot.min);
+    max = std::max(max, slot.max);
+  }
+  if (data.count > 0) {
+    data.min = min;
+    data.max = max;
+  }
+  return data;
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) ResetSlotLocked(slot, -1);
+}
+
 int64_t HistogramPercentile(const HistogramData& data, int percentile) {
   if (data.count <= 0) return 0;
   const int pct = std::clamp(percentile, 0, 100);
@@ -203,6 +321,14 @@ Gauge& GetGauge(const std::string& name) {
 Histogram& GetHistogram(const std::string& name,
                         std::vector<int64_t> bounds) {
   return Registry::Instance().GetHistogram(name, std::move(bounds));
+}
+
+WindowedHistogram& GetWindowedHistogram(const std::string& name,
+                                        std::vector<int64_t> bounds,
+                                        int64_t slot_width_ms,
+                                        int slot_count) {
+  return Registry::Instance().GetWindowedHistogram(
+      name, std::move(bounds), slot_width_ms, slot_count);
 }
 
 const std::vector<int64_t>& LatencyBoundsUs() {

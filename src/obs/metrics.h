@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,62 @@ class Histogram {
   std::vector<std::unique_ptr<HistCell>> cells_;
 };
 
+/// Sliding-window histogram: the same fixed-bucket state as Histogram,
+/// but held in `slot_count` rotating fixed-width time slots so an
+/// aggregate reflects only the last `slot_count * slot_width_ms`
+/// milliseconds (~60s with the defaults) instead of the process
+/// lifetime. Serving dashboards read their p50/p99 from these; the
+/// lifetime Histogram stays the deterministic bench/CI artifact.
+///
+/// A slot is keyed by its epoch (now / slot_width_ms); observing into a
+/// slot whose stored epoch is stale resets it first, so slots left empty
+/// while traffic was idle — or leapt over by a clock step — never leak
+/// old samples into the window. Updates take a mutex: window reads and
+/// rotation are coupled, and the observe rate (one per served request)
+/// is far below the lock-free hot-path counters'.
+///
+/// All methods taking an explicit `now_ms` exist for tests (injected
+/// clock); production callers use the steady-clock overloads.
+class WindowedHistogram {
+ public:
+  WindowedHistogram(std::string name, std::vector<int64_t> bounds,
+                    int64_t slot_width_ms, int slot_count);
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Observe(int64_t value);
+  void ObserveAtMs(int64_t value, int64_t now_ms);
+
+  /// Aggregate over the slots still inside the window ending at `now`.
+  HistogramData Aggregate() const;
+  HistogramData AggregateAtMs(int64_t now_ms) const;
+
+  const std::string& name() const { return name_; }
+  int64_t window_ms() const { return slot_width_ms_ * slot_count_; }
+
+  /// Clears every slot. Test-only; callers must be quiescent.
+  void Reset();
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;  // -1 = never written
+    std::vector<int64_t> bucket_counts;
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+
+  void ResetSlotLocked(Slot& slot, int64_t epoch);
+
+  std::string name_;
+  std::vector<int64_t> bounds_;
+  int64_t slot_width_ms_;
+  int slot_count_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
 /// Returns the process-global metric with `name`, creating it on first
 /// use. References stay valid for the process lifetime; call sites cache
 /// them in a function-local static:
@@ -131,6 +188,12 @@ Counter& GetCounter(const std::string& name);
 Gauge& GetGauge(const std::string& name);
 /// `bounds` is consulted only on first registration of `name`.
 Histogram& GetHistogram(const std::string& name, std::vector<int64_t> bounds);
+/// `bounds`/geometry are consulted only on first registration. The
+/// defaults give a ~60s window (12 full 5s slots + the forming one).
+WindowedHistogram& GetWindowedHistogram(const std::string& name,
+                                        std::vector<int64_t> bounds,
+                                        int64_t slot_width_ms = 5000,
+                                        int slot_count = 13);
 
 /// Deterministic bucket-resolution percentile (`percentile` in [0, 100]).
 /// Integer math only: the rank is ceil(count * percentile / 100) and the
@@ -143,7 +206,10 @@ int64_t HistogramPercentile(const HistogramData& data, int percentile);
 /// Geometric-ish bucket bounds for request latencies, in microseconds.
 const std::vector<int64_t>& LatencyBoundsUs();
 
-/// Point-in-time copy of every registered metric, key-sorted.
+/// Point-in-time copy of every registered metric, key-sorted. Windowed
+/// histograms are folded into `histograms` under their registered name
+/// (call sites suffix them, e.g. "serve.latency_us.1m"), so every
+/// exporter renders them without special cases.
 struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, int64_t> gauges;

@@ -1,0 +1,163 @@
+#ifndef ULTRAWIKI_OBS_REQUEST_TRACE_H_
+#define ULTRAWIKI_OBS_REQUEST_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ultrawiki {
+namespace obs {
+
+/// Request-scoped tracing: where trace.h aggregates spans into one
+/// process-global profile, a RequestTrace records the *individual* timed
+/// events of a single request — queue wait, batch wait, and every
+/// UW_SPAN scope the expander opens while the request executes — as a
+/// span tree on one shared timeline. Finished traces of slow requests
+/// land in the bounded SlowQueryLog ring, inspectable live through the
+/// admin endpoint, a SIGUSR1 dump, or `chrome://tracing` via the
+/// Chrome trace-event exporter (export.h).
+///
+/// Recording is strictly passive — it observes timestamps and never
+/// feeds back into expansion, so rankings are bit-identical with tracing
+/// off, sampled, or on for every request (asserted in serve_test).
+///
+/// Threading: a RequestTrace is written by one thread at a time — the
+/// submitting thread at admission, then the single pool lane executing
+/// the request (nested ParallelFor calls inside a pool task run inline,
+/// so an expander never fans a request's work across threads). The
+/// ScopedRequestBinding handoff publishes the earlier writes.
+
+/// One completed timed event. Times are microseconds relative to the
+/// trace epoch (the moment the request was admitted), matching the
+/// Chrome trace-event "ts"/"dur" convention.
+struct RequestSpanEvent {
+  std::string name;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  /// Index of the enclosing event in RequestTraceData::events, or -1
+  /// for a root stage.
+  int32_t parent = -1;
+};
+
+/// A finished request trace, detached from the live RequestTrace.
+struct RequestTraceData {
+  uint64_t trace_id = 0;
+  std::string method;
+  /// Monotone completion sequence number assigned by the SlowQueryLog.
+  uint64_t sequence = 0;
+  /// End-to-end latency (admission to completion), microseconds.
+  int64_t total_us = 0;
+  /// Events discarded after the per-trace event cap was hit.
+  int64_t events_dropped = 0;
+  std::vector<RequestSpanEvent> events;
+};
+
+/// Collects the span tree of one request. Allocated only for traced
+/// requests (sampled, forced, or when a slow-query threshold is armed);
+/// untraced requests never touch this class.
+class RequestTrace {
+ public:
+  /// Hard cap on recorded events per request, so a beam-heavy query
+  /// cannot grow a trace without bound; later events count as dropped.
+  static constexpr size_t kMaxEvents = 512;
+
+  RequestTrace(uint64_t trace_id, std::string method,
+               std::chrono::steady_clock::time_point epoch);
+
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  /// Records a completed interval measured by the caller (the service's
+  /// queue-wait / batch-wait stages). Returns the event index or -1 when
+  /// the trace is full.
+  int AddInterval(const char* name,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end,
+                  int parent = -1);
+
+  /// Opens a nested span at now(); the matching EndSpan computes the
+  /// duration. Nesting must be LIFO (RAII callers guarantee it). Returns
+  /// a handle (-1 when the trace is full; EndSpan ignores -1).
+  int BeginSpan(const char* name);
+  void EndSpan(int handle);
+
+  /// Detaches the finished trace. `end` stamps total_us.
+  RequestTraceData Finish(std::chrono::steady_clock::time_point end);
+
+  uint64_t trace_id() const { return trace_id_; }
+
+ private:
+  int64_t SinceEpochUs(std::chrono::steady_clock::time_point t) const;
+
+  uint64_t trace_id_;
+  std::string method_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<RequestSpanEvent> events_;
+  std::vector<int> open_stack_;  // indices of open BeginSpan events
+  int64_t dropped_ = 0;
+};
+
+/// Binds `trace` as this thread's active request trace for the lifetime
+/// of the object: every UW_SPAN opened on the thread while bound records
+/// an event into the trace (in addition to the process-global profile
+/// when UW_TRACE is on). Nestable; the previous binding is restored.
+/// Pass nullptr for a no-op.
+class ScopedRequestBinding {
+ public:
+  explicit ScopedRequestBinding(RequestTrace* trace);
+  ~ScopedRequestBinding();
+
+  ScopedRequestBinding(const ScopedRequestBinding&) = delete;
+  ScopedRequestBinding& operator=(const ScopedRequestBinding&) = delete;
+
+ private:
+  RequestTrace* saved_ = nullptr;
+};
+
+/// The trace bound to this thread, or nullptr. Read by Span (trace.cc)
+/// on every construction — one thread-local load when no trace is bound.
+RequestTrace* ActiveRequestTrace();
+
+/// Bounded ring of the most recent slow-request traces. Process-global
+/// so the admin endpoint and the SIGUSR1 dump can read it without a
+/// handle on the service. Capacity resolves once from `UW_SLOW_QUERY_LOG`
+/// (default 16, minimum 1).
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Global();
+
+  /// Stamps `data.sequence` and appends, evicting the oldest entry when
+  /// the ring is full.
+  void Record(RequestTraceData data);
+
+  /// Most recent first.
+  std::vector<RequestTraceData> Snapshot() const;
+
+  /// Lifetime number of traces recorded (recorded - capacity bounds the
+  /// evictions).
+  int64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Drops all entries and zeroes the counters. Test-only.
+  void ResetForTest();
+
+  /// Test-only capacity override (applies to subsequently recorded
+  /// entries; existing overflow entries are evicted immediately).
+  void SetCapacityForTest(size_t capacity);
+
+ private:
+  explicit SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  uint64_t next_sequence_ = 1;
+  int64_t total_recorded_ = 0;
+  std::vector<RequestTraceData> ring_;  // oldest first
+};
+
+}  // namespace obs
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_OBS_REQUEST_TRACE_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/request_trace.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -107,6 +109,10 @@ void SetTraceEnabled(bool enabled) {
 }
 
 Span::Span(const char* name) {
+  if (RequestTrace* request = ActiveRequestTrace()) {
+    request_trace_ = request;
+    request_handle_ = request->BeginSpan(name);
+  }
   if (!TraceEnabled()) return;
   ThreadTrace& trace = LocalTrace();
   {
@@ -119,6 +125,9 @@ Span::Span(const char* name) {
 }
 
 Span::~Span() {
+  if (request_trace_ != nullptr) {
+    static_cast<RequestTrace*>(request_trace_)->EndSpan(request_handle_);
+  }
   if (!active_) return;
   const int64_t elapsed_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -53,6 +53,13 @@ int64_t SelfNs(const ProfileNode& node);
 void ResetTraceForTest();
 
 /// RAII span. `name` must have static storage duration (string literal).
+///
+/// Besides the process-global profile, a span also records one timed
+/// event into the request trace bound to this thread, when one is
+/// (obs/request_trace.h: ScopedRequestBinding) — that is how the serving
+/// layer attributes expander stages to individual requests. Both sinks
+/// are independent: either can be on without the other, and with both
+/// off a span costs two predictable branches.
 class Span {
  public:
   explicit Span(const char* name);
@@ -64,6 +71,8 @@ class Span {
  private:
   bool active_ = false;
   void* node_ = nullptr;  // internal TraceNode entered by this span
+  void* request_trace_ = nullptr;  // bound RequestTrace, if any
+  int request_handle_ = -1;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,215 @@
+#include "serve/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "serve/protocol.h"
+
+namespace ultrawiki {
+namespace serve {
+namespace {
+
+/// Minimal request-line parse: "GET <path> HTTP/1.x". Query strings are
+/// stripped — routes carry no parameters. Empty on anything malformed.
+std::string ParseRequestPath(const std::string& request) {
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line.compare(0, 4, "GET ") != 0) return "";
+  const size_t path_end = line.find(' ', 4);
+  if (path_end == std::string::npos) return "";
+  std::string path = line.substr(4, path_end - 4);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(ExpansionService& service) : service_(service) {}
+
+AdminServer::~AdminServer() { Shutdown(); }
+
+Status AdminServer::Start(int port) {
+  UW_CHECK_EQ(listen_fd_, -1) << "Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  if (::listen(listen_fd_, /*backlog=*/16) < 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      UW_LOG(Warning) << "admin accept: " << std::strerror(errno);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+AdminServer::HttpReply AdminServer::Handle(const std::string& path) const {
+  HttpReply reply;
+  if (path == "/metrics") {
+    reply.body = obs::ExportPrometheus(obs::SnapshotMetrics());
+    return reply;
+  }
+  if (path == "/healthz") {
+    if (service_.draining()) {
+      reply.status = 503;
+      reply.body = "draining\n";
+    } else {
+      reply.body = "ok\n";
+    }
+    return reply;
+  }
+  if (path == "/statusz") {
+    const obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+    reply.content_type = "application/json";
+    reply.body = "{\"draining\":";
+    reply.body += service_.draining() ? "1" : "0";
+    reply.body += ",\"queue_depth\":";
+    reply.body += std::to_string(service_.queue_depth());
+    reply.body += ",\"inflight\":";
+    reply.body += std::to_string(service_.inflight());
+    reply.body += ",\"max_queue\":";
+    reply.body += std::to_string(service_.config().max_queue);
+    reply.body += ",\"max_batch\":";
+    reply.body += std::to_string(service_.config().max_batch);
+    reply.body += ",\"trace_sample\":";
+    reply.body += std::to_string(service_.config().trace_sample);
+    reply.body += ",\"slow_query_ms\":";
+    reply.body += std::to_string(service_.config().slow_query_ms);
+    reply.body += ",\"slow_log_recorded\":";
+    reply.body += std::to_string(slow_log.total_recorded());
+    reply.body += ",\"slow_log_capacity\":";
+    reply.body += std::to_string(slow_log.capacity());
+    reply.body += "}\n";
+    return reply;
+  }
+  if (path == "/slow") {
+    reply.content_type = "application/json";
+    reply.body =
+        obs::ExportChromeTraceJson(obs::SlowQueryLog::Global().Snapshot());
+    return reply;
+  }
+  if (path == "/slowz") {
+    reply.content_type = "application/json";
+    reply.body =
+        obs::ExportRequestTracesJson(obs::SlowQueryLog::Global().Snapshot());
+    return reply;
+  }
+  reply.status = 404;
+  reply.body =
+      "not found; routes: /metrics /healthz /statusz /slow /slowz\n";
+  return reply;
+}
+
+void AdminServer::HandleConnection(int fd) {
+  // One request per connection (HTTP/1.0 close semantics): read what the
+  // client sent — the request line is all we route on — answer, close.
+  char buffer[4096];
+  const ssize_t got = ::recv(fd, buffer, sizeof(buffer) - 1, 0);
+  if (got > 0) {
+    buffer[got] = '\0';
+    const std::string path = ParseRequestPath(buffer);
+    const HttpReply reply =
+        path.empty() ? HttpReply{404, "text/plain; charset=utf-8",
+                                 "bad request\n"}
+                     : Handle(path);
+    std::string out = "HTTP/1.0 " + std::to_string(reply.status) + " " +
+                      ReasonPhrase(reply.status) + "\r\n";
+    out += "Content-Type: " + reply.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(reply.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += reply.body;
+    (void)WriteAll(fd, out.data(), out.size());
+  }
+  ::close(fd);
+}
+
+void AdminServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      threads.swap(conn_threads_);
+    }
+    for (std::thread& thread : threads) thread.join();
+    listen_fd_ = -1;
+  });
+}
+
+}  // namespace serve
+}  // namespace ultrawiki

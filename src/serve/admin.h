@@ -1,0 +1,82 @@
+#ifndef ULTRAWIKI_SERVE_ADMIN_H_
+#define ULTRAWIKI_SERVE_ADMIN_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace ultrawiki {
+namespace serve {
+
+/// Live telemetry sidecar for uw_serve: a second listener (bound by
+/// `UW_ADMIN_PORT`) speaking just enough HTTP/1.0 for curl and a
+/// Prometheus scraper, so the serving process can be inspected mid-load
+/// without touching the request plane. Routes:
+///
+///   /metrics  Prometheus text exposition of every registered metric,
+///             including the sliding-window serving percentiles
+///             (uw_serve_latency_us_1m quantile series).
+///   /healthz  "ok" while serving, 503 "draining" once drain started.
+///   /statusz  one-line JSON: draining flag, queue depth, in-flight
+///             count, accepted/slow-trace totals, slow-log capacity.
+///   /slow     the slow-query log as Chrome trace-event JSON — save and
+///             load into chrome://tracing or Perfetto.
+///   /slowz    the same traces as plain structured JSON for scripts.
+///
+/// One short-lived handler thread per connection (mirrors TcpServer;
+/// admin traffic is a human or a scraper, not a fleet). Responses are
+/// built from lock-free metric snapshots and the mutex-guarded slow-log
+/// ring, so scraping under full serving load is safe — asserted by the
+/// concurrent-scrape test under TSan.
+class AdminServer {
+ public:
+  /// `service` must outlive the admin server.
+  explicit AdminServer(ExpansionService& service);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port), listens, and
+  /// spawns the accept thread. Call at most once.
+  Status Start(int port);
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Stops accepting, joins the handlers; idempotent.
+  void Shutdown();
+
+  /// Route dispatch, exposed for tests: the response body and content
+  /// type for `path`, or a 404 body. Exactly what a socket client gets.
+  struct HttpReply {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  HttpReply Handle(const std::string& path) const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ExpansionService& service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;  // guards conn_threads_
+  std::vector<std::thread> conn_threads_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace serve
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_SERVE_ADMIN_H_

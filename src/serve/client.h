@@ -47,11 +47,31 @@ class ServeClient {
   /// Closes the connection early (destructor does this too).
   void Close();
 
+  /// Wire version for outgoing frames. Defaults to the current version;
+  /// pin kFrameVersionV1 to talk to a server predating the trace-context
+  /// extension (trace requests are silently meaningless in v1 framing).
+  void set_wire_version(uint32_t version) { wire_version_ = version; }
+  uint32_t wire_version() const { return wire_version_; }
+
+  /// When set, every subsequent request carries the sample flag in its
+  /// frame header, asking the server to trace it end to end regardless of
+  /// the server's sampling rate (slow-query log + admin /slow).
+  void set_force_trace(bool on) { force_trace_ = on; }
+  bool force_trace() const { return force_trace_; }
+
+  /// Trace id of the most recently sent request (0 before the first) —
+  /// what to look for in the server's slow-query log.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   StatusOr<std::vector<EntityId>> RoundTrip(WireRequest request);
+  FrameOptions MakeFrameOptions(uint64_t request_id);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint32_t wire_version_ = kFrameVersion;
+  bool force_trace_ = false;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace serve

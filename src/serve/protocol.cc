@@ -39,14 +39,20 @@ uint64_t ParseU64(const char* bytes) {
   return value;
 }
 
-/// Frames `payload`: header, payload bytes, CRC32 over both.
-std::string FramePayload(FrameKind kind, std::string_view payload) {
+/// Frames `payload`: header (v1 prefix, plus the trace-context extension
+/// when emitting v2), payload bytes, CRC32 over both.
+std::string FramePayload(FrameKind kind, std::string_view payload,
+                         const FrameOptions& options) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size() + 4);
+  out.reserve(kFrameHeaderBytesV2 + payload.size() + 4);
   AppendU32(kFrameMagic, out);
-  AppendU32(kFrameVersion, out);
+  AppendU32(options.version, out);
   AppendU32(static_cast<uint32_t>(kind), out);
   AppendU64(payload.size(), out);
+  if (options.version >= 2) {
+    AppendU64(options.trace_id, out);
+    AppendU32(options.flags, out);
+  }
   out.append(payload);
   AppendU32(Crc32(out), out);
   return out;
@@ -59,7 +65,8 @@ bool KnownFrameKind(uint32_t kind) {
 
 }  // namespace
 
-std::string EncodeRequestFrame(const WireRequest& request) {
+std::string EncodeRequestFrame(const WireRequest& request,
+                               const FrameOptions& options) {
   SnapshotWriter writer;
   writer.PutU64(request.request_id);
   writer.PutString(request.method);
@@ -70,20 +77,21 @@ std::string EncodeRequestFrame(const WireRequest& request) {
   writer.PutI32(request.query.ultra_class);
   writer.PutI32Vec(request.query.pos_seeds);
   writer.PutI32Vec(request.query.neg_seeds);
-  return FramePayload(FrameKind::kExpandRequest, writer.payload());
+  return FramePayload(FrameKind::kExpandRequest, writer.payload(), options);
 }
 
-std::string EncodeResponseFrame(const WireResponse& response) {
+std::string EncodeResponseFrame(const WireResponse& response,
+                                const FrameOptions& options) {
   SnapshotWriter writer;
   writer.PutU64(response.request_id);
   writer.PutU32(response.code);
   writer.PutString(response.message);
   writer.PutI32Vec(response.ranking);
-  return FramePayload(FrameKind::kExpandResponse, writer.payload());
+  return FramePayload(FrameKind::kExpandResponse, writer.payload(), options);
 }
 
-std::string EncodeControlFrame(FrameKind kind) {
-  return FramePayload(kind, {});
+std::string EncodeControlFrame(FrameKind kind, const FrameOptions& options) {
+  return FramePayload(kind, {}, options);
 }
 
 Status DecodeRequestPayload(std::string_view payload, WireRequest* request) {
@@ -154,14 +162,18 @@ Status WriteAll(int fd, const void* buffer, size_t bytes) {
 }
 
 StatusOr<Frame> ReadFrame(int fd) {
-  char header[kFrameHeaderBytes];
-  Status status = ReadExact(fd, header, sizeof(header));
+  // Read the version-independent 20-byte prefix first; only then do we
+  // know whether a trace-context extension follows.
+  char header[kFrameHeaderBytesV2];
+  Status status = ReadExact(fd, header, kFrameHeaderBytes);
   if (!status.ok()) return status;
   if (ParseU32(header) != kFrameMagic) {
     return Status::Internal("bad frame magic");
   }
-  if (ParseU32(header + 4) != kFrameVersion) {
-    return Status::Internal("frame version mismatch");
+  const uint32_t version = ParseU32(header + 4);
+  if (version != kFrameVersionV1 && version != kFrameVersion) {
+    return Status::Internal("unsupported frame version " +
+                            std::to_string(version));
   }
   const uint32_t kind = ParseU32(header + 8);
   if (!KnownFrameKind(kind)) {
@@ -172,8 +184,23 @@ StatusOr<Frame> ReadFrame(int fd) {
     return Status::Internal("frame payload too large (" +
                             std::to_string(payload_len) + " bytes)");
   }
+  size_t header_bytes = kFrameHeaderBytes;
   Frame frame;
   frame.kind = static_cast<FrameKind>(kind);
+  frame.version = version;
+  if (version >= 2) {
+    status = ReadExact(fd, header + kFrameHeaderBytes,
+                       kFrameHeaderBytesV2 - kFrameHeaderBytes);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kUnavailable) {
+        return Status::Internal("connection closed mid-frame");
+      }
+      return status;
+    }
+    header_bytes = kFrameHeaderBytesV2;
+    frame.trace_id = ParseU64(header + 20);
+    frame.flags = ParseU32(header + 28);
+  }
   frame.payload.resize(static_cast<size_t>(payload_len));
   if (payload_len > 0) {
     status = ReadExact(fd, frame.payload.data(), frame.payload.size());
@@ -192,7 +219,7 @@ StatusOr<Frame> ReadFrame(int fd) {
     }
     return status;
   }
-  uint32_t crc = Crc32(std::string_view(header, sizeof(header)));
+  uint32_t crc = Crc32(std::string_view(header, header_bytes));
   crc = Crc32(frame.payload, crc);
   if (crc != ParseU32(footer)) {
     return Status::Internal("frame checksum mismatch");

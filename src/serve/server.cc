@@ -117,8 +117,13 @@ void TcpServer::HandleConnection(int fd) {
       }
       break;
     }
+    // Respond in the version the request arrived in, so a legacy (v1)
+    // client never sees a header extension it cannot parse.
+    FrameOptions reply_options;
+    reply_options.version = frame->version;
     if (frame->kind == FrameKind::kPing) {
-      const std::string pong = EncodeControlFrame(FrameKind::kPong);
+      const std::string pong =
+          EncodeControlFrame(FrameKind::kPong, reply_options);
       if (!WriteAll(fd, pong.data(), pong.size()).ok()) break;
       continue;
     }
@@ -145,6 +150,10 @@ void TcpServer::HandleConnection(int fd) {
     expand.k = static_cast<int>(request.k);
     expand.timeout_ms =
         request.timeout_ms > 0 ? static_cast<int>(request.timeout_ms) : -1;
+    // Trace context rides in the frame header, not the payload: a v1
+    // frame leaves both at their "absent" values.
+    expand.trace_id = frame->trace_id;
+    expand.force_trace = (frame->flags & kFrameFlagSample) != 0;
     bool resolved = true;
     if (request.by_index) {
       const auto& queries = service_.pipeline().dataset().queries;
@@ -169,7 +178,7 @@ void TcpServer::HandleConnection(int fd) {
       response.message = result.status.message();
       response.ranking = std::move(result.ranking);
     }
-    const std::string encoded = EncodeResponseFrame(response);
+    const std::string encoded = EncodeResponseFrame(response, reply_options);
     if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) break;
   }
   ::close(fd);

@@ -23,7 +23,9 @@ int EnvInt(const char* name, int fallback, int min_value) {
 
 /// Serving metrics (see README "Online expansion service"). Counters
 /// partition every submitted request into exactly one terminal outcome:
-/// completed, shed, or timeout.
+/// completed, shed, or timeout. `latency_us` is the lifetime histogram
+/// (the deterministic bench artifact); `latency_us.1m` is the sliding
+/// ~60s window the admin endpoint's p50/p99 come from.
 struct ServeMetrics {
   obs::Counter& accepted = obs::GetCounter("serve.accepted");
   obs::Counter& completed = obs::GetCounter("serve.completed");
@@ -31,12 +33,16 @@ struct ServeMetrics {
   obs::Counter& timeout = obs::GetCounter("serve.timeout");
   obs::Counter& rejected = obs::GetCounter("serve.rejected");
   obs::Counter& batches = obs::GetCounter("serve.batches");
+  obs::Counter& traced = obs::GetCounter("serve.traced");
+  obs::Counter& slow_queries = obs::GetCounter("serve.slow_queries");
   obs::Gauge& queue_depth = obs::GetGauge("serve.queue_depth");
   obs::Gauge& queue_peak = obs::GetGauge("serve.queue_peak");
   obs::Histogram& batch_size =
       obs::GetHistogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
   obs::Histogram& latency_us =
       obs::GetHistogram("serve.latency_us", obs::LatencyBoundsUs());
+  obs::WindowedHistogram& latency_us_1m =
+      obs::GetWindowedHistogram("serve.latency_us.1m", obs::LatencyBoundsUs());
 };
 
 ServeMetrics& Metrics() {
@@ -66,6 +72,8 @@ ServeConfig ServeConfig::FromEnv() {
   config.max_queue = EnvInt("UW_SERVE_QUEUE", config.max_queue, 1);
   config.default_timeout_ms =
       EnvInt("UW_SERVE_TIMEOUT_MS", config.default_timeout_ms, 0);
+  config.trace_sample = EnvInt("UW_TRACE_SAMPLE", config.trace_sample, 0);
+  config.slow_query_ms = EnvInt("UW_SLOW_QUERY_MS", config.slow_query_ms, 0);
   return config;
 }
 
@@ -144,6 +152,24 @@ std::future<ExpandResult> ExpansionService::Submit(ExpandRequest request) {
     pending.deadline =
         pending.admitted + std::chrono::milliseconds(timeout_ms);
   }
+  // Trace decision at admission. A trace is allocated when the request is
+  // explicitly sampled (forced by the client or hit by the every-Nth
+  // sampler) or when a slow-query threshold is armed — in the latter case
+  // the trace is speculative and recorded only if the request turns out
+  // slow. `force_trace` downstream means "record unconditionally".
+  const uint64_t sequence =
+      sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool sampled =
+      request.force_trace ||
+      (config_.trace_sample > 0 && sequence % config_.trace_sample == 0);
+  request.force_trace = sampled;
+  if (sampled || config_.slow_query_ms > 0) {
+    const uint64_t trace_id =
+        request.trace_id != 0 ? request.trace_id : sequence;
+    pending.trace = std::make_unique<obs::RequestTrace>(
+        trace_id, request.method, pending.admitted);
+    Metrics().traced.Increment();
+  }
   pending.request = std::move(request);
   std::future<ExpandResult> future = pending.promise.get_future();
   {
@@ -163,6 +189,7 @@ std::future<ExpandResult> ExpansionService::Submit(ExpandRequest request) {
       return future;
     }
     queue_.push_back(std::move(pending));
+    inflight_.fetch_add(1, std::memory_order_relaxed);
     Metrics().accepted.Increment();
     Metrics().queue_depth.Set(static_cast<int64_t>(queue_.size()));
     Metrics().queue_peak.UpdateMax(static_cast<int64_t>(queue_.size()));
@@ -178,6 +205,25 @@ ExpandResult ExpansionService::ExpandSync(ExpandRequest request) {
 int ExpansionService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(queue_.size());
+}
+
+bool ExpansionService::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void ExpansionService::FinishTrace(
+    Pending& pending, std::chrono::steady_clock::time_point end) {
+  if (pending.trace == nullptr) return;
+  obs::RequestTraceData data = pending.trace->Finish(end);
+  pending.trace.reset();
+  const bool slow =
+      config_.slow_query_ms > 0 &&
+      data.total_us >= static_cast<int64_t>(config_.slow_query_ms) * 1000;
+  if (slow) Metrics().slow_queries.Increment();
+  if (slow || pending.request.force_trace) {
+    obs::SlowQueryLog::Global().Record(std::move(data));
+  }
 }
 
 void ExpansionService::Drain() {
@@ -213,8 +259,10 @@ void ExpansionService::SchedulerLoop() {
       const size_t take = std::min<size_t>(
           static_cast<size_t>(config_.max_batch), queue_.size());
       batch.reserve(take);
+      const auto dequeued = std::chrono::steady_clock::now();
       for (size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
+        batch.back().dequeued = dequeued;
         queue_.pop_front();
       }
       Metrics().queue_depth.Set(static_cast<int64_t>(queue_.size()));
@@ -245,7 +293,15 @@ void ExpansionService::ExecuteBatch(std::vector<Pending> batch) {
   for (Pending& pending : batch) {
     if (pending.has_deadline && now >= pending.deadline) {
       Metrics().timeout.Increment();
-      Metrics().latency_us.Observe(ElapsedUs(pending.admitted));
+      const int64_t latency = ElapsedUs(pending.admitted);
+      Metrics().latency_us.Observe(latency);
+      Metrics().latency_us_1m.Observe(latency);
+      if (pending.trace != nullptr) {
+        pending.trace->AddInterval("queue_wait", pending.admitted,
+                                   pending.dequeued);
+        FinishTrace(pending, std::chrono::steady_clock::now());
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
       pending.promise.set_value(ExpandResult{
           Status::DeadlineExceeded("deadline expired before execution"),
           {}});
@@ -253,6 +309,7 @@ void ExpansionService::ExecuteBatch(std::vector<Pending> batch) {
     }
     Expander* expander = GetOrBuildExpander(pending.request.method);
     if (expander == nullptr) {  // unreachable: Submit validates methods
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
       pending.promise.set_value(ExpandResult{
           Status::Internal("expander vanished: " + pending.request.method),
           {}});
@@ -268,14 +325,44 @@ void ExpansionService::ExecuteBatch(std::vector<Pending> batch) {
   ThreadPool::Global().ParallelFor(
       0, static_cast<int64_t>(runnable.size()), /*grain=*/1, [&](int64_t i) {
         Runnable& item = runnable[static_cast<size_t>(i)];
+        Pending& pending = *item.pending;
+        obs::RequestTrace* trace = pending.trace.get();
+        const auto exec_start = std::chrono::steady_clock::now();
+        if (trace != nullptr) {
+          // The two waiting stages, then the compute stage opened below;
+          // together with the residual they tile the request end to end.
+          trace->AddInterval("queue_wait", pending.admitted,
+                             pending.dequeued);
+          trace->AddInterval("batch_wait", pending.dequeued, exec_start);
+        }
         ExpandResult result;
-        result.ranking =
-            item.expander->Expand(item.pending->request.query,
-                                  static_cast<size_t>(item.pending->request.k));
+        {
+          // Bind the trace to this lane so every UW_SPAN the expander
+          // opens (retrieval, rerank, beam rounds, ...) records into it.
+          // Nested ParallelFor calls run inline on a pool lane, so the
+          // whole expansion stays on this thread.
+          obs::ScopedRequestBinding binding(trace);
+          const int handle =
+              trace != nullptr ? trace->BeginSpan("execute") : -1;
+          result.ranking = item.expander->Expand(
+              pending.request.query,
+              static_cast<size_t>(pending.request.k));
+          if (trace != nullptr) trace->EndSpan(handle);
+        }
         result.status = Status::Ok();
+        const auto end = std::chrono::steady_clock::now();
+        const int64_t latency = std::chrono::duration_cast<
+                                    std::chrono::microseconds>(
+                                    end - pending.admitted)
+                                    .count();
         Metrics().completed.Increment();
-        Metrics().latency_us.Observe(ElapsedUs(item.pending->admitted));
-        item.pending->promise.set_value(std::move(result));
+        Metrics().latency_us.Observe(latency);
+        Metrics().latency_us_1m.Observe(latency);
+        // Publish the trace before resolving the future so a client that
+        // observes completion also observes its slow-log entry.
+        FinishTrace(pending, end);
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        pending.promise.set_value(std::move(result));
       });
 }
 

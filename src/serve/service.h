@@ -1,6 +1,7 @@
 #ifndef ULTRAWIKI_SERVE_SERVICE_H_
 #define ULTRAWIKI_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -14,6 +15,7 @@
 
 #include "common/status.h"
 #include "expand/pipeline.h"
+#include "obs/request_trace.h"
 
 namespace ultrawiki {
 namespace serve {
@@ -25,6 +27,8 @@ namespace serve {
 ///   UW_SERVE_BATCH_WAIT_MS how long a forming batch waits to fill (1)
 ///   UW_SERVE_QUEUE         admission-controlled queue depth bound (256)
 ///   UW_SERVE_TIMEOUT_MS    default per-request deadline, 0 = none (0)
+///   UW_TRACE_SAMPLE        trace every Nth accepted request, 0 = off (0)
+///   UW_SLOW_QUERY_MS       log requests slower than this, 0 = off (0)
 struct ServeConfig {
   int max_batch = 16;
   int batch_wait_ms = 1;
@@ -34,6 +38,13 @@ struct ServeConfig {
   /// overload bench and the shedding/deadline tests; leave 0 in
   /// production.
   int synthetic_delay_ms = 0;
+  /// Trace every Nth accepted request (1 = all, 0 = only forced /
+  /// slow-threshold traces). Tracing is passive: rankings are
+  /// bit-identical at any sampling rate.
+  int trace_sample = 0;
+  /// Requests slower end-to-end than this land in the SlowQueryLog with
+  /// their full span tree. 0 disables the slow-query log.
+  int slow_query_ms = 0;
 
   static ServeConfig FromEnv();
 };
@@ -45,6 +56,12 @@ struct ExpandRequest {
   Query query;
   int k = 20;
   int timeout_ms = -1;
+  /// Trace context from the wire (frame header extension). `trace_id` 0
+  /// means none supplied — the service assigns its own if it decides to
+  /// trace. `force_trace` (the header's sample flag) traces this request
+  /// regardless of the sampling rate.
+  uint64_t trace_id = 0;
+  bool force_trace = false;
 };
 
 /// Status + ranking. On any non-OK status the ranking is empty.
@@ -111,19 +128,31 @@ class ExpansionService {
   const Pipeline& pipeline() const { return pipeline_; }
   /// Requests currently waiting (excludes the executing batch).
   int queue_depth() const;
+  /// Requests admitted but not yet resolved (queued + executing).
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  /// True once Drain() has started (admission is closed).
+  bool draining() const;
 
  private:
   struct Pending {
     ExpandRequest request;
     std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point dequeued;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
     std::promise<ExpandResult> promise;
+    /// Non-null only for traced requests (sampled / forced / slow-query
+    /// threshold armed). Epoch = `admitted`.
+    std::unique_ptr<obs::RequestTrace> trace;
   };
 
   void SchedulerLoop();
   void ExecuteBatch(std::vector<Pending> batch);
   Expander* GetOrBuildExpander(const std::string& method);
+  /// Finishes a traced request: records the trace into the SlowQueryLog
+  /// when it is slow or forced, then drops it.
+  void FinishTrace(Pending& pending,
+                   std::chrono::steady_clock::time_point end);
 
   Pipeline& pipeline_;
   const ServeConfig config_;
@@ -138,6 +167,11 @@ class ExpansionService {
 
   std::once_flag drain_once_;
   std::thread scheduler_;
+
+  /// Admission sequence (drives the every-Nth sampling decision) and the
+  /// live in-flight gauge for the admin endpoint.
+  std::atomic<uint64_t> sequence_{0};
+  std::atomic<int> inflight_{0};
 };
 
 }  // namespace serve

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 
 namespace ultrawiki {
@@ -305,6 +307,177 @@ TEST(ExportTest, JsonHistogramCarriesPercentileKeys) {
   // Identical histograms serialize to identical bytes, percentiles
   // included.
   EXPECT_EQ(json, ExportMetricsJson(SnapshotMetrics()));
+}
+
+// ------------------------------------------- Windowed histograms.
+
+TEST(WindowedHistogramTest, AggregatesOnlyTheWindow) {
+  WindowedHistogram hist("test.win", {10, 100}, /*slot_width_ms=*/1000,
+                         /*slot_count=*/3);
+  hist.ObserveAtMs(5, 0);      // epoch 0
+  hist.ObserveAtMs(50, 1500);  // epoch 1
+  hist.ObserveAtMs(500, 2500); // epoch 2
+  // At t=2500 the window is epochs {0, 1, 2}: everything counts.
+  HistogramData all = hist.AggregateAtMs(2500);
+  EXPECT_EQ(all.count, 3);
+  EXPECT_EQ(all.sum, 555);
+  EXPECT_EQ(all.min, 5);
+  EXPECT_EQ(all.max, 500);
+  // At t=3500 the window is epochs {1, 2, 3}: the epoch-0 sample ages out.
+  HistogramData later = hist.AggregateAtMs(3500);
+  EXPECT_EQ(later.count, 2);
+  EXPECT_EQ(later.sum, 550);
+  EXPECT_EQ(later.min, 50);
+}
+
+TEST(WindowedHistogramTest, EmptyWindowReportsZeroes) {
+  WindowedHistogram hist("test.win_empty", {10}, 1000, 3);
+  // Never observed.
+  HistogramData empty = hist.AggregateAtMs(0);
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_EQ(empty.sum, 0);
+  EXPECT_EQ(empty.min, 0);
+  EXPECT_EQ(empty.max, 0);
+  EXPECT_EQ(HistogramPercentile(empty, 99), 0);
+  // Observed once, then the whole window elapses: all samples age out.
+  hist.ObserveAtMs(7, 500);
+  HistogramData aged = hist.AggregateAtMs(500 + 3 * 1000);
+  EXPECT_EQ(aged.count, 0);
+  EXPECT_EQ(aged.max, 0);
+}
+
+TEST(WindowedHistogramTest, ClockStepAcrossManyRotationsDropsStaleSlots) {
+  WindowedHistogram hist("test.win_step", {10, 100}, 1000, 3);
+  hist.ObserveAtMs(5, 0);
+  // A clock step far past slot_count rotations lands on the same slot
+  // index (epoch 9 % 3 == 0): the stale epoch-0 state must be reset, not
+  // merged into the new slot.
+  hist.ObserveAtMs(50, 9000);
+  HistogramData data = hist.AggregateAtMs(9000);
+  EXPECT_EQ(data.count, 1);
+  EXPECT_EQ(data.sum, 50);
+  EXPECT_EQ(data.min, 50);
+}
+
+TEST(WindowedHistogramTest, AllZeroSamplesPercentileIsZeroBucket) {
+  WindowedHistogram hist("test.win_zero", {0, 10}, 1000, 3);
+  for (int i = 0; i < 8; ++i) hist.ObserveAtMs(0, 100);
+  HistogramData data = hist.AggregateAtMs(100);
+  EXPECT_EQ(data.count, 8);
+  EXPECT_EQ(data.sum, 0);
+  EXPECT_EQ(HistogramPercentile(data, 50), 0);
+  EXPECT_EQ(HistogramPercentile(data, 99), 0);
+}
+
+TEST(WindowedHistogramTest, RegistrySnapshotFoldsWindowedSeries) {
+  ResetMetricsForTest();
+  WindowedHistogram& hist =
+      GetWindowedHistogram("test.win_registered.1m", {10, 100});
+  hist.Observe(42);
+  MetricsSnapshot snapshot = SnapshotMetrics();
+  auto it = snapshot.histograms.find("test.win_registered.1m");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_EQ(it->second.count, 1);
+  EXPECT_EQ(it->second.sum, 42);
+  // Same instance on re-registration, and exporters render it like any
+  // other histogram.
+  EXPECT_EQ(&hist, &GetWindowedHistogram("test.win_registered.1m", {10}));
+  const std::string prom = ExportPrometheus(snapshot);
+  EXPECT_NE(prom.find("uw_test_win_registered_1m_count 1"),
+            std::string::npos)
+      << prom;
+}
+
+// --------------------------------------------- Request traces.
+
+TEST(RequestTraceTest, RecordsIntervalsAndNestedSpans) {
+  const auto epoch = std::chrono::steady_clock::now();
+  RequestTrace trace(/*trace_id=*/7, "retexpan", epoch);
+  trace.AddInterval("queue_wait", epoch,
+                    epoch + std::chrono::microseconds(250));
+  {
+    ScopedRequestBinding binding(&trace);
+    ASSERT_EQ(ActiveRequestTrace(), &trace);
+    const int outer = trace.BeginSpan("execute");
+    {
+      UW_SPAN("inner_stage");  // records via the thread-local binding
+    }
+    trace.EndSpan(outer);
+  }
+  EXPECT_EQ(ActiveRequestTrace(), nullptr);
+  RequestTraceData data =
+      trace.Finish(epoch + std::chrono::microseconds(1000));
+  EXPECT_EQ(data.trace_id, 7u);
+  EXPECT_EQ(data.method, "retexpan");
+  EXPECT_EQ(data.total_us, 1000);
+  ASSERT_EQ(data.events.size(), 3u);
+  EXPECT_EQ(data.events[0].name, "queue_wait");
+  EXPECT_EQ(data.events[0].start_us, 0);
+  EXPECT_EQ(data.events[0].dur_us, 250);
+  EXPECT_EQ(data.events[0].parent, -1);
+  EXPECT_EQ(data.events[1].name, "execute");
+  EXPECT_EQ(data.events[1].parent, -1);
+  EXPECT_EQ(data.events[2].name, "inner_stage");
+  EXPECT_EQ(data.events[2].parent, 1);  // nested under "execute"
+}
+
+TEST(RequestTraceTest, EventCapCountsDrops) {
+  const auto epoch = std::chrono::steady_clock::now();
+  RequestTrace trace(1, "m", epoch);
+  const size_t attempts = RequestTrace::kMaxEvents + 25;
+  for (size_t i = 0; i < attempts; ++i) {
+    trace.AddInterval("e", epoch, epoch + std::chrono::microseconds(1));
+  }
+  RequestTraceData data = trace.Finish(epoch + std::chrono::seconds(1));
+  EXPECT_EQ(data.events.size(), RequestTrace::kMaxEvents);
+  EXPECT_EQ(data.events_dropped, 25);
+}
+
+TEST(SlowQueryLogTest, RingEvictsOldestOnOverflow) {
+  SlowQueryLog& log = SlowQueryLog::Global();
+  log.ResetForTest();
+  log.SetCapacityForTest(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    RequestTraceData data;
+    data.trace_id = i;
+    data.method = "m";
+    log.Record(std::move(data));
+  }
+  EXPECT_EQ(log.total_recorded(), 10);
+  const std::vector<RequestTraceData> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // Most recent first; the oldest six were evicted.
+  EXPECT_EQ(snapshot[0].trace_id, 10u);
+  EXPECT_EQ(snapshot[3].trace_id, 7u);
+  // Sequence numbers are stamped at record time and survive eviction.
+  EXPECT_EQ(snapshot[0].sequence, 10u);
+  log.ResetForTest();
+}
+
+TEST(SlowQueryLogTest, ChromeTraceExportIsWellFormed) {
+  const auto epoch = std::chrono::steady_clock::now();
+  RequestTrace trace(42, "genexpan", epoch);
+  trace.AddInterval("queue_wait", epoch,
+                    epoch + std::chrono::microseconds(100));
+  const int handle = trace.BeginSpan("execute");
+  trace.EndSpan(handle);
+  RequestTraceData data =
+      trace.Finish(epoch + std::chrono::microseconds(900));
+  const std::string json = ExportChromeTraceJson({data});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":42"), std::string::npos);
+  // The root request event spans the whole request.
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":900"), std::string::npos);
+  // Deterministic for a fixed input.
+  EXPECT_EQ(json, ExportChromeTraceJson({data}));
+  const std::string raw = ExportRequestTracesJson({data});
+  EXPECT_NE(raw.find("\"slow_queries\":["), std::string::npos);
+  EXPECT_NE(raw.find("\"trace_id\":42"), std::string::npos);
+  EXPECT_NE(raw.find("\"total_us\":900"), std::string::npos);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <string>
@@ -20,7 +21,10 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "serve/admin.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -90,10 +94,11 @@ TEST(ServeProtocolTest, ResponsePayloadRoundTrips) {
   response.message = "deadline expired before execution";
   response.ranking = {7, -1, 12};
   const std::string frame = EncodeResponseFrame(response);
-  // Slice the payload out of the framed bytes (header is 20 bytes, CRC 4).
-  ASSERT_GT(frame.size(), kFrameHeaderBytes + 4);
-  const std::string_view payload(frame.data() + kFrameHeaderBytes,
-                                 frame.size() - kFrameHeaderBytes - 4);
+  // Slice the payload out of the framed bytes (v2 header is 32 bytes,
+  // CRC 4).
+  ASSERT_GT(frame.size(), kFrameHeaderBytesV2 + 4);
+  const std::string_view payload(frame.data() + kFrameHeaderBytesV2,
+                                 frame.size() - kFrameHeaderBytesV2 - 4);
   WireResponse decoded;
   ASSERT_TRUE(DecodeResponsePayload(payload, &decoded).ok());
   EXPECT_EQ(decoded.request_id, 42u);
@@ -153,6 +158,75 @@ TEST(ServeProtocolTest, CorruptionMatrixFailsClosed) {
   }
   // Clean EOF before the first byte is the distinguished "eof" status.
   EXPECT_EQ(read_back("").message(), "eof");
+}
+
+TEST(ServeProtocolTest, FrameVersionCompatMatrix) {
+  auto read_back = [](const std::string& bytes) {
+    int fds[2];
+    UW_CHECK_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    UW_CHECK(WriteAll(fds[0], bytes.data(), bytes.size()).ok());
+    ::shutdown(fds[0], SHUT_WR);
+    StatusOr<Frame> frame = ReadFrame(fds[1]);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return frame;
+  };
+
+  WireRequest request;
+  request.method = "retexpan";
+
+  // v2 (the default): the header extension round-trips trace context.
+  {
+    FrameOptions options;
+    options.trace_id = 0xabcdef0123456789ull;
+    options.flags = kFrameFlagSample;
+    StatusOr<Frame> frame = read_back(EncodeRequestFrame(request, options));
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->version, kFrameVersion);
+    EXPECT_EQ(frame->trace_id, 0xabcdef0123456789ull);
+    EXPECT_EQ(frame->flags, kFrameFlagSample);
+    WireRequest decoded;
+    ASSERT_TRUE(DecodeRequestPayload(frame->payload, &decoded).ok());
+    EXPECT_EQ(decoded.method, "retexpan");
+  }
+  // v1 (a legacy peer): 20-byte header, decodes with absent trace
+  // context — an old client keeps working against a new server.
+  {
+    FrameOptions legacy;
+    legacy.version = kFrameVersionV1;
+    // Trace fields are ignored in v1 framing: nowhere to put them.
+    legacy.trace_id = 999;
+    legacy.flags = kFrameFlagSample;
+    const std::string bytes = EncodeRequestFrame(request, legacy);
+    StatusOr<Frame> frame = read_back(bytes);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->version, kFrameVersionV1);
+    EXPECT_EQ(frame->trace_id, 0u);
+    EXPECT_EQ(frame->flags, 0u);
+    // And the v1 frame really is 12 bytes shorter than its v2 twin.
+    EXPECT_EQ(bytes.size() + (kFrameHeaderBytesV2 - kFrameHeaderBytes),
+              EncodeRequestFrame(request).size());
+  }
+  // An unknown future version fails closed.
+  {
+    FrameOptions future_version;
+    future_version.version = 3;
+    const StatusOr<Frame> frame =
+        read_back(EncodeRequestFrame(request, future_version));
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("unsupported frame version"),
+              std::string::npos)
+        << frame.status();
+  }
+  // The CRC covers the v2 header extension: a flipped trace-id byte is
+  // caught even though the payload is untouched.
+  {
+    std::string bad = EncodeRequestFrame(request);
+    bad[kFrameHeaderBytes + 3] ^= 0x20;  // inside the trace_id field
+    const StatusOr<Frame> frame = read_back(bad);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("checksum"), std::string::npos);
+  }
 }
 
 // ------------------------------------------------------------ Service.
@@ -305,6 +379,106 @@ TEST(ServeServiceTest, DrainServesBacklogThenRejectsNewWork) {
   EXPECT_EQ(service.queue_depth(), 0);
 }
 
+// ------------------------------------------------------------ Tracing.
+
+TEST(ServeTraceTest, RankingsBitIdenticalAcrossTracingModes) {
+  obs::SlowQueryLog::Global().ResetForTest();
+  const auto& queries = TestPipeline().dataset().queries;
+  constexpr int kK = 25;
+  const std::vector<EntityId> want_ret = Reference("retexpan", queries[0], kK);
+  const std::vector<EntityId> want_set = Reference("setexpan", queries[0], kK);
+
+  // Off / sampled (every request) / slow-threshold armed + forced: the
+  // tracing plane is passive, so all three serve the reference ranking
+  // byte for byte.
+  ServeConfig off;
+  ServeConfig sampled;
+  sampled.trace_sample = 1;
+  ServeConfig armed;
+  armed.slow_query_ms = 1000000;  // armed, never slow
+  for (const ServeConfig& config : {off, sampled, armed}) {
+    ExpansionService service(TestPipeline(), config);
+    ExpandRequest ret{"retexpan", queries[0], kK, -1};
+    ExpandRequest set{"setexpan", queries[0], kK, -1};
+    set.force_trace = true;  // exercise the forced path too
+    ExpandResult ret_result = service.ExpandSync(ret);
+    ExpandResult set_result = service.ExpandSync(set);
+    ASSERT_TRUE(ret_result.status.ok()) << ret_result.status;
+    ASSERT_TRUE(set_result.status.ok()) << set_result.status;
+    EXPECT_EQ(ret_result.ranking, want_ret)
+        << "trace_sample=" << config.trace_sample
+        << " slow_query_ms=" << config.slow_query_ms;
+    EXPECT_EQ(set_result.ranking, want_set)
+        << "trace_sample=" << config.trace_sample
+        << " slow_query_ms=" << config.slow_query_ms;
+  }
+  obs::SlowQueryLog::Global().ResetForTest();
+}
+
+TEST(ServeTraceTest, SlowQuerySpanTreeTilesTheEndToEndLatency) {
+  obs::SlowQueryLog::Global().ResetForTest();
+  const auto& queries = TestPipeline().dataset().queries;
+  ServeConfig config;
+  config.max_batch = 1;
+  config.batch_wait_ms = 0;
+  // Force the request slow: the synthetic stall lands in batch_wait, so
+  // the stage breakdown must account for it.
+  config.synthetic_delay_ms = 60;
+  config.slow_query_ms = 20;
+  ExpansionService service(TestPipeline(), config);
+
+  ExpandRequest request{"retexpan", queries[0], 20, -1};
+  request.trace_id = 4242;
+  ExpandResult result = service.ExpandSync(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.ranking, Reference("retexpan", queries[0], 20));
+
+  const std::vector<obs::RequestTraceData> slow =
+      obs::SlowQueryLog::Global().Snapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  const obs::RequestTraceData& trace = slow[0];
+  EXPECT_EQ(trace.trace_id, 4242u);
+  EXPECT_EQ(trace.method, "retexpan");
+  EXPECT_GE(trace.total_us, 60000);  // at least the synthetic stall
+
+  // The three root stages tile the request: queue wait + batch wait +
+  // execute must sum to the end-to-end latency within 5% (the residual
+  // is promise resolution and timestamping).
+  int64_t stage_sum = 0;
+  bool saw_queue = false, saw_batch = false, saw_execute = false;
+  for (const obs::RequestSpanEvent& event : trace.events) {
+    if (event.parent != -1) continue;
+    stage_sum += event.dur_us;
+    saw_queue |= event.name == "queue_wait";
+    saw_batch |= event.name == "batch_wait";
+    saw_execute |= event.name == "execute";
+  }
+  EXPECT_TRUE(saw_queue && saw_batch && saw_execute)
+      << "stages missing from " << obs::ExportRequestTracesJson({trace});
+  EXPECT_GE(stage_sum, trace.total_us * 95 / 100)
+      << obs::ExportRequestTracesJson({trace});
+  EXPECT_LE(stage_sum, trace.total_us);
+
+  // The expander's own UW_SPAN scopes nest under "execute".
+  bool saw_expander_span = false;
+  for (const obs::RequestSpanEvent& event : trace.events) {
+    if (event.name == "retexpan.expand") {
+      saw_expander_span = true;
+      EXPECT_GE(event.parent, 0);
+      EXPECT_EQ(trace.events[static_cast<size_t>(event.parent)].name,
+                "execute");
+    }
+  }
+  EXPECT_TRUE(saw_expander_span) << obs::ExportRequestTracesJson({trace});
+
+  // And the whole thing exports as Chrome trace-event JSON.
+  const std::string chrome = obs::ExportChromeTraceJson(slow);
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\":4242"), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"queue_wait\""), std::string::npos);
+  obs::SlowQueryLog::Global().ResetForTest();
+}
+
 // ---------------------------------------------------------------- TCP.
 
 TEST(ServeTcpTest, LoopbackEndToEndMatchesLocalRankings) {
@@ -377,6 +551,163 @@ TEST(ServeTcpTest, GarbageBytesCountAsProtocolErrorAndCloseTheSession) {
   EXPECT_TRUE(client->Ping().ok());
   client->Close();
   server.Shutdown();
+}
+
+TEST(ServeTcpTest, LegacyV1ClientInteroperatesEndToEnd) {
+  const auto& queries = TestPipeline().dataset().queries;
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // An old client speaks v1 framing; the server mirrors the version, so
+  // the session never carries a header extension the client cannot read.
+  auto legacy = ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  legacy->set_wire_version(kFrameVersionV1);
+  ASSERT_TRUE(legacy->Ping().ok());
+  const auto ranking = legacy->ExpandByIndex("retexpan", 0, 20);
+  ASSERT_TRUE(ranking.ok()) << ranking.status();
+  EXPECT_EQ(*ranking, Reference("retexpan", queries[0], 20));
+
+  // A v2 client on the same server, same answer.
+  auto current = ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(current.ok()) << current.status();
+  const auto v2_ranking = current->ExpandByIndex("retexpan", 0, 20);
+  ASSERT_TRUE(v2_ranking.ok()) << v2_ranking.status();
+  EXPECT_EQ(*v2_ranking, *ranking);
+
+  legacy->Close();
+  current->Close();
+  server.Shutdown();
+  EXPECT_EQ(server.protocol_errors(), 0);
+}
+
+TEST(ServeTcpTest, ForcedTraceLandsInSlowLogWithClientTraceId) {
+  obs::SlowQueryLog::Global().ResetForTest();
+  const auto& queries = TestPipeline().dataset().queries;
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  TcpServer server(service);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto client = ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  client->set_force_trace(true);
+  const auto ranking = client->ExpandByIndex("setexpan", 0, 15);
+  ASSERT_TRUE(ranking.ok()) << ranking.status();
+  EXPECT_EQ(*ranking, Reference("setexpan", queries[0], 15));
+
+  const std::vector<obs::RequestTraceData> slow =
+      obs::SlowQueryLog::Global().Snapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].trace_id, client->last_trace_id());
+  EXPECT_EQ(slow[0].method, "setexpan");
+  EXPECT_FALSE(slow[0].events.empty());
+
+  client->Close();
+  server.Shutdown();
+  obs::SlowQueryLog::Global().ResetForTest();
+}
+
+// -------------------------------------------------------------- Admin.
+
+/// Minimal HTTP GET against the admin listener: full response text.
+std::string AdminGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  UW_CHECK_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  UW_CHECK_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  UW_CHECK_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  UW_CHECK(WriteAll(fd, request.data(), request.size()).ok());
+  std::string response;
+  char buffer[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(AdminServerTest, RoutesAnswerAndUnknownPathIs404) {
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  AdminServer admin(service);
+  ASSERT_TRUE(admin.Start(0).ok());
+  ASSERT_GT(admin.port(), 0);
+
+  const std::string health = AdminGet(admin.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = AdminGet(admin.port(), "/metrics");
+  EXPECT_NE(metrics.find("uw_serve_accepted"), std::string::npos);
+  EXPECT_NE(metrics.find("TYPE uw_serve_latency_us histogram"),
+            std::string::npos);
+
+  const std::string statusz = AdminGet(admin.port(), "/statusz");
+  EXPECT_NE(statusz.find("\"draining\":0"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(statusz.find("\"inflight\":"), std::string::npos);
+
+  const std::string slow = AdminGet(admin.port(), "/slow");
+  EXPECT_NE(slow.find("\"traceEvents\":["), std::string::npos);
+
+  EXPECT_NE(AdminGet(admin.port(), "/nope").find("404"), std::string::npos);
+
+  // Draining flips /healthz to 503 and /statusz to draining:1.
+  service.Drain();
+  EXPECT_NE(AdminGet(admin.port(), "/healthz").find("503"),
+            std::string::npos);
+  EXPECT_NE(AdminGet(admin.port(), "/statusz").find("\"draining\":1"),
+            std::string::npos);
+  admin.Shutdown();
+}
+
+TEST(AdminServerTest, ScrapesCleanlyUnderConcurrentServingLoad) {
+  obs::SlowQueryLog::Global().ResetForTest();
+  const auto& queries = TestPipeline().dataset().queries;
+  ServeConfig config;
+  config.trace_sample = 3;  // mixed traced / untraced traffic
+  ExpansionService service(TestPipeline(), config);
+  AdminServer admin(service);
+  ASSERT_TRUE(admin.Start(0).ok());
+
+  // Load threads hammer the service while scrapers hit every route; TSan
+  // (the serve_test job runs under it in CI) vouches for the absence of
+  // data races between the serving plane and the telemetry reads.
+  constexpr int kRequestsPerThread = 12;
+  std::vector<std::thread> load;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 2; ++t) {
+    load.emplace_back([&service, &queries, &failures] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        ExpandRequest request{"retexpan",
+                              queries[static_cast<size_t>(i) % queries.size()],
+                              10, -1};
+        if (!service.ExpandSync(request).status.ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 6; ++scrape) {
+    for (const char* path : {"/metrics", "/statusz", "/slow", "/healthz"}) {
+      const std::string response = AdminGet(admin.port(), path);
+      EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos)
+          << path << " mid-load: " << response.substr(0, 64);
+    }
+  }
+  for (std::thread& thread : load) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The final scrape reflects the completed load.
+  const std::string metrics = AdminGet(admin.port(), "/metrics");
+  EXPECT_NE(metrics.find("uw_serve_completed"), std::string::npos);
+  admin.Shutdown();
+  obs::SlowQueryLog::Global().ResetForTest();
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a UW_BENCH_JSON snapshot against a baseline.
+
+A baseline file (bench/baselines/*.json) pins the deterministic metrics of
+one bench binary together with a per-metric tolerance:
+
+    {
+      "bench": "bench_table2_main",
+      "command": "UW_BENCH_TINY=1 UW_THREADS=2 UW_BENCH_JSON=... ./bench/...",
+      "metrics": {
+        "counters/bm25.queries":         {"value": 226, "tolerance_pct": 0},
+        "gauges/index.bench.skip_ratio_x1000":
+                                         {"value": 31, "tolerance_abs": 5}
+      }
+    }
+
+Metric keys are "<kind>/<name>" where kind is one of counters, gauges, or
+histograms (histograms compare the "count" field). A metric passes when
+
+    |snapshot - baseline| <= max(tolerance_abs, baseline * tolerance_pct / 100)
+
+Both tolerance fields default to 0, i.e. exact match. Timing-derived
+metrics (qps, speedups, seconds) and scheduler counters (pool.*) must not
+be listed -- they are not deterministic and would make the gate flaky.
+
+Usage:
+    bench_gate.py check  --baseline bench/baselines/foo.json --snapshot out.json
+    bench_gate.py update --baseline bench/baselines/foo.json --snapshot out.json
+
+`check` exits 0 when every listed metric is within tolerance and 1
+otherwise, printing a per-metric PASS/FAIL table. A metric listed in the
+baseline but absent from the snapshot is a failure (a silently dropped
+counter is a regression too). `update` rewrites the baseline values in
+place from the snapshot, preserving the metric selection and tolerances;
+run it after an intentional behaviour change and commit the diff.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_gate: cannot read {path}: {err}")
+
+
+def snapshot_value(snapshot, key):
+    """Resolve "<kind>/<name>" against a snapshot; None when absent."""
+    kind, _, name = key.partition("/")
+    if not name:
+        sys.exit(f"bench_gate: malformed metric key {key!r} "
+                 "(want '<kind>/<name>')")
+    metrics = snapshot.get("metrics", snapshot)
+    table = metrics.get(kind)
+    if table is None or name not in table:
+        return None
+    value = table[name]
+    if kind == "histograms":
+        return value.get("count")
+    return value
+
+
+def allowed_slack(entry):
+    value = entry["value"]
+    pct = entry.get("tolerance_pct", 0)
+    abs_tol = entry.get("tolerance_abs", 0)
+    return max(abs_tol, abs(value) * pct / 100.0)
+
+
+def run_check(baseline, snapshot):
+    failures = 0
+    rows = []
+    for key in sorted(baseline["metrics"]):
+        entry = baseline["metrics"][key]
+        expected = entry["value"]
+        slack = allowed_slack(entry)
+        actual = snapshot_value(snapshot, key)
+        if actual is None:
+            failures += 1
+            rows.append(("FAIL", key, expected, "<missing>", slack))
+            continue
+        delta = abs(actual - expected)
+        if delta > slack:
+            failures += 1
+            rows.append(("FAIL", key, expected, actual, slack))
+        else:
+            rows.append(("ok", key, expected, actual, slack))
+    width = max(len(r[1]) for r in rows) if rows else 0
+    for status, key, expected, actual, slack in rows:
+        print(f"  {status:4s} {key:{width}s}  baseline={expected} "
+              f"snapshot={actual} slack={slack:g}")
+    total = len(rows)
+    if failures:
+        print(f"bench_gate: FAIL -- {failures}/{total} metric(s) out of "
+              f"tolerance for {baseline.get('bench', '?')}")
+        print("bench_gate: if the drift is intentional, refresh with "
+              "`bench_gate.py update` and commit the baseline diff")
+        return 1
+    print(f"bench_gate: PASS -- {total}/{total} metric(s) within tolerance "
+          f"for {baseline.get('bench', '?')}")
+    return 0
+
+
+def run_update(baseline, snapshot, baseline_path):
+    missing = []
+    for key, entry in baseline["metrics"].items():
+        actual = snapshot_value(snapshot, key)
+        if actual is None:
+            missing.append(key)
+            continue
+        entry["value"] = actual
+    if missing:
+        for key in missing:
+            print(f"bench_gate: metric {key} absent from snapshot; "
+                  "kept old value", file=sys.stderr)
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_gate: refreshed {len(baseline['metrics']) - len(missing)} "
+          f"metric(s) in {baseline_path}")
+    return 1 if missing else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench snapshots against checked-in baselines.")
+    parser.add_argument("mode", choices=("check", "update"))
+    parser.add_argument("--baseline", required=True,
+                        help="bench/baselines/*.json baseline file")
+    parser.add_argument("--snapshot", required=True,
+                        help="UW_BENCH_JSON output of the bench binary")
+    args = parser.parse_args()
+
+    baseline = load_json(args.baseline)
+    if "metrics" not in baseline or not isinstance(baseline["metrics"], dict):
+        sys.exit(f"bench_gate: {args.baseline} has no 'metrics' object")
+    snapshot = load_json(args.snapshot)
+
+    if args.mode == "check":
+        sys.exit(run_check(baseline, snapshot))
+    sys.exit(run_update(baseline, snapshot, args.baseline))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,13 +7,20 @@
 // then serves framed TCP queries (serve/protocol.h) with dynamic
 // micro-batching and admission control (serve/service.h knobs:
 // UW_SERVE_BATCH, UW_SERVE_BATCH_WAIT_MS, UW_SERVE_QUEUE,
-// UW_SERVE_TIMEOUT_MS). `--port=0` (default UW_SERVE_PORT or 0) binds an
-// ephemeral port; the bound port is printed to stdout as
-// "listening on port N" and, when UW_SERVE_PORT_FILE is set, written to
-// that path for scripts.
+// UW_SERVE_TIMEOUT_MS, UW_TRACE_SAMPLE, UW_SLOW_QUERY_MS). `--port=0`
+// (default UW_SERVE_PORT or 0) binds an ephemeral port; the bound port
+// is printed to stdout as "listening on port N" and, when
+// UW_SERVE_PORT_FILE is set, written to that path for scripts.
+//
+// When UW_ADMIN_PORT is set, a second listener serves the live admin
+// endpoint (serve/admin.h): /metrics, /healthz, /statusz, /slow, /slowz.
+// Its bound port is reported as "admin on port N" and written to
+// UW_ADMIN_PORT_FILE when set.
 //
 // SIGINT/SIGTERM trigger a graceful drain: stop accepting, serve every
-// queued request, report lifetime stats, exit 0.
+// queued request, report lifetime stats, exit 0. SIGUSR1 dumps a
+// metrics + profile snapshot to UW_METRICS_DUMP_PATH (default
+// "uw_serve_metrics.json") and keeps serving.
 
 #include <csignal>
 #include <cstdio>
@@ -26,6 +33,8 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "io/artifact_cache.h"
+#include "obs/export.h"
+#include "serve/admin.h"
 #include "serve/server.h"
 #include "serve/service.h"
 
@@ -33,13 +42,42 @@ namespace {
 
 using namespace ultrawiki;
 
-// Self-pipe: the handler only writes one byte; the main thread blocks on
-// the read end and runs the (non-async-signal-safe) drain itself.
+// Self-pipe: handlers only write one byte naming the signal; the main
+// thread blocks on the read end and runs the (non-async-signal-safe)
+// reaction itself — drain for SIGINT/SIGTERM, a metrics dump for
+// SIGUSR1.
 int g_signal_pipe[2] = {-1, -1};
 
-void HandleSignal(int /*signum*/) {
-  const char byte = 1;
+constexpr char kDrainByte = 1;
+constexpr char kDumpByte = 'u';
+
+void HandleSignal(int signum) {
+  const char byte = signum == SIGUSR1 ? kDumpByte : kDrainByte;
   [[maybe_unused]] ssize_t written = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+// SIGUSR1 reaction: the same {"metrics": ..., "profile": ...} shape the
+// benches snapshot, written atomically enough for a tail -f (single
+// write + newline).
+void DumpMetricsSnapshot() {
+  const char* env = std::getenv("UW_METRICS_DUMP_PATH");
+  const std::string path = env != nullptr ? env : "uw_serve_metrics.json";
+  std::string json = "{\"metrics\":";
+  json += obs::ExportMetricsJson(obs::SnapshotMetrics());
+  json += ",\"profile\":";
+  json += obs::ExportProfileJson(obs::SnapshotProfile());
+  json += "}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "[uw_serve] cannot open metrics dump path %s\n",
+                 path.c_str());
+    return;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  std::fclose(file);
+  std::fprintf(stderr, "[uw_serve] %s metrics snapshot to %s\n",
+               ok ? "wrote" : "short write of", path.c_str());
 }
 
 std::string FlagValue(int argc, char** argv, const std::string& name,
@@ -117,6 +155,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional admin listener: telemetry stays off the request plane and
+  // scrapeable mid-load. UW_ADMIN_PORT=0 binds an ephemeral port.
+  serve::AdminServer admin(service);
+  if (const char* admin_port_env = std::getenv("UW_ADMIN_PORT")) {
+    const Status admin_started = admin.Start(std::atoi(admin_port_env));
+    if (!admin_started.ok()) {
+      std::fprintf(stderr, "[uw_serve] admin: %s\n",
+                   admin_started.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin on port %d\n", admin.port());
+    std::fflush(stdout);
+    if (const char* admin_file = std::getenv("UW_ADMIN_PORT_FILE")) {
+      std::FILE* file = std::fopen(admin_file, "w");
+      if (file != nullptr) {
+        std::fprintf(file, "%d\n", admin.port());
+        std::fclose(file);
+      } else {
+        std::fprintf(stderr,
+                     "[uw_serve] cannot write UW_ADMIN_PORT_FILE %s\n",
+                     admin_file);
+      }
+    }
+  }
+
   if (::pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "[uw_serve] pipe: %s\n", std::strerror(errno));
     return 1;
@@ -125,12 +188,29 @@ int main(int argc, char** argv) {
   action.sa_handler = HandleSignal;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGUSR1, &action, nullptr);
 
-  char byte = 0;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  while (true) {
+    char byte = 0;
+    const ssize_t got = ::read(g_signal_pipe[0], &byte, 1);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "[uw_serve] signal pipe read: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    if (got == 0) break;
+    if (byte == kDumpByte) {
+      DumpMetricsSnapshot();
+      continue;  // keep serving
+    }
+    break;  // SIGINT / SIGTERM
   }
   std::fprintf(stderr, "[uw_serve] signal received; draining...\n");
+  // Admin stays up through the drain so /healthz reports "draining" and a
+  // final /metrics scrape can observe the fully-drained totals.
   server.Shutdown();
+  admin.Shutdown();
   std::printf(
       "drained cleanly: connections=%lld requests=%lld protocol_errors=%lld "
       "queue_depth=%d\n",
