@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <set>
@@ -15,6 +16,7 @@
 #include "embedding/entity_store.h"
 #include "embedding/trainer.h"
 #include "eval/metrics.h"
+#include "expand/genexpan.h"
 #include "expand/pipeline.h"
 #include "index/bm25.h"
 #include "lm/beam_search.h"
@@ -521,6 +523,71 @@ void EmitIndexBenchGauges() {
                pruned_qps / dense_qps);
 }
 
+/// Measures GenExpan end-to-end per-query latency over the dataset's
+/// queries (the tail-latency workload this PR's beam scoring cache and
+/// anytime budgets target). Records the p50/p99 and their ratio, the
+/// deterministic expansions-per-query, and the truncation count — which
+/// must be 0 here because no budget is configured, proving the cached
+/// path never degrades unasked. CI gates `genexpan.bench.queries`,
+/// `expansions_per_query`, `truncations` exactly and the p99/p50 ratio
+/// within a wide (still tail-catching) band via tools/bench_gate.py.
+void EmitGenExpanBenchGauges() {
+  const Pipeline& pipeline = SharedPipeline();
+  GenExpan expander(&pipeline.world(), &pipeline.lm(), &pipeline.trie(),
+                    &pipeline.similarity(), &pipeline.oracle());
+  const std::vector<Query>& queries = pipeline.dataset().queries;
+  const size_t count = std::min<size_t>(queries.size(), 96);
+  if (count == 0) return;
+  constexpr size_t kTopK = 20;
+
+  // Warmup: touch the lazily built substrates so the timed sweep measures
+  // steady-state generation, not first-use construction.
+  expander.Expand(queries.front(), kTopK);
+
+  obs::Counter& expansions_counter = obs::GetCounter("beam.expansions");
+  obs::Counter& truncated_counter = obs::GetCounter("genexpan.truncated");
+  const int64_t expansions_before = expansions_counter.Value();
+  const int64_t truncated_before = truncated_counter.Value();
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<int64_t> latencies_us;
+  latencies_us.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Clock::time_point start = Clock::now();
+    benchmark::DoNotOptimize(expander.Expand(queries[i], kTopK));
+    latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const int64_t p50 = latencies_us[count / 2];
+  const int64_t p99 = latencies_us[std::min(count - 1, count * 99 / 100)];
+  const int64_t expansions_per_query =
+      (expansions_counter.Value() - expansions_before) /
+      static_cast<int64_t>(count);
+  const int64_t truncations = truncated_counter.Value() - truncated_before;
+
+  obs::GetGauge("genexpan.bench.queries")
+      .Set(static_cast<int64_t>(count));
+  obs::GetGauge("genexpan.bench.expansions_per_query")
+      .Set(expansions_per_query);
+  obs::GetGauge("genexpan.bench.truncations").Set(truncations);
+  obs::GetGauge("genexpan.bench.p50_us").Set(p50);
+  obs::GetGauge("genexpan.bench.p99_us").Set(p99);
+  obs::GetGauge("genexpan.bench.p99_over_p50_x100")
+      .Set(p50 > 0 ? p99 * 100 / p50 : 0);
+  std::fprintf(stderr,
+               "[micro_substrates] genexpan: %zu queries, %lld "
+               "expansions/query, p50 %lld us, p99 %lld us (%.1fx), "
+               "%lld truncations\n",
+               count, static_cast<long long>(expansions_per_query),
+               static_cast<long long>(p50), static_cast<long long>(p99),
+               p50 > 0 ? static_cast<double>(p99) / static_cast<double>(p50)
+                       : 0.0,
+               static_cast<long long>(truncations));
+}
+
 }  // namespace ultrawiki
 
 // Expanded BENCHMARK_MAIN() with a BenchTimer wrapped around the run so
@@ -533,6 +600,7 @@ int main(int argc, char** argv) {
     ::benchmark::RunSpecifiedBenchmarks();
     ::ultrawiki::EmitKernelThroughputGauges();
     ::ultrawiki::EmitIndexBenchGauges();
+    ::ultrawiki::EmitGenExpanBenchGauges();
   }
   ::benchmark::Shutdown();
   return 0;

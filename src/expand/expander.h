@@ -1,11 +1,33 @@
 #ifndef ULTRAWIKI_EXPAND_EXPANDER_H_
 #define ULTRAWIKI_EXPAND_EXPANDER_H_
 
+#include <chrono>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dataset/dataset.h"
 
 namespace ultrawiki {
+
+/// Per-query anytime budget. Methods that honor it (GenExpan) degrade to
+/// a best-so-far ranking when a budget trips instead of blowing the
+/// latency tail; methods that don't simply ignore it.
+struct ExpandBudget {
+  /// Absolute wall-clock deadline (the serving layer derives it from the
+  /// request timeout). nullopt = none.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cap on beam expansions across the whole query. <= 0 = unlimited.
+  int64_t max_expansions = 0;
+};
+
+/// A ranking plus whether any budget truncated the work that produced it.
+/// A degraded ranking is still a valid (sorted, seed-free) ranking — just
+/// computed from fewer generation rounds/expansions.
+struct ExpandOutcome {
+  std::vector<EntityId> ranking;
+  bool degraded = false;
+};
 
 /// Interface every expansion method implements: given a query (positive +
 /// negative seeds), return a ranked entity list of up to `k` entries.
@@ -23,6 +45,16 @@ class Expander {
 
   /// Ranks candidates for `query`, best first.
   virtual std::vector<EntityId> Expand(const Query& query, size_t k) = 0;
+
+  /// Budget-aware variant. The default ignores the budget (correct for
+  /// methods with flat per-query cost); anytime methods override it and
+  /// must return a ranking bit-identical to `Expand` whenever no budget
+  /// triggers.
+  virtual ExpandOutcome ExpandWithBudget(const Query& query, size_t k,
+                                         const ExpandBudget& budget) {
+    (void)budget;
+    return ExpandOutcome{Expand(query, k), /*degraded=*/false};
+  }
 
   /// Human-readable method name (used by the benchmark harness).
   virtual std::string name() const = 0;

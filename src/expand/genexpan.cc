@@ -66,15 +66,24 @@ bool CotNegAttrsAreGenerated(CotMode mode) {
   return mode == CotMode::kGenClassNameGenPosGenNeg;
 }
 
-uint64_t QueryHash(const Query& query) {
+}  // namespace
+
+uint64_t GenExpanQueryFingerprint(const Query& query) {
   uint64_t hash = 0x51ED2701B7A6C145ULL;
   auto mix = [&hash](uint64_t v) {
     hash ^= v + 0x9E3779B97F4A7C15ULL + (hash << 6) + (hash >> 2);
   };
+  // Length tags delimit the two seed streams: without them
+  // pos=[a,b],neg=[] and pos=[a],neg=[b] fold to the same value and the
+  // two queries share an RNG stream.
+  mix(static_cast<uint64_t>(query.pos_seeds.size()));
   for (EntityId id : query.pos_seeds) mix(static_cast<uint64_t>(id));
+  mix(static_cast<uint64_t>(query.neg_seeds.size()));
   for (EntityId id : query.neg_seeds) mix(static_cast<uint64_t>(id));
   return hash;
 }
+
+namespace {
 
 /// Normalized descending-rank positions in [0,1]: the best score gets 0.
 /// Ties receive their fractional (mean) rank, so a large group of
@@ -222,8 +231,9 @@ std::vector<TokenId> GenExpan::CotNegativeClues(const Query& query) const {
 }
 
 std::vector<TokenId> GenExpan::BuildPrompt(
-    const Query& query, const std::vector<EntityId>& prompt_seeds) const {
-  std::vector<TokenId> prompt = CotPrefix(query);
+    const std::vector<TokenId>& cot_prefix,
+    const std::vector<EntityId>& prompt_seeds) const {
+  std::vector<TokenId> prompt = cot_prefix;
   if (config_.retrieval_augmentation) {
     for (EntityId id : prompt_seeds) {
       switch (config_.ra_source) {
@@ -284,11 +294,37 @@ double GenExpan::ClueMatchScore(EntityId id,
 }
 
 std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
+  return ExpandWithBudget(query, k, ExpandBudget{}).ranking;
+}
+
+ExpandOutcome GenExpan::ExpandWithBudget(const Query& query, size_t k,
+                                         const ExpandBudget& budget) {
   UW_SPAN("genexpan.expand");
   obs::GetCounter("genexpan.queries").Increment();
-  Rng rng(config_.seed ^ QueryHash(query));
+  Rng rng(config_.seed ^ GenExpanQueryFingerprint(query));
   const std::vector<EntityId> seeds = SortedSeedsOf(query);
   std::set<EntityId> seen(seeds.begin(), seeds.end());
+
+  // Combine the per-request budget with the expander's standing one:
+  // earliest deadline, smallest expansion cap.
+  std::optional<std::chrono::steady_clock::time_point> deadline =
+      budget.deadline;
+  if (config_.time_budget_ms > 0) {
+    const auto own = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(config_.time_budget_ms);
+    if (!deadline.has_value() || own < *deadline) deadline = own;
+  }
+  int64_t max_expansions = std::max<int64_t>(budget.max_expansions, 0);
+  if (config_.max_expansions > 0 &&
+      (max_expansions == 0 || config_.max_expansions < max_expansions)) {
+    max_expansions = config_.max_expansions;
+  }
+
+  // Per-query generation state shared across rounds: sorted trie-child
+  // snapshots, memoized prompt contexts, and the CoT prefix (the oracle
+  // is deterministic per query, so one call covers every round).
+  BeamSearchCache beam_cache;
+  const std::vector<TokenId> cot_prefix = CotPrefix(query);
 
   struct Admitted {
     EntityId entity;
@@ -298,10 +334,19 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
   std::vector<Admitted> expansion;
   std::vector<EntityId> expansion_pool;  // valid entities for re-prompting
   int stale_rounds = 0;
+  int64_t expansions_spent = 0;
+  bool degraded = false;
 
   for (int round = 0; round < config_.max_rounds; ++round) {
     if (expansion.size() >= k) break;
     if (stale_rounds >= config_.stale_rounds_to_stop) break;
+    // Round 0 always runs (the beam's first-chunk guarantee makes even a
+    // pre-expired deadline productive); later rounds stop at the gate.
+    if (round > 0 && deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      degraded = true;
+      break;
+    }
     UW_SPAN("genexpan.round");
 
     // Prompt entities: round 0 takes 3 positive seeds; later rounds take
@@ -318,13 +363,25 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
       prompt_seeds.push_back(
           expansion_pool[rng.UniformUint64(expansion_pool.size())]);
     }
-    const std::vector<TokenId> prompt = BuildPrompt(query, prompt_seeds);
+    const std::vector<TokenId> prompt = BuildPrompt(cot_prefix, prompt_seeds);
 
     obs::GetCounter("genexpan.rounds").Increment();
     BeamSearchConfig beam_config;
     beam_config.beam_width = config_.beam_width;
-    std::vector<GeneratedEntity> generated =
-        ConstrainedBeamSearch(*lm_, *trie_, prompt, beam_config);
+    beam_config.deadline = deadline;
+    if (max_expansions > 0) {
+      const int64_t remaining = max_expansions - expansions_spent;
+      if (remaining <= 0) {
+        degraded = true;
+        break;
+      }
+      beam_config.max_expansions = remaining;
+    }
+    BeamSearchResult search = ConstrainedBeamSearchWithBudget(
+        *lm_, *trie_, prompt, beam_config, &beam_cache);
+    expansions_spent += search.expansions;
+    if (search.truncated) degraded = true;
+    std::vector<GeneratedEntity>& generated = search.entities;
     obs::GetCounter("genexpan.generated")
         .Increment(static_cast<int64_t>(generated.size()));
 
@@ -333,6 +390,7 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
     for (const GeneratedEntity& g : generated) {
       if (!seen.contains(g.entity)) fresh.push_back(g);
     }
+    if (search.truncated && fresh.empty()) break;
     if (fresh.empty()) {
       ++stale_rounds;
       continue;
@@ -372,6 +430,9 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
       expansion.push_back(Admitted{id, round, scored[i].first});
       expansion_pool.push_back(id);
     }
+    // A truncated round still admits what it found (best-effort above),
+    // but further rounds would only dig the deadline deeper.
+    if (search.truncated) break;
   }
 
   // Final ordering: positive similarity score (Eq. 7) across all rounds,
@@ -428,7 +489,8 @@ std::vector<EntityId> GenExpan::Expand(const Query& query, size_t k) {
                                      config_.rerank_segment_length);
   }
   if (list.size() > k) list.resize(k);
-  return list;
+  if (degraded) obs::GetCounter("genexpan.truncated").Increment();
+  return ExpandOutcome{std::move(list), degraded};
 }
 
 }  // namespace ultrawiki

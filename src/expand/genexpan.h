@@ -56,7 +56,18 @@ struct GenExpanConfig {
   /// at generation time only. `ra_source` picks the Table-8 variant.
   bool retrieval_augmentation = false;
   RaSource ra_source = RaSource::kIntroduction;
+  /// Standing per-query anytime budgets, combined (min) with any
+  /// per-request ExpandBudget. Resolved from UW_GENEXPAN_TIME_BUDGET_MS /
+  /// UW_GENEXPAN_MAX_EXPANSIONS by Pipeline::MakeGenExpan. <= 0 = none.
+  int64_t time_budget_ms = 0;
+  int64_t max_expansions = 0;
 };
+
+/// The per-query RNG-stream fingerprint (seed sampling, ablation coin
+/// flips). Pos and neg seed lists are length-tagged so queries differing
+/// only in how seeds split across the two sides never share a stream.
+/// Exposed for the collision regression test.
+uint64_t GenExpanQueryFingerprint(const Query& query);
 
 /// The generation-based framework (paper §5.2): iterative entity
 /// generation with prefix-constrained beam search → entity selection by
@@ -72,6 +83,14 @@ class GenExpan : public Expander {
            std::string name = "GenExpan");
 
   std::vector<EntityId> Expand(const Query& query, size_t k) override;
+
+  /// Anytime expansion: threads the combined deadline/expansion budget
+  /// into every beam-search round and stops the rounds loop once a budget
+  /// trips, returning the (still fully ranked + reranked) best-so-far
+  /// with `degraded` set. Bit-identical to `Expand` when nothing trips.
+  ExpandOutcome ExpandWithBudget(const Query& query, size_t k,
+                                 const ExpandBudget& budget) override;
+
   std::string name() const override { return name_; }
 
   const GenExpanConfig& config() const { return config_; }
@@ -79,9 +98,9 @@ class GenExpan : public Expander {
  private:
   std::vector<TokenId> NameTokensOf(EntityId id) const;
 
-  /// The Prompt_g analogue: optional CoT prefix + optional RA intros +
-  /// "e1 , e2 , e3 and".
-  std::vector<TokenId> BuildPrompt(const Query& query,
+  /// The Prompt_g analogue: `cot_prefix` (computed once per query — the
+  /// oracle is deterministic) + optional RA intros + "e1 , e2 , e3 and".
+  std::vector<TokenId> BuildPrompt(const std::vector<TokenId>& cot_prefix,
                                    const std::vector<EntityId>& prompt_seeds)
       const;
 

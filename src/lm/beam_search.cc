@@ -11,95 +11,222 @@
 namespace ultrawiki {
 namespace {
 
+/// Deadline polls are amortized over this many expansions so the hot loop
+/// does not hit the clock per child.
+constexpr size_t kBudgetCheckStride = 1024;
+
 struct BeamItem {
   PrefixTrie::NodeId node = PrefixTrie::kRoot;
   std::vector<TokenId> generated;
   double log_prob = 0.0;
+  LmScoringState state;
 };
+
+/// A proposed extension of beam[parent] by one trie child. Cheap to sort
+/// and prune; the expensive state/token copies happen only for the at
+/// most beam_width survivors.
+struct Candidate {
+  size_t parent = 0;
+  TokenId token = -1;
+  PrefixTrie::NodeId node = PrefixTrie::kRoot;
+  double log_prob = 0.0;
+};
+
+uint64_t HashPrompt(std::span<const TokenId> prompt) {
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(prompt.size()));
+  for (TokenId token : prompt) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(token)));
+  }
+  return hash;
+}
 
 }  // namespace
 
-std::vector<GeneratedEntity> ConstrainedBeamSearch(
+const BeamSearchCache::ChildList& BeamSearchCache::ChildrenOf(
+    const PrefixTrie& trie, PrefixTrie::NodeId node) {
+  const auto [it, inserted] = children_.try_emplace(node);
+  if (inserted) {
+    std::vector<std::pair<TokenId, PrefixTrie::NodeId>> sorted(
+        trie.ChildrenOf(node).begin(), trie.ChildrenOf(node).end());
+    std::sort(sorted.begin(), sorted.end());
+    ChildList& list = it->second;
+    list.tokens.reserve(sorted.size());
+    list.nodes.reserve(sorted.size());
+    for (const auto& [token, child] : sorted) {
+      list.tokens.push_back(token);
+      list.nodes.push_back(child);
+    }
+  }
+  return it->second;
+}
+
+LmPromptContext& BeamSearchCache::PromptContextFor(
+    const HybridLm& lm, std::span<const TokenId> prompt) {
+  std::vector<std::unique_ptr<PromptEntry>>& bucket =
+      prompts_[HashPrompt(prompt)];
+  for (const std::unique_ptr<PromptEntry>& entry : bucket) {
+    if (entry->prompt.size() == prompt.size() &&
+        std::equal(entry->prompt.begin(), entry->prompt.end(),
+                   prompt.begin())) {
+      return entry->context;
+    }
+  }
+  bucket.push_back(std::make_unique<PromptEntry>());
+  PromptEntry& entry = *bucket.back();
+  entry.prompt.assign(prompt.begin(), prompt.end());
+  entry.context = lm.MakePromptContext(entry.prompt);
+  ++prompt_count_;
+  return entry.context;
+}
+
+BeamSearchResult ConstrainedBeamSearchWithBudget(
     const HybridLm& lm, const PrefixTrie& trie,
-    std::span<const TokenId> prompt, const BeamSearchConfig& config) {
+    std::span<const TokenId> prompt, const BeamSearchConfig& config,
+    BeamSearchCache* cache) {
   UW_CHECK_GT(config.beam_width, 0);
   UW_SPAN("beam_search");
-  std::vector<BeamItem> beam = {BeamItem{}};
+  BeamSearchCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  LmPromptContext& prompt_context = cache->PromptContextFor(lm, prompt);
+
+  std::vector<BeamItem> beam;
+  beam.push_back(BeamItem{PrefixTrie::kRoot, {}, 0.0,
+                          LmScoringState(lm, prompt_context)});
   std::unordered_map<EntityId, double> completed;
   // Flushed once per search; the expansion loop stays atomic-free.
   int64_t expansions = 0;
   int64_t prunes = 0;
+  bool truncated = false;
+  // Budget polls are suppressed until the first chunk of the first
+  // hypothesis has been scored, so a pre-expired deadline still returns
+  // the root's terminal children deterministically.
+  bool polls_enabled = false;
 
-  std::vector<TokenId> context(prompt.begin(), prompt.end());
-  const size_t prompt_len = context.size();
+  std::vector<double> probs;
+  std::vector<Candidate> candidates;
 
   for (int depth = 0; depth < config.max_name_length && !beam.empty();
        ++depth) {
-    std::vector<BeamItem> expanded;
-    for (const BeamItem& item : beam) {
-      // Rebuild the full context: prompt + generated-so-far.
-      context.resize(prompt_len);
-      context.insert(context.end(), item.generated.begin(),
-                     item.generated.end());
-      for (const auto& [token, child] : trie.ChildrenOf(item.node)) {
-        ++expansions;
-        const double p = lm.NextTokenProbability(context, token);
-        BeamItem next;
-        next.node = child;
-        next.generated = item.generated;
-        next.generated.push_back(token);
-        next.log_prob = item.log_prob + std::log(std::max(p, 1e-12));
-        const EntityId terminal = trie.TerminalOf(child);
-        if (terminal != kInvalidEntityId) {
-          const double score =
-              config.length_normalize
-                  ? next.log_prob /
-                        static_cast<double>(next.generated.size())
-                  : next.log_prob;
-          auto it = completed.find(terminal);
-          if (it == completed.end() || score > it->second) {
-            completed[terminal] = score;
+    candidates.clear();
+    for (size_t parent = 0; parent < beam.size() && !truncated; ++parent) {
+      const BeamItem& item = beam[parent];
+      const BeamSearchCache::ChildList& children =
+          cache->ChildrenOf(trie, item.node);
+      const size_t generated_len = item.generated.size() + 1;
+      size_t offset = 0;
+      while (offset < children.size()) {
+        if (polls_enabled && config.deadline.has_value() &&
+            std::chrono::steady_clock::now() >= *config.deadline) {
+          truncated = true;
+          break;
+        }
+        size_t n = std::min(kBudgetCheckStride, children.size() - offset);
+        if (config.max_expansions > 0) {
+          const int64_t allowance = config.max_expansions - expansions;
+          if (allowance <= 0) {
+            truncated = true;
+            break;
+          }
+          n = std::min(n, static_cast<size_t>(allowance));
+        }
+        probs.resize(n);
+        item.state.NextTokenProbabilityBatch(
+            std::span<const TokenId>(children.tokens).subspan(offset, n),
+            probs);
+        expansions += static_cast<int64_t>(n);
+        for (size_t i = 0; i < n; ++i) {
+          const PrefixTrie::NodeId child = children.nodes[offset + i];
+          const double log_prob =
+              item.log_prob + std::log(std::max(probs[i], 1e-12));
+          const EntityId terminal = trie.TerminalOf(child);
+          if (terminal != kInvalidEntityId) {
+            const double score =
+                config.length_normalize
+                    ? log_prob / static_cast<double>(generated_len)
+                    : log_prob;
+            const auto cit = completed.find(terminal);
+            if (cit == completed.end() || score > cit->second) {
+              completed[terminal] = score;
+            }
+          }
+          if (!trie.ChildrenOf(child).empty()) {
+            candidates.push_back(Candidate{
+                parent, children.tokens[offset + i], child, log_prob});
           }
         }
-        if (!trie.ChildrenOf(child).empty()) {
-          expanded.push_back(std::move(next));
-        }
+        offset += n;
+        polls_enabled = true;
       }
     }
+    if (truncated) break;
+
     // Keep the top beam_width partial hypotheses (by raw log prob;
-    // hypotheses at the same depth have equal length).
-    if (expanded.size() > static_cast<size_t>(config.beam_width)) {
-      prunes += static_cast<int64_t>(expanded.size()) - config.beam_width;
-      std::partial_sort(
-          expanded.begin(),
-          expanded.begin() + config.beam_width, expanded.end(),
-          [](const BeamItem& a, const BeamItem& b) {
-            return a.log_prob > b.log_prob;
-          });
-      expanded.resize(static_cast<size_t>(config.beam_width));
+    // hypotheses at the same depth have equal length). The candidate's
+    // trie node is unique (the trie is a tree), so (log_prob desc, node
+    // asc) is a total order and the beam cut is deterministic even under
+    // exact score ties.
+    if (candidates.size() > static_cast<size_t>(config.beam_width)) {
+      prunes += static_cast<int64_t>(candidates.size()) - config.beam_width;
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() + config.beam_width,
+                        candidates.end(),
+                        [](const Candidate& a, const Candidate& b) {
+                          if (a.log_prob != b.log_prob) {
+                            return a.log_prob > b.log_prob;
+                          }
+                          return a.node < b.node;
+                        });
+      candidates.resize(static_cast<size_t>(config.beam_width));
     }
-    beam = std::move(expanded);
+
+    std::vector<BeamItem> next_beam;
+    next_beam.reserve(candidates.size());
+    for (const Candidate& candidate : candidates) {
+      const BeamItem& parent = beam[candidate.parent];
+      BeamItem item{candidate.node, parent.generated, candidate.log_prob,
+                    parent.state};
+      item.generated.push_back(candidate.token);
+      item.state.Extend(candidate.token);
+      next_beam.push_back(std::move(item));
+    }
+    beam = std::move(next_beam);
   }
 
   obs::GetCounter("beam.expansions").Increment(expansions);
   obs::GetCounter("beam.prunes").Increment(prunes);
   obs::GetCounter("beam.completed_entities")
       .Increment(static_cast<int64_t>(completed.size()));
+  if (truncated) obs::GetCounter("beam.truncated").Increment(1);
 
-  std::vector<GeneratedEntity> results;
-  results.reserve(completed.size());
+  BeamSearchResult result;
+  result.truncated = truncated;
+  result.expansions = expansions;
+  result.entities.reserve(completed.size());
   for (const auto& [entity, score] : completed) {
-    results.push_back(GeneratedEntity{entity, score});
+    result.entities.push_back(GeneratedEntity{entity, score});
   }
-  std::sort(results.begin(), results.end(),
+  std::sort(result.entities.begin(), result.entities.end(),
             [](const GeneratedEntity& a, const GeneratedEntity& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.entity < b.entity;
             });
-  if (results.size() > static_cast<size_t>(config.beam_width)) {
-    results.resize(static_cast<size_t>(config.beam_width));
+  if (result.entities.size() > static_cast<size_t>(config.beam_width)) {
+    result.entities.resize(static_cast<size_t>(config.beam_width));
   }
-  return results;
+  return result;
+}
+
+std::vector<GeneratedEntity> ConstrainedBeamSearch(
+    const HybridLm& lm, const PrefixTrie& trie,
+    std::span<const TokenId> prompt, const BeamSearchConfig& config) {
+  return ConstrainedBeamSearchWithBudget(lm, trie, prompt, config, nullptr)
+      .entities;
 }
 
 }  // namespace ultrawiki

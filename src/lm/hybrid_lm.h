@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +20,76 @@ struct HybridLmConfig {
   /// Capacity knob for the association rows (<=0 keeps all). Smaller
   /// values emulate smaller model sizes (Fig. 8).
   int association_top_k = 0;
+};
+
+class HybridLm;
+
+/// Per-prompt association evidence, resolved once and shared by every
+/// scoring state derived from the same prompt. The association channel's
+/// sum over context tokens is additive, so the prompt prefix's
+/// contribution for a given next token never changes while the hypothesis
+/// grows — it is memoized here on first request. Not thread-safe: use one
+/// PromptContext per search/thread. Holds references into the LM, which
+/// must outlive it and must not be mutated while it is alive.
+class LmPromptContext {
+ public:
+  std::span<const TokenId> prompt() const { return prompt_; }
+  /// Number of informative (non-stop, in-vocabulary) prompt tokens.
+  int informative_count() const {
+    return static_cast<int>(informative_.size());
+  }
+  /// Association sum of `next` against the informative prompt tokens, in
+  /// prompt order — the same accumulation order (and therefore the same
+  /// floating-point result) as a fresh left-to-right pass.
+  double AssocPrefixSum(TokenId next);
+
+ private:
+  friend class HybridLm;
+  const HybridLm* lm_ = nullptr;
+  std::vector<TokenId> prompt_;
+  std::vector<TokenId> informative_;  // informative prompt tokens, in order
+  std::unordered_map<TokenId, double> memo_;
+};
+
+/// Incremental scoring state for one hypothesis: the n-gram backoff chain
+/// resolved once per context (one ContextStats lookup per level), plus the
+/// additive association sum split into the memoized prompt prefix and the
+/// at-most-max-name-length generated extension. Scoring a next token is
+/// O(order + generated) instead of O(context) — and produces bit-identical
+/// probabilities to HybridLm::NextTokenProbability on the rebuilt context.
+/// Copyable: beam branches copy the parent state and Extend by one token.
+class LmScoringState {
+ public:
+  /// State for `prompt` alone (no generated tokens yet). `prompt_context`
+  /// must outlive the state and every copy of it.
+  LmScoringState(const HybridLm& lm, LmPromptContext& prompt_context);
+
+  /// Appends one generated token to the hypothesis context.
+  void Extend(TokenId token);
+
+  /// P(next | prompt + generated): bit-identical to
+  /// HybridLm::NextTokenProbability(prompt + generated, next).
+  double NextTokenProbability(TokenId next) const;
+
+  /// Scores a hypothesis's full child set in one call:
+  /// out[i] = NextTokenProbability(nexts[i]). `out.size()` must equal
+  /// `nexts.size()`.
+  void NextTokenProbabilityBatch(std::span<const TokenId> nexts,
+                                 std::span<double> out) const;
+
+  size_t generated_size() const { return generated_; }
+
+ private:
+  const HybridLm* lm_ = nullptr;
+  LmPromptContext* prompt_ = nullptr;
+  /// Informative generated tokens, in generation order (the association
+  /// delta on top of the prompt prefix sum).
+  std::vector<TokenId> generated_informative_;
+  size_t generated_ = 0;
+  /// Rolling (order-1)-token suffix of prompt + generated, and its
+  /// resolved backoff chain.
+  std::vector<TokenId> suffix_;
+  NgramLm::ScoringContext ngram_;
 };
 
 /// The LLaMA-7B stand-in: a local n-gram channel (syntax; what follows the
@@ -45,13 +116,19 @@ class HybridLm {
 
   /// P(next | context): interpolation of the n-gram probability on the
   /// context suffix and the mean association probability over the
-  /// informative context tokens.
+  /// informative context tokens. Reference (rebuild-per-call) evaluation;
+  /// hot paths use MakePromptContext + LmScoringState, which is proven
+  /// bit-identical to this.
   double NextTokenProbability(std::span<const TokenId> context,
                               TokenId next) const;
 
   /// Natural-log probability of `tokens` continuing `context`.
   double SequenceLogProbability(std::span<const TokenId> context,
                                 std::span<const TokenId> tokens) const;
+
+  /// Resolves the shared per-prompt association evidence for incremental
+  /// scoring (see LmPromptContext / LmScoringState).
+  LmPromptContext MakePromptContext(std::span<const TokenId> prompt) const;
 
   /// Finalizes training (applies association truncation). Call once after
   /// the last AddSentence.
@@ -63,6 +140,13 @@ class HybridLm {
   size_t vocab_size() const { return ngram_.vocab_size(); }
 
  private:
+  friend class LmPromptContext;
+  friend class LmScoringState;
+
+  bool IsInformative(TokenId token) const {
+    return token >= 0 && !stop_tokens_.contains(token);
+  }
+
   HybridLmConfig config_;
   NgramLm ngram_;
   AssociationModel association_;

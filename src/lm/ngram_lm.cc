@@ -51,55 +51,82 @@ void NgramLm::AddSentence(std::span<const TokenId> sentence) {
   }
 }
 
-double NgramLm::BackoffProbability(std::span<const TokenId> context,
-                                   TokenId next, int length) const {
-  if (length == 0) {
-    const double alpha = config_.unigram_alpha;
-    const double numer =
-        static_cast<double>(unigram_counts_[static_cast<size_t>(next)]) +
-        alpha;
-    const double denom =
-        static_cast<double>(total_tokens_) +
-        alpha * static_cast<double>(vocab_size_);
-    return numer / denom;
+NgramLm::ScoringContext NgramLm::ResolveContext(
+    std::span<const TokenId> context) const {
+  ScoringContext resolved;
+  resolved.lm_ = this;
+  const int max_len = std::min<int>(config_.order - 1,
+                                    static_cast<int>(context.size()));
+  resolved.chain_.resize(static_cast<size_t>(std::max(max_len, 0)), nullptr);
+  for (int len = 1; len <= max_len; ++len) {
+    const std::span<const TokenId> suffix =
+        context.subspan(context.size() - static_cast<size_t>(len));
+    const auto& table = contexts_[static_cast<size_t>(len - 1)];
+    const auto it = table.find(HashContext(suffix));
+    // A missing or empty level backs off, exactly like the recursive
+    // chain: leave the slot null so evaluation skips it.
+    if (it != table.end() && it->second.total != 0) {
+      resolved.chain_[static_cast<size_t>(len - 1)] = &it->second;
+    }
   }
-  const std::span<const TokenId> suffix =
-      context.subspan(context.size() - static_cast<size_t>(length));
-  const auto& table = contexts_[static_cast<size_t>(length - 1)];
-  const auto it = table.find(HashContext(suffix));
-  if (it == table.end() || it->second.total == 0) {
-    return BackoffProbability(context, next, length - 1);
+  return resolved;
+}
+
+double NgramLm::ScoringContext::Probability(TokenId next) const {
+  UW_DCHECK(lm_ != nullptr);
+  if (next < 0 || static_cast<size_t>(next) >= lm_->vocab_size_) return 0.0;
+  // Bottom-up evaluation of the same expression tree the recursive
+  // backoff builds top-down: p_len = direct + backoff_mass * p_{len-1},
+  // seeded with the smoothed unigram floor. Identical operations in
+  // identical order, so the result is bit-identical to the recursion.
+  const double alpha = lm_->config_.unigram_alpha;
+  const double numer =
+      static_cast<double>(
+          lm_->unigram_counts_[static_cast<size_t>(next)]) +
+      alpha;
+  const double denom =
+      static_cast<double>(lm_->total_tokens_) +
+      alpha * static_cast<double>(lm_->vocab_size_);
+  double p = numer / denom;
+  const double discount = lm_->config_.discount;
+  for (const ContextStats* stats : chain_) {
+    if (stats == nullptr) continue;
+    const double total = static_cast<double>(stats->total);
+    double count = 0.0;
+    const auto cit = stats->counts.find(next);
+    if (cit != stats->counts.end()) count = static_cast<double>(cit->second);
+    const double direct = std::max(count - discount, 0.0) / total;
+    const double backoff_mass =
+        discount * static_cast<double>(stats->counts.size()) / total;
+    p = direct + backoff_mass * p;
   }
-  const ContextStats& stats = it->second;
-  const double total = static_cast<double>(stats.total);
-  const double discount = config_.discount;
-  double count = 0.0;
-  const auto cit = stats.counts.find(next);
-  if (cit != stats.counts.end()) count = static_cast<double>(cit->second);
-  const double direct = std::max(count - discount, 0.0) / total;
-  const double backoff_mass =
-      discount * static_cast<double>(stats.counts.size()) / total;
-  return direct +
-         backoff_mass * BackoffProbability(context, next, length - 1);
+  return p;
 }
 
 double NgramLm::Probability(std::span<const TokenId> context,
                             TokenId next) const {
-  if (next < 0 || static_cast<size_t>(next) >= vocab_size_) return 0.0;
-  const int max_len = std::min<int>(config_.order - 1,
-                                    static_cast<int>(context.size()));
-  return BackoffProbability(context, next, max_len);
+  return ResolveContext(context).Probability(next);
 }
 
 double NgramLm::SequenceLogProbability(
     std::span<const TokenId> context,
     std::span<const TokenId> tokens) const {
-  std::vector<TokenId> full(context.begin(), context.end());
+  // Rolling (order-1)-token suffix instead of a full context rebuild per
+  // step; only the suffix can influence the backoff chain.
+  const size_t window = static_cast<size_t>(std::max(config_.order - 1, 0));
+  std::vector<TokenId> suffix;
+  if (context.size() > window) {
+    suffix.assign(context.end() - static_cast<ptrdiff_t>(window),
+                  context.end());
+  } else {
+    suffix.assign(context.begin(), context.end());
+  }
   double log_prob = 0.0;
   for (TokenId token : tokens) {
-    const double p = Probability(full, token);
+    const double p = ResolveContext(suffix).Probability(token);
     log_prob += std::log(std::max(p, 1e-12));
-    full.push_back(token);
+    suffix.push_back(token);
+    if (suffix.size() > window) suffix.erase(suffix.begin());
   }
   return log_prob;
 }

@@ -28,6 +28,12 @@ struct NgramLmConfig {
 /// statistically negligible and the approximation is standard for
 /// hash-based LMs.
 class NgramLm {
+ private:
+  struct ContextStats {
+    int64_t total = 0;
+    std::unordered_map<TokenId, int32_t> counts;
+  };
+
  public:
   NgramLm(size_t vocab_size, NgramLmConfig config = {});
 
@@ -36,12 +42,40 @@ class NgramLm {
   /// counted inside the sentence (no padding tokens are introduced).
   void AddSentence(std::span<const TokenId> sentence);
 
+  /// A context's backoff chain resolved once: one ContextStats lookup per
+  /// backoff level (suffix lengths 1..order-1), after which any number of
+  /// next tokens can be scored without re-hashing the context. Probability
+  /// values are bit-identical to `NgramLm::Probability` on the same
+  /// context. Holds pointers into the model's count tables — the model
+  /// must not be mutated while a ScoringContext is alive.
+  class ScoringContext {
+   public:
+    ScoringContext() = default;
+
+    /// P(next | resolved context); 0 for out-of-vocabulary tokens.
+    double Probability(TokenId next) const;
+
+   private:
+    friend class NgramLm;
+    const NgramLm* lm_ = nullptr;
+    /// chain_[k] = stats for the context suffix of length k+1, or nullptr
+    /// where that level backs off (unseen or empty context).
+    std::vector<const ContextStats*> chain_;
+  };
+
+  /// Resolves the backoff chain for `context` (at most the last order-1
+  /// tokens are consulted).
+  ScoringContext ResolveContext(std::span<const TokenId> context) const;
+
   /// P(next | context) via the interpolated backoff chain. Uses at most
-  /// the last (order-1) tokens of `context`.
+  /// the last (order-1) tokens of `context`. Single-probe convenience
+  /// over ResolveContext.
   double Probability(std::span<const TokenId> context, TokenId next) const;
 
   /// Sum of log P over `tokens` given `context`, extending the context
-  /// with each consumed token. Natural log.
+  /// with each consumed token. Natural log. Implemented on the resolved
+  /// ScoringContext chain — only the rolling (order-1)-token suffix is
+  /// maintained per step, never a full context rebuild.
   double SequenceLogProbability(std::span<const TokenId> context,
                                 std::span<const TokenId> tokens) const;
 
@@ -50,17 +84,7 @@ class NgramLm {
   const NgramLmConfig& config() const { return config_; }
 
  private:
-  struct ContextStats {
-    int64_t total = 0;
-    std::unordered_map<TokenId, int32_t> counts;
-  };
-
   static uint64_t HashContext(std::span<const TokenId> context);
-
-  /// P under the backoff chain for a context of exactly `length` tokens
-  /// (the last `length` of `context`).
-  double BackoffProbability(std::span<const TokenId> context, TokenId next,
-                            int length) const;
 
   NgramLmConfig config_;
   size_t vocab_size_;

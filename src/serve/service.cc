@@ -35,6 +35,9 @@ struct ServeMetrics {
   obs::Counter& batches = obs::GetCounter("serve.batches");
   obs::Counter& traced = obs::GetCounter("serve.traced");
   obs::Counter& slow_queries = obs::GetCounter("serve.slow_queries");
+  /// Completed requests whose expander degraded to best-so-far at the
+  /// deadline (subset of `completed`, disjoint from `timeout`).
+  obs::Counter& degraded = obs::GetCounter("serve.degraded");
   obs::Gauge& queue_depth = obs::GetGauge("serve.queue_depth");
   obs::Gauge& queue_peak = obs::GetGauge("serve.queue_peak");
   obs::Histogram& batch_size =
@@ -344,12 +347,20 @@ void ExpansionService::ExecuteBatch(std::vector<Pending> batch) {
           obs::ScopedRequestBinding binding(trace);
           const int handle =
               trace != nullptr ? trace->BeginSpan("execute") : -1;
-          result.ranking = item.expander->Expand(
+          // Thread the request deadline into the expander so anytime
+          // methods (GenExpan) degrade to best-so-far instead of blowing
+          // the tail; budget-blind methods ignore it.
+          ExpandBudget expand_budget;
+          if (pending.has_deadline) expand_budget.deadline = pending.deadline;
+          ExpandOutcome outcome = item.expander->ExpandWithBudget(
               pending.request.query,
-              static_cast<size_t>(pending.request.k));
+              static_cast<size_t>(pending.request.k), expand_budget);
+          result.ranking = std::move(outcome.ranking);
+          result.degraded = outcome.degraded;
           if (trace != nullptr) trace->EndSpan(handle);
         }
         result.status = Status::Ok();
+        if (result.degraded) Metrics().degraded.Increment();
         const auto end = std::chrono::steady_clock::now();
         const int64_t latency = std::chrono::duration_cast<
                                     std::chrono::microseconds>(

@@ -65,9 +65,13 @@ struct ExpandRequest {
 };
 
 /// Status + ranking. On any non-OK status the ranking is empty.
+/// `degraded` marks an OK result whose expander hit the request deadline
+/// mid-flight and returned a budget-truncated (but valid, ranked)
+/// best-so-far instead of timing out — the anytime-degradation contract.
 struct ExpandResult {
   Status status;
   std::vector<EntityId> ranking;
+  bool degraded = false;
 };
 
 /// Case-stable registry of method names the service can serve

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <span>
 
 #include "common/thread_pool.h"
 #include "expand/contrastive_miner.h"
+#include "expand/genexpan.h"
 #include "expand/pipeline.h"
 #include "expand/rerank.h"
 #include "expand/retexpan.h"
@@ -307,6 +310,103 @@ TEST_F(ExpandTest, GenExpanDeterministic) {
   auto method = pipeline_->MakeGenExpan();
   const Query& query = pipeline_->dataset().queries.front();
   EXPECT_EQ(method->Expand(query, 30), method->Expand(query, 30));
+}
+
+TEST(GenExpanFingerprintTest, SeedSideBoundaryChangesFingerprint) {
+  // The regression this guards: without length tags, moving a seed from
+  // the positive to the negative side kept the fingerprint (and thus the
+  // prompt-sampling RNG stream) unchanged.
+  Query both_positive;
+  both_positive.pos_seeds = {11, 22};
+  Query split;
+  split.pos_seeds = {11};
+  split.neg_seeds = {22};
+  EXPECT_NE(GenExpanQueryFingerprint(both_positive),
+            GenExpanQueryFingerprint(split));
+  // Every split of the same 3 ids must land on a distinct stream.
+  std::set<uint64_t> fingerprints;
+  const std::vector<EntityId> ids = {5, 6, 7};
+  for (size_t boundary = 0; boundary <= ids.size(); ++boundary) {
+    Query query;
+    query.pos_seeds.assign(ids.begin(), ids.begin() + boundary);
+    query.neg_seeds.assign(ids.begin() + boundary, ids.end());
+    fingerprints.insert(GenExpanQueryFingerprint(query));
+  }
+  EXPECT_EQ(fingerprints.size(), ids.size() + 1);
+}
+
+TEST_F(ExpandTest, GenExpanSeedSideSplitDrawsDifferentPromptSamples) {
+  // Two queries over the same ids but a different pos/neg split must use
+  // different RNG streams end to end: with several positive seeds the
+  // round-0 prompt sample (3 of them) almost surely differs, and with it
+  // the generated ranking.
+  const Query& base = pipeline_->dataset().queries.front();
+  ASSERT_GE(base.pos_seeds.size(), 4u);
+  Query split = base;
+  split.neg_seeds.insert(split.neg_seeds.begin(), split.pos_seeds.back());
+  split.pos_seeds.pop_back();
+  EXPECT_NE(GenExpanQueryFingerprint(base),
+            GenExpanQueryFingerprint(split));
+  auto method = pipeline_->MakeGenExpan();
+  EXPECT_NE(method->Expand(base, 30), method->Expand(split, 30));
+}
+
+TEST_F(ExpandTest, GenExpanBudgetFreeOutcomeMatchesExpand) {
+  auto method = pipeline_->MakeGenExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  const ExpandOutcome outcome =
+      method->ExpandWithBudget(query, 30, ExpandBudget{});
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_EQ(outcome.ranking, method->Expand(query, 30));
+}
+
+TEST_F(ExpandTest, GenExpanPreExpiredDeadlineDegradesToValidRanking) {
+  auto method = pipeline_->MakeGenExpan();
+  const Query& query = pipeline_->dataset().queries.front();
+  ExpandBudget budget;
+  budget.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  const ExpandOutcome outcome = method->ExpandWithBudget(query, 30, budget);
+  EXPECT_TRUE(outcome.degraded);
+  // Degraded output is still a valid ranking: candidate entities only, no
+  // duplicates, no seeds.
+  std::set<EntityId> candidates(pipeline_->candidates().begin(),
+                                pipeline_->candidates().end());
+  std::set<EntityId> seeds(query.pos_seeds.begin(), query.pos_seeds.end());
+  seeds.insert(query.neg_seeds.begin(), query.neg_seeds.end());
+  std::set<EntityId> unique;
+  for (EntityId id : outcome.ranking) {
+    EXPECT_TRUE(candidates.contains(id));
+    EXPECT_FALSE(seeds.contains(id));
+    EXPECT_TRUE(unique.insert(id).second);
+  }
+}
+
+TEST_F(ExpandTest, GenExpanStandingExpansionBudgetDegrades) {
+  GenExpanConfig config;
+  config.max_expansions = 1;
+  auto method = pipeline_->MakeGenExpan(config);
+  const Query& query = pipeline_->dataset().queries.front();
+  const ExpandOutcome outcome =
+      method->ExpandWithBudget(query, 30, ExpandBudget{});
+  EXPECT_TRUE(outcome.degraded);
+}
+
+TEST_F(ExpandTest, GenExpanEnvBudgetKnobsAreResolved) {
+  setenv("UW_GENEXPAN_TIME_BUDGET_MS", "250", 1);
+  setenv("UW_GENEXPAN_MAX_EXPANSIONS", "12345", 1);
+  auto method = pipeline_->MakeGenExpan();
+  unsetenv("UW_GENEXPAN_TIME_BUDGET_MS");
+  unsetenv("UW_GENEXPAN_MAX_EXPANSIONS");
+  EXPECT_EQ(method->config().time_budget_ms, 250);
+  EXPECT_EQ(method->config().max_expansions, 12345);
+  // Explicit config values win over the environment.
+  setenv("UW_GENEXPAN_MAX_EXPANSIONS", "99", 1);
+  GenExpanConfig config;
+  config.max_expansions = 7;
+  auto explicit_method = pipeline_->MakeGenExpan(config);
+  unsetenv("UW_GENEXPAN_MAX_EXPANSIONS");
+  EXPECT_EQ(explicit_method->config().max_expansions, 7);
 }
 
 TEST_F(ExpandTest, RaPrefixesCoverSources) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <random>
+#include <unordered_map>
 
 #include "lm/association.h"
 #include "lm/beam_search.h"
@@ -279,6 +283,338 @@ TEST_F(BeamSearchTest, EmptyTrieYieldsNothing) {
   EXPECT_TRUE(ConstrainedBeamSearch(*lm_, empty, std::vector<TokenId>{5},
                                     BeamSearchConfig{})
                   .empty());
+}
+
+TEST_F(BeamSearchTest, PromptLongerThanMaxNameLengthStillGenerates) {
+  BeamSearchConfig config;
+  config.max_name_length = 2;
+  // A 12-token prompt dwarfs max_name_length; only the generated length
+  // is budgeted, so generation proceeds normally.
+  std::vector<TokenId> prompt(12, 5);
+  const auto results = ConstrainedBeamSearch(*lm_, trie_, prompt, config);
+  ASSERT_FALSE(results.empty());
+  for (const GeneratedEntity& g : results) {
+    EXPECT_TRUE(g.entity == 1 || g.entity == 2 || g.entity == 3);
+  }
+}
+
+TEST_F(BeamSearchTest, AllChildrenTerminalTrieCompletesAtDepthOne) {
+  PrefixTrie flat;
+  flat.Insert(std::vector<TokenId>{10}, 1);
+  flat.Insert(std::vector<TokenId>{12}, 2);
+  flat.Insert(std::vector<TokenId>{13}, 3);
+  const BeamSearchResult result = ConstrainedBeamSearchWithBudget(
+      *lm_, flat, std::vector<TokenId>{5}, BeamSearchConfig{}, nullptr);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.expansions, 3);
+  ASSERT_EQ(result.entities.size(), 3u);
+  for (const GeneratedEntity& g : result.entities) {
+    EXPECT_TRUE(std::isfinite(g.score));
+  }
+}
+
+TEST_F(BeamSearchTest, DeterministicTieBreakUnderEngineeredScoreTies) {
+  // Tokens 1 and 2 are exactly symmetric in the LM, so the two partial
+  // hypotheses {1} and {2} carry bit-identical log probs. With
+  // beam_width = 1 the cut must fall deterministically: the tie breaks
+  // by ascending trie node id, which insertion order fixes to the
+  // {1, 5}-prefix (node 1 < node 3).
+  HybridLm lm(20, HybridLmConfig{});
+  for (int i = 0; i < 10; ++i) {
+    lm.AddSentence(std::vector<TokenId>{7, 1, 5});
+    lm.AddSentence(std::vector<TokenId>{7, 2, 5});
+  }
+  lm.Finalize();
+  PrefixTrie trie;
+  trie.Insert(std::vector<TokenId>{1, 5}, 100);
+  trie.Insert(std::vector<TokenId>{2, 5}, 200);
+  BeamSearchConfig config;
+  config.beam_width = 1;
+  const std::vector<TokenId> prompt = {7};
+  const auto first = ConstrainedBeamSearch(lm, trie, prompt, config);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.front().entity, 100);
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_EQ(ConstrainedBeamSearch(lm, trie, prompt, config), first);
+  }
+}
+
+TEST_F(BeamSearchTest, PreExpiredDeadlineReturnsFlaggedBestSoFar) {
+  BeamSearchConfig config;
+  config.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  const BeamSearchResult result = ConstrainedBeamSearchWithBudget(
+      *lm_, trie_, std::vector<TokenId>{7}, config, nullptr);
+  EXPECT_TRUE(result.truncated);
+  // The first chunk of the first hypothesis always runs, so the root's
+  // terminal child {13} -> 3 is found even with an expired deadline.
+  ASSERT_FALSE(result.entities.empty());
+  EXPECT_EQ(result.entities.front().entity, 3);
+}
+
+TEST_F(BeamSearchTest, MaxExpansionsBudgetTruncates) {
+  BeamSearchConfig config;
+  config.max_expansions = 2;
+  // Depth 0 scores the root's two children (10 and 13, completing {13});
+  // depth 1 has no allowance left and truncates before reaching {10 11}.
+  const BeamSearchResult result = ConstrainedBeamSearchWithBudget(
+      *lm_, trie_, std::vector<TokenId>{5}, config, nullptr);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.expansions, 2);
+  ASSERT_EQ(result.entities.size(), 1u);
+  EXPECT_EQ(result.entities.front().entity, 3);
+}
+
+TEST_F(BeamSearchTest, UnbudgetedSearchIsNeverTruncated) {
+  const BeamSearchResult result = ConstrainedBeamSearchWithBudget(
+      *lm_, trie_, std::vector<TokenId>{5}, BeamSearchConfig{}, nullptr);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_GT(result.expansions, 0);
+}
+
+TEST_F(BeamSearchTest, SharedCacheReproducesUncachedResults) {
+  BeamSearchCache cache;
+  const auto uncached = ConstrainedBeamSearch(
+      *lm_, trie_, std::vector<TokenId>{5}, BeamSearchConfig{});
+  for (int round = 0; round < 3; ++round) {
+    const BeamSearchResult cached = ConstrainedBeamSearchWithBudget(
+        *lm_, trie_, std::vector<TokenId>{5}, BeamSearchConfig{}, &cache);
+    EXPECT_EQ(cached.entities, uncached);
+  }
+  EXPECT_EQ(cache.cached_prompts(), 1u);
+  EXPECT_GT(cache.cached_nodes(), 0u);
+}
+
+// ------------------------------------- Incremental-scoring parity suite.
+//
+// The LmScoringState / ScoringContext fast paths must be bit-identical to
+// the scalar rebuild-the-context-per-call evaluation they replaced; these
+// references reimplement the old accumulation loops verbatim.
+
+double RebuildReferenceSequenceLogProb(const NgramLm& lm,
+                                       std::span<const TokenId> context,
+                                       std::span<const TokenId> tokens) {
+  std::vector<TokenId> full(context.begin(), context.end());
+  double log_prob = 0.0;
+  for (TokenId token : tokens) {
+    log_prob += std::log(std::max(lm.Probability(full, token), 1e-12));
+    full.push_back(token);
+  }
+  return log_prob;
+}
+
+double RebuildReferenceSequenceLogProb(const HybridLm& lm,
+                                       std::span<const TokenId> context,
+                                       std::span<const TokenId> tokens) {
+  std::vector<TokenId> full(context.begin(), context.end());
+  double log_prob = 0.0;
+  for (TokenId token : tokens) {
+    log_prob +=
+        std::log(std::max(lm.NextTokenProbability(full, token), 1e-12));
+    full.push_back(token);
+  }
+  return log_prob;
+}
+
+/// The pre-cache constrained beam search: full-context scalar scoring per
+/// (hypothesis x child) pair, with the same deterministic tie-break the
+/// production path uses (child iteration order cannot affect anything
+/// else).
+std::vector<GeneratedEntity> ScalarReferenceBeamSearch(
+    const HybridLm& lm, const PrefixTrie& trie,
+    std::span<const TokenId> prompt, const BeamSearchConfig& config) {
+  struct Item {
+    PrefixTrie::NodeId node = PrefixTrie::kRoot;
+    std::vector<TokenId> generated;
+    double log_prob = 0.0;
+  };
+  std::vector<Item> beam = {Item{}};
+  std::unordered_map<EntityId, double> completed;
+  std::vector<TokenId> context(prompt.begin(), prompt.end());
+  const size_t prompt_len = context.size();
+  for (int depth = 0; depth < config.max_name_length && !beam.empty();
+       ++depth) {
+    std::vector<Item> expanded;
+    for (const Item& item : beam) {
+      context.resize(prompt_len);
+      context.insert(context.end(), item.generated.begin(),
+                     item.generated.end());
+      std::vector<std::pair<TokenId, PrefixTrie::NodeId>> children(
+          trie.ChildrenOf(item.node).begin(),
+          trie.ChildrenOf(item.node).end());
+      std::sort(children.begin(), children.end());
+      for (const auto& [token, child] : children) {
+        const double p = lm.NextTokenProbability(context, token);
+        Item next{child, item.generated,
+                  item.log_prob + std::log(std::max(p, 1e-12))};
+        next.generated.push_back(token);
+        const EntityId terminal = trie.TerminalOf(child);
+        if (terminal != kInvalidEntityId) {
+          const double score =
+              config.length_normalize
+                  ? next.log_prob /
+                        static_cast<double>(next.generated.size())
+                  : next.log_prob;
+          const auto it = completed.find(terminal);
+          if (it == completed.end() || score > it->second) {
+            completed[terminal] = score;
+          }
+        }
+        if (!trie.ChildrenOf(child).empty()) {
+          expanded.push_back(std::move(next));
+        }
+      }
+    }
+    if (expanded.size() > static_cast<size_t>(config.beam_width)) {
+      std::partial_sort(expanded.begin(),
+                        expanded.begin() + config.beam_width,
+                        expanded.end(), [](const Item& a, const Item& b) {
+                          if (a.log_prob != b.log_prob) {
+                            return a.log_prob > b.log_prob;
+                          }
+                          return a.node < b.node;
+                        });
+      expanded.resize(static_cast<size_t>(config.beam_width));
+    }
+    beam = std::move(expanded);
+  }
+  std::vector<GeneratedEntity> results;
+  results.reserve(completed.size());
+  for (const auto& [entity, score] : completed) {
+    results.push_back(GeneratedEntity{entity, score});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const GeneratedEntity& a, const GeneratedEntity& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  if (results.size() > static_cast<size_t>(config.beam_width)) {
+    results.resize(static_cast<size_t>(config.beam_width));
+  }
+  return results;
+}
+
+struct RandomLmWorld {
+  std::unique_ptr<HybridLm> lm;
+  PrefixTrie trie;
+  std::vector<TokenId> prompt;
+};
+
+RandomLmWorld MakeRandomLmWorld(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr size_t kVocab = 40;
+  RandomLmWorld world;
+  world.lm = std::make_unique<HybridLm>(kVocab, HybridLmConfig{});
+  std::uniform_int_distribution<int> token_dist(0, kVocab - 1);
+  std::uniform_int_distribution<int> sentence_len(2, 8);
+  for (int s = 0; s < 80; ++s) {
+    std::vector<TokenId> sentence;
+    const int len = sentence_len(rng);
+    for (int t = 0; t < len; ++t) {
+      sentence.push_back(static_cast<TokenId>(token_dist(rng)));
+    }
+    world.lm->AddSentence(sentence);
+  }
+  world.lm->SetStopTokens({0, 1});
+  world.lm->Finalize();
+  std::uniform_int_distribution<int> name_len(1, 3);
+  for (int e = 0; e < 14; ++e) {
+    std::vector<TokenId> name;
+    const int len = name_len(rng);
+    for (int t = 0; t < len; ++t) {
+      name.push_back(static_cast<TokenId>(token_dist(rng)));
+    }
+    world.trie.Insert(name, static_cast<EntityId>(e + 1));
+  }
+  std::uniform_int_distribution<int> prompt_len(0, 6);
+  const int len = prompt_len(rng);
+  for (int t = 0; t < len; ++t) {
+    world.prompt.push_back(static_cast<TokenId>(token_dist(rng)));
+  }
+  return world;
+}
+
+TEST(IncrementalScoringTest, StateMatchesScalarNextTokenProbability) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const RandomLmWorld world = MakeRandomLmWorld(seed);
+    LmPromptContext prompt_context =
+        world.lm->MakePromptContext(world.prompt);
+    LmScoringState state(*world.lm, prompt_context);
+    std::vector<TokenId> full = world.prompt;
+    std::mt19937_64 rng(seed ^ 0xBEEF);
+    std::uniform_int_distribution<int> token_dist(0, 39);
+    for (int step = 0; step < 6; ++step) {
+      std::vector<TokenId> nexts;
+      for (TokenId next = 0; next < 40; ++next) nexts.push_back(next);
+      std::vector<double> batch(nexts.size());
+      state.NextTokenProbabilityBatch(nexts, batch);
+      for (TokenId next = 0; next < 40; ++next) {
+        const double expected = world.lm->NextTokenProbability(full, next);
+        // Exact equality on purpose: the incremental path must be
+        // bit-identical, not merely close.
+        EXPECT_EQ(state.NextTokenProbability(next), expected);
+        EXPECT_EQ(batch[static_cast<size_t>(next)], expected);
+      }
+      const TokenId token = static_cast<TokenId>(token_dist(rng));
+      state.Extend(token);
+      full.push_back(token);
+    }
+  }
+}
+
+TEST(IncrementalScoringTest, NgramSequenceLogProbMatchesRebuildReference) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const RandomLmWorld world = MakeRandomLmWorld(seed);
+    std::mt19937_64 rng(seed ^ 0xABCD);
+    std::uniform_int_distribution<int> token_dist(0, 39);
+    std::vector<TokenId> tokens;
+    for (int t = 0; t < 7; ++t) {
+      tokens.push_back(static_cast<TokenId>(token_dist(rng)));
+    }
+    EXPECT_EQ(world.lm->ngram().SequenceLogProbability(world.prompt, tokens),
+              RebuildReferenceSequenceLogProb(world.lm->ngram(),
+                                              world.prompt, tokens));
+  }
+}
+
+TEST(IncrementalScoringTest, HybridSequenceLogProbMatchesRebuildReference) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const RandomLmWorld world = MakeRandomLmWorld(seed);
+    std::mt19937_64 rng(seed ^ 0x1234);
+    std::uniform_int_distribution<int> token_dist(0, 39);
+    std::vector<TokenId> tokens;
+    for (int t = 0; t < 7; ++t) {
+      tokens.push_back(static_cast<TokenId>(token_dist(rng)));
+    }
+    EXPECT_EQ(world.lm->SequenceLogProbability(world.prompt, tokens),
+              RebuildReferenceSequenceLogProb(*world.lm, world.prompt,
+                                              tokens));
+  }
+}
+
+TEST(BeamSearchParityTest, RandomizedBitIdenticalToScalarReference) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const RandomLmWorld world = MakeRandomLmWorld(seed);
+    BeamSearchConfig config;
+    config.beam_width = 3;  // small beam forces pruning decisions
+    const std::vector<GeneratedEntity> reference = ScalarReferenceBeamSearch(
+        *world.lm, world.trie, world.prompt, config);
+    const std::vector<GeneratedEntity> fast =
+        ConstrainedBeamSearch(*world.lm, world.trie, world.prompt, config);
+    ASSERT_EQ(fast.size(), reference.size()) << "seed " << seed;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].entity, reference[i].entity) << "seed " << seed;
+      EXPECT_EQ(fast[i].score, reference[i].score) << "seed " << seed;
+    }
+    // The cached variant must agree as well, round after round.
+    BeamSearchCache cache;
+    for (int round = 0; round < 2; ++round) {
+      const BeamSearchResult cached = ConstrainedBeamSearchWithBudget(
+          *world.lm, world.trie, world.prompt, config, &cache);
+      EXPECT_FALSE(cached.truncated);
+      EXPECT_EQ(cached.entities, reference) << "seed " << seed;
+    }
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <string>
 #include <thread>
@@ -318,6 +319,50 @@ TEST(ServeServiceTest, ExpiredDeadlineTimesOutWithoutPoisoningTheQueue) {
   ExpandResult ok = service.ExpandSync(fine);
   ASSERT_TRUE(ok.status.ok()) << ok.status;
   EXPECT_EQ(ok.ranking, Reference("retexpan", queries[0], 10));
+}
+
+TEST(ServeServiceTest, DegradedExpansionPropagatesThroughService) {
+  // A standing one-expansion budget (resolved from the env when the
+  // service lazily builds its GenExpan) deterministically truncates every
+  // generation, so the degraded flag must surface in the ExpandResult
+  // and the serve.degraded counter.
+  setenv("UW_GENEXPAN_MAX_EXPANSIONS", "1", 1);
+  const auto& queries = TestPipeline().dataset().queries;
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  const int64_t degraded_before =
+      obs::GetCounter("serve.degraded").Value();
+  ExpandResult result =
+      service.ExpandSync({"genexpan", queries[0], 20, /*timeout_ms=*/0});
+  unsetenv("UW_GENEXPAN_MAX_EXPANSIONS");
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(obs::GetCounter("serve.degraded").Value(), degraded_before + 1);
+
+  // An unbudgeted service never degrades and matches the offline path.
+  ExpansionService fresh(TestPipeline(), ServeConfig{});
+  ExpandResult full =
+      fresh.ExpandSync({"genexpan", queries[0], 20, /*timeout_ms=*/0});
+  ASSERT_TRUE(full.status.ok()) << full.status;
+  EXPECT_FALSE(full.degraded);
+  EXPECT_EQ(full.ranking, Reference("genexpan", queries[0], 20));
+}
+
+TEST(ServeServiceTest, RequestDeadlineThreadsIntoAnytimeExpanders) {
+  // A 1 ms deadline lands in exactly one of three places, all legal:
+  // expired before execution (kDeadlineExceeded, empty ranking), expired
+  // mid-generation (OK + degraded best-so-far), or beaten by a fast
+  // machine (OK, not degraded, bit-identical to the offline ranking).
+  // What must never happen is an OK-but-unflagged partial result.
+  const auto& queries = TestPipeline().dataset().queries;
+  ExpansionService service(TestPipeline(), ServeConfig{});
+  ExpandResult result =
+      service.ExpandSync({"genexpan", queries[0], 30, /*timeout_ms=*/1});
+  if (!result.status.ok()) {
+    EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(result.ranking.empty());
+  } else if (!result.degraded) {
+    EXPECT_EQ(result.ranking, Reference("genexpan", queries[0], 30));
+  }
 }
 
 TEST(ServeServiceTest, OverloadShedsButAcceptedResultsStayCorrect) {
