@@ -1,0 +1,34 @@
+#include "ann/scaled_store.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ultrawiki {
+
+EntityStore BuildScaledStore(const GeneratorConfig& config, size_t dim) {
+  UW_SPAN("ann.scaled_store");
+  UW_CHECK_GT(dim, 0u);
+  UW_CHECK_GT(config.scale_entities, 0);
+  std::vector<Vec> hidden(static_cast<size_t>(config.scale_entities));
+  obs::Counter& streamed = obs::GetCounter("ann.scaled_entities_streamed");
+  GenerateScaledEntities(config, [&](const ScaledEntity& entity) {
+    Vec& row = hidden[static_cast<size_t>(entity.id)];
+    row.assign(dim, 0.0f);
+    for (const auto& sentence : entity.sentences) {
+      for (const uint64_t token : sentence) {
+        // Signed hashed projection; the sign bit is taken far from the
+        // modulus bits so bucket and sign stay independent.
+        const size_t bucket = static_cast<size_t>(token % dim);
+        row[bucket] += (token >> 33) & 1 ? 1.0f : -1.0f;
+      }
+    }
+    streamed.Increment();
+  });
+  return EntityStore::Restore(dim, std::move(hidden));
+}
+
+}  // namespace ultrawiki

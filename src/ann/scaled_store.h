@@ -1,0 +1,26 @@
+#ifndef ULTRAWIKI_ANN_SCALED_STORE_H_
+#define ULTRAWIKI_ANN_SCALED_STORE_H_
+
+#include <cstddef>
+
+#include "corpus/generator.h"
+#include "embedding/entity_store.h"
+
+namespace ultrawiki {
+
+/// Builds an EntityStore over the streamed scaling corpus
+/// (GenerateScaledEntities) without ever materializing the corpus: each
+/// entity's hashed sentence tokens are folded into one `dim`-dimensional
+/// row by signed hashed projection (feature = token mod dim, sign from a
+/// high token bit) the moment they are streamed, and only the rows
+/// persist. Rows of one class share its topic-token mass, so they
+/// cluster — which is what gives the IVF first stage a recall@k worth
+/// measuring — while the attribute + noise tokens differentiate entities
+/// within a class. Deterministic in (config, dim); requires
+/// config.scale_entities > 0.
+EntityStore BuildScaledStore(const GeneratorConfig& config,
+                             size_t dim = 64);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_ANN_SCALED_STORE_H_

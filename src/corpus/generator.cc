@@ -400,6 +400,13 @@ uint64_t FingerprintConfig(const GeneratorConfig& config) {
   hash.Mix(config.similarity_sentences_per_entity);
   hash.Mix(config.noise_vocab_size);
   hash.Mix(config.wikidata_junk_attributes);
+  // Scaling knobs: a GeneratedWorld never depends on them, but cached
+  // scaled-store artifacts are keyed on this fingerprint too, so leaving
+  // them out would alias different scaled corpora to one cache entry.
+  hash.Mix(config.scale_entities);
+  hash.Mix(config.scale_classes);
+  hash.Mix(config.scale_sentences_per_entity);
+  hash.Mix(config.scale_sentence_tokens);
   return hash.digest();
 }
 
@@ -408,6 +415,68 @@ GeneratedWorld GenerateWorld(const GeneratorConfig& config) {
   GeneratedWorld world = builder.Build();
   world.fingerprint = FingerprintConfig(config);
   return world;
+}
+
+namespace {
+
+/// Stable 64-bit token hash for the scaled corpus' implicit vocabulary.
+uint64_t ScaledToken(std::string_view tag, uint64_t a, uint64_t b) {
+  Fnv1a hash;
+  hash.Mix(tag);
+  hash.Mix(a);
+  hash.Mix(b);
+  return hash.digest();
+}
+
+}  // namespace
+
+void GenerateScaledEntities(
+    const GeneratorConfig& config,
+    const std::function<void(const ScaledEntity&)>& sink) {
+  UW_CHECK_GT(config.scale_entities, 0)
+      << "scaling mode is off (scale_entities == 0)";
+  const int classes = std::max(1, config.scale_classes);
+  const int sentences = std::max(1, config.scale_sentences_per_entity);
+  const int tokens_per_sentence = std::max(4, config.scale_sentence_tokens);
+  // Per-class topic vocabularies, hashed — tiny and reusable across the
+  // whole stream. Each class also has 8 attribute-value tokens.
+  constexpr int kTopicPool = 16;
+  constexpr int kAttributeValues = 8;
+  ScaledEntity entity;  // reused so the stream allocates O(1) buffers
+  for (int64_t id = 0; id < config.scale_entities; ++id) {
+    entity.id = static_cast<EntityId>(id);
+    entity.class_id = static_cast<int>(id % classes);
+    // Id-keyed child seed: entity id's stream never depends on how many
+    // entities precede it, so any subrange regenerates identically.
+    Fnv1a child;
+    child.Mix("ScaledEntity");
+    child.Mix(config.seed);
+    child.Mix(static_cast<uint64_t>(id));
+    Rng rng(child.digest());
+    entity.attribute_value = static_cast<int>(rng.UniformUint64(
+        static_cast<uint64_t>(kAttributeValues)));
+    entity.sentences.assign(static_cast<size_t>(sentences), {});
+    const auto class_id = static_cast<uint64_t>(entity.class_id);
+    for (auto& sentence : entity.sentences) {
+      sentence.reserve(static_cast<size_t>(tokens_per_sentence));
+      // Class topic tokens dominate (the class signal), one attribute
+      // token carries the within-class structure, and the rest is
+      // per-entity hashed noise.
+      const int topic = tokens_per_sentence * 2 / 3;
+      for (int t = 0; t < topic; ++t) {
+        sentence.push_back(ScaledToken(
+            "topic", class_id,
+            rng.UniformUint64(static_cast<uint64_t>(kTopicPool))));
+      }
+      sentence.push_back(ScaledToken(
+          "attr", class_id, static_cast<uint64_t>(entity.attribute_value)));
+      while (sentence.size() < static_cast<size_t>(tokens_per_sentence)) {
+        sentence.push_back(ScaledToken("noise", static_cast<uint64_t>(id),
+                                       rng.NextUint64()));
+      }
+    }
+    sink(entity);
+  }
 }
 
 }  // namespace ultrawiki

@@ -2,6 +2,7 @@
 #define ULTRAWIKI_CORPUS_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -54,6 +55,20 @@ struct GeneratorConfig {
   /// Junk properties per Wikidata attribute dump (the "YouTube channel
   /// ID" effect of Table 8).
   int wikidata_junk_attributes = 4;
+
+  /// --- Streaming scaling mode (GenerateScaledEntities) ---
+  /// Total entities of the streamed scaling corpus (100k–1M+ territory for
+  /// the ANN benches). 0 = off; GenerateWorld ignores these knobs either
+  /// way — the scaled corpus is produced entity-by-entity through a sink,
+  /// never materialized, so memory stays bounded by one entity's
+  /// sentences. All four knobs are part of FingerprintConfig.
+  int64_t scale_entities = 0;
+  /// Fine-grained classes the scaled entities cycle through; each class
+  /// gets its own hashed topic vocabulary, so rows built from the stream
+  /// cluster by class (what gives the IVF bench a meaningful recall@k).
+  int scale_classes = 64;
+  int scale_sentences_per_entity = 3;
+  int scale_sentence_tokens = 12;
 };
 
 /// Everything the generator produces: the populated corpus, the external
@@ -85,6 +100,28 @@ uint64_t FingerprintConfig(const GeneratorConfig& config);
 /// sentence corpus plus knowledge base (step 2). Deterministic in
 /// `config.seed`.
 GeneratedWorld GenerateWorld(const GeneratorConfig& config);
+
+/// One streamed entity of the scaling corpus. Tokens are 64-bit hashes
+/// (no Vocabulary is built at this scale); consumers fold them into
+/// fixed-dimension rows via hashed projection (ann/scaled_store.h).
+struct ScaledEntity {
+  EntityId id = 0;
+  int class_id = 0;
+  /// One attribute value in [0, 8) varying within the class — the
+  /// within-class structure that makes nearest-neighbor rankings over the
+  /// scaled rows non-degenerate.
+  int attribute_value = 0;
+  std::vector<std::vector<uint64_t>> sentences;
+};
+
+/// Streams `config.scale_entities` synthetic entities (ascending id order)
+/// into `sink`, which must not retain the reference past the call. Each
+/// entity's token stream is derived from an id-keyed child seed, so the
+/// output is deterministic in (seed, scaling knobs) and independent of
+/// everything the sink does. Requires scale_entities > 0.
+void GenerateScaledEntities(
+    const GeneratorConfig& config,
+    const std::function<void(const ScaledEntity&)>& sink);
 
 }  // namespace ultrawiki
 

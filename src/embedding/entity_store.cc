@@ -201,17 +201,20 @@ std::vector<float> EntityStore::SeedCentroidScores(
     const std::vector<EntityId>& seeds,
     const std::vector<EntityId>& candidates) const {
   UW_SPAN("kernel.seed_centroid_scores");
-  static obs::Counter& folds = obs::GetCounter("kernel.centroid_folds");
-  static obs::Counter& rows = obs::GetCounter("kernel.rows_scored");
   std::vector<float> out(candidates.size(), 0.0f);
   if (seeds.empty() || candidates.empty()) return out;
+  return CentroidScores(SeedCentroidOf(seeds), candidates);
+}
+
+Vec EntityStore::SeedCentroidOf(const std::vector<EntityId>& seeds) const {
+  Vec centroid_f(dim_, 0.0f);
+  if (seeds.empty()) return centroid_f;
+  static obs::Counter& folds = obs::GetCounter("kernel.centroid_folds");
   folds.Increment();
-  rows.Increment(static_cast<int64_t>(candidates.size()));
   // mean_s cos(c, s) = mean_s dot(ĉ, ŝ) = dot(ĉ, mean_s ŝ): fold the
   // per-seed average into one centroid (double accumulation, seed order
-  // fixed by the argument), then one dot per candidate. Absent seeds keep
-  // their slot in the denominator via the zero unit row, matching the
-  // per-pair path.
+  // fixed by the argument). Absent seeds keep their slot in the
+  // denominator via the zero unit row, matching the per-pair path.
   std::vector<double> centroid(dim_, 0.0);
   for (EntityId seed : seeds) {
     const std::span<const float> u = UnitOf(seed);
@@ -220,12 +223,22 @@ std::vector<float> EntityStore::SeedCentroidScores(
     }
   }
   const double inv = 1.0 / static_cast<double>(seeds.size());
-  Vec centroid_f(dim_, 0.0f);
   for (size_t i = 0; i < dim_; ++i) {
     centroid_f[i] = static_cast<float>(centroid[i] * inv);
   }
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    out[c] = static_cast<float>(DotBlocked(UnitOf(candidates[c]), centroid_f));
+  return centroid_f;
+}
+
+std::vector<float> EntityStore::CentroidScores(
+    std::span<const float> centroid,
+    const std::vector<EntityId>& ids) const {
+  UW_CHECK_EQ(centroid.size(), dim_);
+  static obs::Counter& rows = obs::GetCounter("kernel.rows_scored");
+  std::vector<float> out(ids.size(), 0.0f);
+  if (ids.empty()) return out;
+  rows.Increment(static_cast<int64_t>(ids.size()));
+  for (size_t c = 0; c < ids.size(); ++c) {
+    out[c] = static_cast<float>(DotBlocked(UnitOf(ids[c]), centroid));
   }
   return out;
 }

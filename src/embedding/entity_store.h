@@ -86,6 +86,20 @@ class EntityStore {
       const std::vector<EntityId>& seeds,
       const std::vector<EntityId>& candidates) const;
 
+  /// The folded seed centroid SeedCentroidScores dots candidates against:
+  /// mean of the seeds' unit rows (double accumulation in argument order,
+  /// rounded to float per component). Exposed so the ANN first stage
+  /// (ann/ivf_index.h) can probe with the exact same vector the exact
+  /// rerank scores with. Empty seed sets yield the zero vector.
+  Vec SeedCentroidOf(const std::vector<EntityId>& seeds) const;
+
+  /// out[i] = float(DotBlocked(UnitOf(ids[i]), centroid)) — the exact
+  /// per-candidate expression of SeedCentroidScores, over an explicit
+  /// centroid. `centroid.size()` must equal dim(). Deterministic at any
+  /// UW_THREADS; absent ids score exactly 0.0f (zero unit row).
+  std::vector<float> CentroidScores(std::span<const float> centroid,
+                                    const std::vector<EntityId>& ids) const;
+
   size_t dim() const { return dim_; }
 
   /// Serialization access: number of per-EntityId slots (present or not).

@@ -126,6 +126,7 @@ Pipeline Pipeline::Build(const PipelineConfig& config) {
                                        FingerprintConfig(config.store),
                                        FingerprintConfig(config.dataset)})
                 : 0;
+  pipeline.store_key_ = store_key;
   if (derivable) {
     UW_SPAN("cache.load_store");
     auto cached = TryLoadCached(cache, "store", store_key,
@@ -335,6 +336,40 @@ const std::vector<SparseVec>& Pipeline::distributions() {
   return *distributions_;
 }
 
+const IvfIndex& Pipeline::ann_index() {
+  if (ann_index_ == nullptr) {
+    UW_SPAN("pipeline.ann_index");
+    // Keyed on the store's provenance plus the ANN config: a different
+    // store, generator, encoder, or IVF knob is a different index.
+    const uint64_t ann_key =
+        store_key_ != 0
+            ? CombineFingerprints({store_key_,
+                                   FingerprintConfig(config_.ann)})
+            : 0;
+    ArtifactCache& cache = ArtifactCache::Global();
+    if (ann_key != 0) {
+      UW_SPAN("cache.load_ann");
+      auto cached = TryLoadCached(
+          cache, "ann", ann_key, [this](const std::string& path) {
+            return LoadAnnIndexSnapshot(path, config_.ann);
+          });
+      if (cached.has_value()) {
+        ann_index_ = std::make_unique<IvfIndex>(std::move(*cached));
+        return *ann_index_;
+      }
+    }
+    ann_index_ = std::make_unique<IvfIndex>(
+        IvfIndex::Build(*store_, config_.ann));
+    if (ann_key != 0) {
+      StoreCached(cache, "ann", ann_key,
+                  [this](const std::string& path) {
+                    return SaveAnnIndexSnapshot(*ann_index_, path);
+                  });
+    }
+  }
+  return *ann_index_;
+}
+
 std::unique_ptr<EntityStore> Pipeline::BuildEncoderStore(
     const EntityPredictionTrainConfig& train) {
   const Corpus& corpus = world_.corpus;
@@ -356,8 +391,18 @@ std::unique_ptr<HybridLm> Pipeline::BuildLmVariant(
 }
 
 std::unique_ptr<RetExpan> Pipeline::MakeRetExpan(RetExpanConfig config) {
-  return std::make_unique<RetExpan>(store_.get(), &dataset_.candidates,
-                                    config);
+  // Recall knobs: UW_ANN_ENABLE attaches the IVF first stage to the main
+  // store's expander; UW_ANN_NPROBE widens/narrows its probe (explicit
+  // config wins, matching the GenExpan budget knobs). The contrast/RA
+  // variants rank with different stores, so they never get this index.
+  const bool ann = AnnEnabledFromEnv();
+  if (ann && config.ann_nprobe <= 0) {
+    config.ann_nprobe = AnnNprobeFromEnv();
+  }
+  auto expander = std::make_unique<RetExpan>(
+      store_.get(), &dataset_.candidates, config);
+  if (ann) expander->SetAnnIndex(&ann_index());
+  return expander;
 }
 
 std::unique_ptr<RetExpan> Pipeline::MakeRetExpanContrast(

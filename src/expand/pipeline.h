@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "baselines/case.h"
 #include "baselines/cgexpan.h"
 #include "baselines/gpt4_baseline.h"
@@ -51,6 +52,11 @@ struct PipelineConfig {
   int distribution_top_k = 48;
   ContrastiveTrainConfig contrast;
   MinerConfig miner;
+  /// IVF first stage over the main store (ann_index()). Off by default in
+  /// expanders — MakeRetExpan only attaches it under UW_ANN_ENABLE — but
+  /// the index itself can always be built (and is snapshot-cached keyed on
+  /// the store provenance plus this config).
+  IvfConfig ann;
 
   static PipelineConfig Bench();
   static PipelineConfig Tiny();
@@ -97,6 +103,13 @@ class Pipeline {
 
   /// Sparse distribution representations (ProbExpan).
   const std::vector<SparseVec>& distributions();
+
+  /// IVF-Flat first stage over the main store (config().ann), built
+  /// lazily and cached in the artifact cache keyed on the store's
+  /// provenance + the ANN config. MakeRetExpan attaches it when
+  /// UW_ANN_ENABLE is set; callers can also attach it explicitly via
+  /// RetExpan::SetAnnIndex.
+  const IvfIndex& ann_index();
 
   // --- Custom (uncached) builds for ablations and sweeps. ---
 
@@ -151,6 +164,10 @@ class Pipeline {
   std::unique_ptr<EntityStore> contrast_store_;
   std::unique_ptr<EntityStore> ra_stores_[4];
   std::unique_ptr<std::vector<SparseVec>> distributions_;
+  std::unique_ptr<IvfIndex> ann_index_;
+  /// Cache key of the main store (0 = unknown provenance, derived
+  /// artifacts like the ANN index are then not cached).
+  uint64_t store_key_ = 0;
 };
 
 }  // namespace ultrawiki

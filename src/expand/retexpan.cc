@@ -31,32 +31,98 @@ double RetExpan::SeedSimilarity(const std::vector<EntityId>& seeds,
   return sum / static_cast<double>(seeds.size());
 }
 
-std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
-                                                 size_t size) const {
-  UW_SPAN("retexpan.initial_expansion");
-  const std::vector<EntityId> seeds = SortedSeedsOf(query);
-  // Batched recall: one centroid fold plus one blocked dot per candidate
-  // (EntityStore::SeedCentroidScores) instead of |seeds| per-pair cosines
-  // with recomputed norms, streamed into a bounded top-k heap instead of
-  // materialize-then-partial-sort. Candidate positions keep the original
-  // index tie-break.
-  std::vector<size_t> positions;
-  std::vector<EntityId> non_seed;
-  positions.reserve(candidates_->size());
-  non_seed.reserve(candidates_->size());
+void RetExpan::SetAnnIndex(const IvfIndex* ann) {
+  ann_ = ann;
+  position_of_.clear();
+  absent_positions_.clear();
+  if (ann == nullptr) return;
+  EntityId max_id = -1;
+  for (const EntityId id : *candidates_) max_id = std::max(max_id, id);
+  position_of_.assign(static_cast<size_t>(max_id) + 1, -1);
   for (size_t i = 0; i < candidates_->size(); ++i) {
     const EntityId id = (*candidates_)[i];
-    if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
-    positions.push_back(i);
-    non_seed.push_back(id);
+    UW_CHECK_GE(id, 0);
+    UW_CHECK_LT(position_of_[static_cast<size_t>(id)], 0)
+        << "duplicate candidate id " << id
+        << " breaks the ANN-vs-full-scan position tie-break";
+    position_of_[static_cast<size_t>(id)] = static_cast<int64_t>(i);
+    if (!store_->Has(id)) absent_positions_.push_back(i);
   }
-  const std::vector<float> scores =
-      store_->SeedCentroidScores(query.pos_seeds, non_seed);
-  obs::GetCounter("retexpan.candidates_scored")
-      .Increment(static_cast<int64_t>(non_seed.size()));
+}
+
+std::vector<EntityId> RetExpan::InitialExpansion(const Query& query,
+                                                 size_t size) const {
+  const std::vector<EntityId> seeds = SortedSeedsOf(query);
+  const bool use_ann =
+      ann_ != nullptr && candidates_->size() >= config_.ann_min_candidates;
+  if (ann_ != nullptr && !use_ann) {
+    obs::GetCounter("ann.fallback_exact").Increment();
+  }
   TopKStream stream(size);
-  for (size_t i = 0; i < positions.size(); ++i) {
-    stream.Push(scores[i], positions[i]);
+  if (use_ann) {
+    // ANN recall: probe the IVF lists nearest the seed centroid, then
+    // rerank the retrieved superset with the *exact* centroid kernel —
+    // the very DotBlocked expression the full scan uses — so every
+    // surviving candidate carries its full-scan score, and the only
+    // approximation is which candidates were retrieved at all.
+    UW_SPAN("retexpan.initial_expansion_ann");
+    const Vec centroid = store_->SeedCentroidOf(query.pos_seeds);
+    const int nprobe =
+        config_.ann_nprobe > 0 ? config_.ann_nprobe : ann_->config().nprobe;
+    // Seeds get filtered out below, so ask the first stage for enough
+    // candidates that the rerank depth never starves.
+    const std::vector<EntityId> retrieved =
+        ann_->Candidates(centroid, nprobe, size + seeds.size());
+    std::vector<size_t> positions;
+    std::vector<EntityId> kept;
+    positions.reserve(retrieved.size());
+    kept.reserve(retrieved.size());
+    for (const EntityId id : retrieved) {
+      if (static_cast<size_t>(id) >= position_of_.size()) continue;
+      const int64_t pos = position_of_[static_cast<size_t>(id)];
+      if (pos < 0) continue;  // in the store but not a candidate
+      if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+      positions.push_back(static_cast<size_t>(pos));
+      kept.push_back(id);
+    }
+    const std::vector<float> scores = store_->CentroidScores(centroid, kept);
+    obs::GetCounter("retexpan.candidates_scored")
+        .Increment(static_cast<int64_t>(kept.size()));
+    for (size_t i = 0; i < positions.size(); ++i) {
+      stream.Push(scores[i], positions[i]);
+    }
+    // Candidates absent from the store score exactly 0 in the full scan
+    // (zero unit row); push that same 0 so a ranking whose tail reaches
+    // them is unchanged.
+    for (const size_t pos : absent_positions_) {
+      const EntityId id = (*candidates_)[pos];
+      if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+      stream.Push(0.0f, pos);
+    }
+  } else {
+    // Batched recall: one centroid fold plus one blocked dot per candidate
+    // (EntityStore::SeedCentroidScores) instead of |seeds| per-pair cosines
+    // with recomputed norms, streamed into a bounded top-k heap instead of
+    // materialize-then-partial-sort. Candidate positions keep the original
+    // index tie-break.
+    UW_SPAN("retexpan.initial_expansion");
+    std::vector<size_t> positions;
+    std::vector<EntityId> non_seed;
+    positions.reserve(candidates_->size());
+    non_seed.reserve(candidates_->size());
+    for (size_t i = 0; i < candidates_->size(); ++i) {
+      const EntityId id = (*candidates_)[i];
+      if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+      positions.push_back(i);
+      non_seed.push_back(id);
+    }
+    const std::vector<float> scores =
+        store_->SeedCentroidScores(query.pos_seeds, non_seed);
+    obs::GetCounter("retexpan.candidates_scored")
+        .Increment(static_cast<int64_t>(non_seed.size()));
+    for (size_t i = 0; i < positions.size(); ++i) {
+      stream.Push(scores[i], positions[i]);
+    }
   }
   const std::vector<ScoredIndex> scored = stream.TakeSortedDescending();
   std::vector<EntityId> initial;

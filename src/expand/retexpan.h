@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "embedding/entity_store.h"
 #include "expand/expander.h"
 
@@ -19,6 +20,16 @@ struct RetExpanConfig {
   int rerank_segment_length = 20;
   /// Disable to obtain the "- Neg Rerank" ablation of Table 5.
   bool use_negative_rerank = true;
+  /// IVF lists probed by the ANN first stage when an index is attached
+  /// (SetAnnIndex). 0 = the index's configured default. The recall knob:
+  /// nprobe == nlist reproduces the exact full scan bit for bit.
+  /// Pipeline::MakeRetExpan resolves UW_ANN_NPROBE here.
+  int ann_nprobe = 0;
+  /// The ANN first stage only engages when the candidate vocabulary is at
+  /// least this large; smaller vocabularies take the exact scan (its cost
+  /// is already trivial, and the IVF adds constant overhead). Tests set 0
+  /// to force the ANN path at tiny scale.
+  size_t ann_min_candidates = 4096;
 };
 
 /// The retrieval-based framework (paper §5.1): entity representation →
@@ -50,6 +61,15 @@ class RetExpan : public Expander {
   std::vector<EntityId> InitialExpansion(const Query& query,
                                          size_t size) const;
 
+  /// Attaches an ANN first stage (nullptr detaches). `ann` must be built
+  /// over the same EntityStore this expander ranks with and must outlive
+  /// the expander. When attached — and the candidate vocabulary clears
+  /// `config.ann_min_candidates` — InitialExpansion retrieves an IVF
+  /// candidate superset and reranks it with the exact centroid kernel;
+  /// candidates absent from the store keep their exact score of 0, so at
+  /// nprobe == nlist the ranking is bit-identical to the full scan.
+  void SetAnnIndex(const IvfIndex* ann);
+
   const RetExpanConfig& config() const { return config_; }
 
  private:
@@ -57,6 +77,15 @@ class RetExpan : public Expander {
   const std::vector<EntityId>* candidates_;
   RetExpanConfig config_;
   std::string name_;
+  const IvfIndex* ann_ = nullptr;
+  /// Position of each EntityId in `candidates_` (-1 = not a candidate);
+  /// built by SetAnnIndex so the ANN path keeps the full scan's
+  /// position-based tie-break. Indexed by id.
+  std::vector<int64_t> position_of_;
+  /// Candidate positions whose entity is absent from the store. The full
+  /// scan scores them exactly 0; the ANN path pushes that same 0 so the
+  /// tail of a ranking that reaches zero-scored entities stays identical.
+  std::vector<size_t> absent_positions_;
 };
 
 }  // namespace ultrawiki

@@ -871,4 +871,77 @@ StatusOr<EntityStore> LoadEntityStoreSnapshot(const std::string& path) {
   return EntityStore::Restore(static_cast<size_t>(dim), std::move(hidden));
 }
 
+// --- IvfIndex (ANN) ---
+
+namespace {
+
+/// Payload version for SnapshotKind::kAnnIndex; the envelope version
+/// (kSnapshotVersion) covers the framing, this covers the IVF encoding.
+constexpr uint32_t kAnnPayloadVersion = 1;
+
+}  // namespace
+
+Status SaveAnnIndexSnapshot(const IvfIndex& index,
+                            const std::string& path) {
+  SnapshotWriter out;
+  out.PutU32(kAnnPayloadVersion);
+  out.PutU64(FingerprintConfig(index.config()));
+  out.PutU64(index.dim());
+  out.PutU64(index.nlist());
+  out.PutFloats(index.centroids());
+  for (const std::vector<EntityId>& list : index.lists()) {
+    out.PutI32Vec(list);
+  }
+  return WriteSnapshotFile(path, SnapshotKind::kAnnIndex, out);
+}
+
+StatusOr<IvfIndex> LoadAnnIndexSnapshot(const std::string& path,
+                                        const IvfConfig& config) {
+  auto payload = ReadSnapshotFile(path, SnapshotKind::kAnnIndex);
+  if (!payload.ok()) return payload.status();
+  SnapshotReader in(*payload);
+  uint32_t version;
+  if (!in.ReadU32(&version)) {
+    return Status::Internal("corrupt ANN snapshot (version)");
+  }
+  if (version != kAnnPayloadVersion) {
+    return Status::Internal("unsupported ANN payload version " +
+                            std::to_string(version));
+  }
+  uint64_t fingerprint;
+  if (!in.ReadU64(&fingerprint)) {
+    return Status::Internal("corrupt ANN snapshot (config fingerprint)");
+  }
+  if (fingerprint != FingerprintConfig(config)) {
+    return Status::Internal(
+        "ANN snapshot was built from a different IvfConfig: " + path);
+  }
+  uint64_t dim;
+  uint64_t nlist;
+  if (!in.ReadU64(&dim) || !in.ReadU64(&nlist)) {
+    return Status::Internal("corrupt ANN snapshot (geometry)");
+  }
+  if (dim > kMaxDim) {
+    return Status::Internal("ANN snapshot has implausible dim " +
+                            std::to_string(dim));
+  }
+  if (dim > 0 && nlist > in.remaining() / (dim * sizeof(float))) {
+    return Status::Internal("ANN snapshot nlist exceeds remaining payload");
+  }
+  std::vector<float> centroids(static_cast<size_t>(nlist * dim));
+  if (!in.ReadFloats(centroids)) {
+    return Status::Internal("corrupt ANN snapshot (centroids)");
+  }
+  std::vector<std::vector<EntityId>> lists(static_cast<size_t>(nlist));
+  for (std::vector<EntityId>& list : lists) {
+    if (!in.ReadI32Vec(&list)) {
+      return Status::Internal("corrupt ANN snapshot (list)");
+    }
+  }
+  Status status = in.Finish();
+  if (!status.ok()) return status;
+  return IvfIndex::Restore(config, static_cast<size_t>(dim),
+                           std::move(centroids), std::move(lists));
+}
+
 }  // namespace ultrawiki

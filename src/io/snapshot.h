@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "common/status.h"
 #include "corpus/corpus.h"
 #include "corpus/generator.h"
@@ -64,6 +65,7 @@ enum class SnapshotKind : uint32_t {
   kWorld = 3,
   kInvertedIndex = 4,
   kEntityStore = 5,
+  kAnnIndex = 6,
 };
 
 /// CRC32 (IEEE 802.3 polynomial, reflected) of `data`, continuing from
@@ -180,6 +182,17 @@ StatusOr<InvertedIndex> LoadIndexSnapshot(const std::string& path);
 Status SaveEntityStoreSnapshot(const EntityStore& store,
                                const std::string& path);
 StatusOr<EntityStore> LoadEntityStoreSnapshot(const std::string& path);
+
+/// IVF-Flat ANN index: versioned payload carrying the config fingerprint,
+/// centroid matrix, and per-list member ids. Load rejects a file whose
+/// stored config fingerprint differs from `config` (the caller's cache key
+/// already encodes it; this is the fail-closed double-check) and funnels
+/// the geometry through IvfIndex::Restore, so a checksum-valid file with
+/// inconsistent lists still fails closed. A restored index answers
+/// Candidates() bit-identically to the one that was saved.
+Status SaveAnnIndexSnapshot(const IvfIndex& index, const std::string& path);
+StatusOr<IvfIndex> LoadAnnIndexSnapshot(const std::string& path,
+                                        const IvfConfig& config);
 
 // The ContextEncoder lives on the same framing via SaveEncoder /
 // LoadEncoder in io/model_io.h (SnapshotKind::kEncoder).

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "ann/ivf_index.h"
 #include "common/logging.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -149,7 +150,26 @@ AdminServer::HttpReply AdminServer::Handle(const std::string& path) const {
     reply.body += std::to_string(slow_log.total_recorded());
     reply.body += ",\"slow_log_capacity\":";
     reply.body += std::to_string(slow_log.capacity());
-    reply.body += "}\n";
+    // ANN first-stage health: whether the knob is on for this process,
+    // index shape, and the query/probe counters that show how much of the
+    // store the IVF path is actually touching.
+    reply.body += ",\"ann\":{\"enabled\":";
+    reply.body += AnnEnabledFromEnv() ? "1" : "0";
+    reply.body += ",\"nlist\":";
+    reply.body += std::to_string(obs::GetGauge("ann.nlist").Value());
+    reply.body += ",\"rows\":";
+    reply.body += std::to_string(obs::GetGauge("ann.rows").Value());
+    reply.body += ",\"queries\":";
+    reply.body += std::to_string(obs::GetCounter("ann.queries").Value());
+    reply.body += ",\"lists_probed\":";
+    reply.body += std::to_string(obs::GetCounter("ann.lists_probed").Value());
+    reply.body += ",\"candidates_returned\":";
+    reply.body +=
+        std::to_string(obs::GetCounter("ann.candidates_returned").Value());
+    reply.body += ",\"fallback_exact\":";
+    reply.body +=
+        std::to_string(obs::GetCounter("ann.fallback_exact").Value());
+    reply.body += "}}\n";
     return reply;
   }
   if (path == "/slow") {

@@ -281,6 +281,58 @@ TEST_F(TrainerTest, SeedCentroidScoresAbsentSeedsCountInDenominator) {
   EXPECT_TRUE(store.SeedCentroidScores({0}, {}).empty());
 }
 
+TEST_F(TrainerTest, SeedCentroidScoresAllAbsentSeedsScoreZero) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, {0, 1, 2}, {});
+  // Every seed absent: the folded centroid is the zero vector, so every
+  // candidate — present or not — scores exactly 0, same as the per-pair
+  // convention (each pair contributes cosine 0).
+  const std::vector<EntityId> candidates = {0, 1, 2, 999999};
+  EXPECT_EQ(store.SeedCentroidScores({999997, 999998}, candidates),
+            std::vector<float>(candidates.size(), 0.0f));
+  const Vec centroid = store.SeedCentroidOf({999997, 999998});
+  EXPECT_EQ(centroid, Vec(store.dim(), 0.0f));
+}
+
+TEST_F(TrainerTest, SeedCentroidScoresSingleEntityStore) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  // Default config centers the store ("all-but-the-top"), and a
+  // single-entity store's mean is its only row — the centered row is
+  // exactly zero, so every score degrades to 0, never NaN.
+  const EntityStore centered =
+      EntityStore::Build(world_->corpus, encoder, {0}, {});
+  EXPECT_EQ(centered.SeedCentroidScores({0}, {0, 1, 999999}),
+            std::vector<float>(3, 0.0f));
+  // With centering off the lone entity keeps its row: seeding with
+  // itself scores its self-similarity (1) and absent candidates 0.
+  EntityStoreConfig uncentered;
+  uncentered.center = false;
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, {0}, uncentered);
+  const std::vector<float> scores =
+      store.SeedCentroidScores({0}, {0, 1, 999999});
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_NEAR(scores[0], 1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(scores[1], 0.0f);
+  EXPECT_FLOAT_EQ(scores[2], 0.0f);
+}
+
+TEST_F(TrainerTest, CentroidScoresMatchesSeedCentroidScores) {
+  ContextEncoder encoder(world_->corpus.tokens().size(),
+                         world_->corpus.entity_count(), TinyEncoderConfig());
+  const EntityStore store =
+      EntityStore::Build(world_->corpus, encoder, {0, 1, 2, 5}, {});
+  const std::vector<EntityId> seeds = {0, 5};
+  const std::vector<EntityId> candidates = {0, 1, 2, 5, 999999};
+  // The decomposed form (explicit fold + explicit rerank) the ANN path
+  // uses must be bit-identical to the fused entry point.
+  EXPECT_EQ(store.CentroidScores(store.SeedCentroidOf(seeds), candidates),
+            store.SeedCentroidScores(seeds, candidates));
+}
+
 TEST_F(TrainerTest, SparseDistributionsTruncated) {
   ContextEncoder encoder(world_->corpus.tokens().size(),
                          world_->corpus.entity_count(), TinyEncoderConfig());

@@ -26,6 +26,7 @@ be listed -- they are not deterministic and would make the gate flaky.
 Usage:
     bench_gate.py check  --baseline bench/baselines/foo.json --snapshot out.json
     bench_gate.py update --baseline bench/baselines/foo.json --snapshot out.json
+    bench_gate.py check  --baseline bench/baselines/foo.json --list
 
 `check` exits 0 when every listed metric is within tolerance and 1
 otherwise, printing a per-metric PASS/FAIL table. A metric listed in the
@@ -46,6 +47,46 @@ def load_json(path):
             return json.load(f)
     except (OSError, ValueError) as err:
         sys.exit(f"bench_gate: cannot read {path}: {err}")
+
+
+def load_baseline(path):
+    """Load a baseline file with failure messages that name the file and
+    say how to repair it (a bare JSON traceback helps nobody in CI)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as err:
+        sys.exit(
+            f"bench_gate: baseline file {path} is missing or unreadable "
+            f"({err.strerror}); check the --baseline path, or create the "
+            "file with a 'metrics' selection and fill in its values with "
+            f"`bench_gate.py update --baseline {path} --snapshot <out.json>`")
+    try:
+        baseline = json.loads(raw)
+    except ValueError as err:
+        sys.exit(
+            f"bench_gate: baseline file {path} is not valid JSON ({err}); "
+            "fix it by hand or regenerate it with `bench_gate.py update` "
+            "from a known-good snapshot")
+    if not isinstance(baseline, dict) or not isinstance(
+            baseline.get("metrics"), dict):
+        sys.exit(
+            f"bench_gate: baseline file {path} has no 'metrics' object; "
+            "expected {\"bench\": ..., \"metrics\": {\"<kind>/<name>\": "
+            "{\"value\": ..., \"tolerance_pct\": ...}}}")
+    return baseline
+
+
+def run_list(baseline, baseline_path):
+    metrics = baseline["metrics"]
+    print(f"bench_gate: {len(metrics)} gated metric(s) in {baseline_path} "
+          f"(bench {baseline.get('bench', '?')})")
+    width = max((len(k) for k in metrics), default=0)
+    for key in sorted(metrics):
+        entry = metrics[key]
+        print(f"  {key:{width}s}  value={entry['value']} "
+              f"slack={allowed_slack(entry):g}")
+    return 0
 
 
 def snapshot_value(snapshot, key):
@@ -131,13 +172,18 @@ def main():
     parser.add_argument("mode", choices=("check", "update"))
     parser.add_argument("--baseline", required=True,
                         help="bench/baselines/*.json baseline file")
-    parser.add_argument("--snapshot", required=True,
+    parser.add_argument("--snapshot",
                         help="UW_BENCH_JSON output of the bench binary")
+    parser.add_argument("--list", action="store_true",
+                        help="print the baseline's gated metrics and exit "
+                             "(no snapshot needed)")
     args = parser.parse_args()
 
-    baseline = load_json(args.baseline)
-    if "metrics" not in baseline or not isinstance(baseline["metrics"], dict):
-        sys.exit(f"bench_gate: {args.baseline} has no 'metrics' object")
+    baseline = load_baseline(args.baseline)
+    if args.list:
+        sys.exit(run_list(baseline, args.baseline))
+    if not args.snapshot:
+        parser.error("--snapshot is required unless --list is given")
     snapshot = load_json(args.snapshot)
 
     if args.mode == "check":
