@@ -1,4 +1,4 @@
-// Load generator for the online expansion service (src/serve/): three
+// Load generator for the online expansion service (src/serve/): four
 // phases over one resident pipeline.
 //
 //   1. Closed loop — N client connections over loopback TCP, each
@@ -9,6 +9,9 @@
 //   3. Forced overload — a separate service with a 4-deep queue and a
 //      synthetic per-batch delay; the burst must shed, and every
 //      accepted result must stay bit-identical to the offline expander.
+//   4. Sharded cluster — two shards behind a ClusterRouter (shard 0
+//      replicated), mixed-method load with a replica killed mid-run;
+//      zero client-visible failures and bit-identical rankings.
 //
 // Latency percentiles (p50/p90/p95/p99 of serve.latency_us) and the
 // serve.bench.* throughput gauges land in the UW_BENCH_JSON snapshot via
@@ -19,6 +22,7 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +32,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "serve/service.h"
 
@@ -248,6 +253,111 @@ int RunOverload(Pipeline& pipeline, const ReferenceSet& reference) {
   return mismatches;
 }
 
+/// Phase 4: the sharded scatter-gather cluster under load, with a
+/// replica killed mid-run. Two shards (shard 0 replicated twice), a
+/// ClusterRouter fronted by its own TcpServer, closed-loop clients
+/// mixing both methods; halfway through, one replica of shard 0 is shut
+/// down hard. Every request must still succeed (failover, not errors)
+/// and every verified ranking must stay bit-identical to the offline
+/// expanders. Returns the mismatch count.
+int RunCluster(Pipeline& pipeline, const ReferenceSet& reference) {
+  constexpr int kShards = 2;
+  struct ShardReplica {
+    std::unique_ptr<ExpansionService> service;
+    std::unique_ptr<TcpServer> server;
+  };
+  // Replicas 0 and 1 serve shard 0; replica 2 serves shard 1.
+  std::vector<ShardReplica> replicas;
+  serve::RouterConfig topology;
+  topology.shard_count = kShards;
+  topology.health_poll_ms = 50;
+  for (const int shard : {0, 0, 1}) {
+    ShardReplica replica;
+    replica.service = std::make_unique<ExpansionService>(pipeline);
+    UW_CHECK_OK(replica.service->EnableSharding({shard, kShards}));
+    UW_CHECK_OK(replica.service->PrewarmMethods(kMethods));
+    replica.server = std::make_unique<TcpServer>(*replica.service);
+    UW_CHECK_OK(replica.server->Start(/*port=*/0));
+    serve::ReplicaEndpoint endpoint;
+    endpoint.shard = shard;
+    endpoint.port = replica.server->port();
+    topology.replicas.push_back(endpoint);
+    replicas.push_back(std::move(replica));
+  }
+  serve::ClusterRouter router(std::move(topology));
+  UW_CHECK_OK(router.Start());
+  TcpServer front(router);
+  UW_CHECK_OK(front.Start(/*port=*/0));
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 64;
+  const size_t query_count = pipeline.dataset().queries.size();
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> completed{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ServeClient::Connect("127.0.0.1", front.port());
+      UW_CHECK_OK(client.status());
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const size_t method_index = (c + i) % kMethods.size();
+        const uint32_t query_index = static_cast<uint32_t>(
+            (c * kRequestsPerClient + i) % query_count);
+        const auto ranking = client->ExpandByIndex(
+            kMethods[method_index], query_index, kK);
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!ranking.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (query_index < reference.verify_count &&
+            *ranking != reference.rankings[method_index][query_index]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Kill one replica of the replicated shard once the load is flowing;
+  // the router must absorb it as failover retries, not client errors.
+  constexpr int kTotal = kClients * kRequestsPerClient;
+  while (completed.load(std::memory_order_relaxed) < kTotal / 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  replicas[0].server->Shutdown();
+  for (auto& thread : clients) thread.join();
+  const double seconds = SecondsSince(start);
+
+  front.Shutdown();
+  router.Drain();
+  for (size_t r = 1; r < replicas.size(); ++r) {
+    replicas[r].server->Shutdown();
+  }
+  UW_CHECK_EQ(failures.load(), 0);
+  UW_CHECK_EQ(front.protocol_errors(), 0);
+
+  const int64_t qps =
+      seconds > 0 ? static_cast<int64_t>(kTotal / seconds) : 0;
+  obs::GetGauge("serve.bench.cluster.requests").Set(kTotal);
+  obs::GetGauge("serve.bench.cluster.qps").Set(qps);
+  obs::GetGauge("serve.bench.cluster.failovers")
+      .Set(obs::GetCounter("router.failovers").Value());
+  std::fprintf(stderr,
+               "[serving] cluster: %d requests over %d connections "
+               "through a %d-shard router in %.2fs (%lld qps), replica "
+               "killed mid-run, %lld failovers\n",
+               kTotal, kClients, kShards, seconds,
+               static_cast<long long>(qps),
+               static_cast<long long>(
+                   obs::GetCounter("router.failovers").Value()));
+  std::printf("cluster: %d requests through %d shards with a mid-run "
+              "replica kill, %d verified mismatches\n",
+              kTotal, kShards, mismatches.load());
+  return mismatches.load();
+}
+
 int Run() {
   Pipeline pipeline = Pipeline::Build(BenchPipelineConfig());
   const ReferenceSet reference = BuildReference(pipeline);
@@ -256,6 +366,7 @@ int Run() {
   mismatches += RunClosedLoop(pipeline, reference);
   mismatches += RunOpenLoop(pipeline, reference);
   mismatches += RunOverload(pipeline, reference);
+  mismatches += RunCluster(pipeline, reference);
   std::printf("serving bench verdict: %s\n",
               mismatches == 0 ? "all verified rankings bit-identical"
                               : "RANKING MISMATCH");

@@ -370,6 +370,78 @@ const IvfIndex& Pipeline::ann_index() {
   return *ann_index_;
 }
 
+std::vector<size_t> ShardCandidatePositions(size_t candidate_count,
+                                            const ShardSpec& spec) {
+  UW_CHECK(spec.valid()) << "bad shard spec " << spec.index << "/"
+                         << spec.count;
+  std::vector<size_t> positions;
+  positions.reserve(candidate_count / static_cast<size_t>(spec.count) + 1);
+  for (size_t p = static_cast<size_t>(spec.index); p < candidate_count;
+       p += static_cast<size_t>(spec.count)) {
+    positions.push_back(p);
+  }
+  return positions;
+}
+
+uint64_t Pipeline::ShardStoreKey(const ShardSpec& spec) const {
+  if (store_key_ == 0) return 0;
+  // Distinct type tag so a shard store never collides with the full
+  // store or another derived artifact under the same provenance.
+  return CombineFingerprints({store_key_, 0x5348415244ull /* "SHARD" */,
+                              static_cast<uint64_t>(spec.count),
+                              static_cast<uint64_t>(spec.index)});
+}
+
+std::unique_ptr<EntityStore> Pipeline::BuildShardStore(
+    const ShardSpec& spec) {
+  UW_CHECK(spec.valid()) << "bad shard spec " << spec.index << "/"
+                         << spec.count;
+  UW_SPAN("pipeline.build_shard_store");
+  ArtifactCache& cache = ArtifactCache::Global();
+  const uint64_t key = ShardStoreKey(spec);
+  if (key != 0) {
+    auto cached = TryLoadCached(cache, "shard_store", key,
+                                [](const std::string& path) {
+                                  return LoadEntityStoreSnapshot(path);
+                                });
+    if (cached.has_value()) {
+      return std::make_unique<EntityStore>(std::move(*cached));
+    }
+  }
+  // Rows for the shard's candidate slice plus every seed entity of every
+  // dataset query. Seed replication keeps SeedCentroidOf bit-exact on
+  // every shard: the centroid folds the same unit rows in the same
+  // argument order as the full store.
+  std::vector<Vec> hidden(store_->slot_count());
+  int64_t rows = 0;
+  const auto keep = [&](EntityId id) {
+    if (id < 0 || static_cast<size_t>(id) >= hidden.size()) return;
+    if (!store_->Has(id) || !hidden[static_cast<size_t>(id)].empty()) return;
+    const std::span<const float> row = store_->HiddenOf(id);
+    hidden[static_cast<size_t>(id)].assign(row.begin(), row.end());
+    ++rows;
+  };
+  for (const size_t position :
+       ShardCandidatePositions(dataset_.candidates.size(), spec)) {
+    keep(dataset_.candidates[position]);
+  }
+  for (const Query& query : dataset_.queries) {
+    for (const EntityId id : query.pos_seeds) keep(id);
+    for (const EntityId id : query.neg_seeds) keep(id);
+  }
+  obs::GetCounter("pipeline.shard_store_builds").Increment();
+  obs::GetGauge("pipeline.shard_store_rows").Set(rows);
+  auto shard_store = std::make_unique<EntityStore>(
+      EntityStore::Restore(store_->dim(), std::move(hidden)));
+  if (key != 0) {
+    StoreCached(cache, "shard_store", key,
+                [&shard_store](const std::string& path) {
+                  return SaveEntityStoreSnapshot(*shard_store, path);
+                });
+  }
+  return shard_store;
+}
+
 std::unique_ptr<EntityStore> Pipeline::BuildEncoderStore(
     const EntityPredictionTrainConfig& train) {
   const Corpus& corpus = world_.corpus;

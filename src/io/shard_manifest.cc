@@ -1,0 +1,54 @@
+#include "io/shard_manifest.h"
+
+#include "io/snapshot.h"
+
+namespace ultrawiki {
+
+Status SaveShardManifest(const ShardManifest& manifest,
+                         const std::string& path) {
+  if (manifest.shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be positive");
+  }
+  if (manifest.shard_store_keys.size() != manifest.shard_count) {
+    return Status::InvalidArgument("shard_store_keys size mismatch");
+  }
+  SnapshotWriter writer;
+  writer.PutU64(manifest.generation);
+  writer.PutU32(manifest.shard_count);
+  writer.PutU64(manifest.store_fingerprint);
+  writer.PutU64(manifest.shard_store_keys.size());
+  for (const uint64_t key : manifest.shard_store_keys) writer.PutU64(key);
+  return WriteSnapshotFile(path, SnapshotKind::kShardManifest, writer);
+}
+
+StatusOr<ShardManifest> LoadShardManifest(const std::string& path) {
+  StatusOr<std::string> payload =
+      ReadSnapshotFile(path, SnapshotKind::kShardManifest);
+  if (!payload.ok()) return payload.status();
+  SnapshotReader reader(*payload);
+  ShardManifest manifest;
+  reader.ReadU64(&manifest.generation);
+  reader.ReadU32(&manifest.shard_count);
+  reader.ReadU64(&manifest.store_fingerprint);
+  uint64_t key_count = 0;
+  reader.ReadU64(&key_count);
+  if (reader.ok() && key_count * 8 > reader.remaining()) {
+    reader.Corrupt("shard key count exceeds payload");
+  }
+  if (reader.ok()) {
+    manifest.shard_store_keys.resize(static_cast<size_t>(key_count));
+    for (uint64_t& key : manifest.shard_store_keys) reader.ReadU64(&key);
+  }
+  if (reader.ok() && manifest.shard_count == 0) {
+    reader.Corrupt("shard_count is zero");
+  }
+  if (reader.ok() &&
+      manifest.shard_store_keys.size() != manifest.shard_count) {
+    reader.Corrupt("shard key count disagrees with shard_count");
+  }
+  Status status = reader.Finish();
+  if (!status.ok()) return status;
+  return manifest;
+}
+
+}  // namespace ultrawiki

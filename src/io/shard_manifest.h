@@ -1,0 +1,39 @@
+#ifndef ULTRAWIKI_IO_SHARD_MANIFEST_H_
+#define ULTRAWIKI_IO_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ultrawiki {
+
+/// Topology record of one serving-cluster generation: how many shards the
+/// candidate list is partitioned into, the provenance fingerprint of the
+/// full store the shards were derived from, and the artifact-cache key of
+/// each shard's EntityStore payload. Shard servers write it next to the
+/// cache (every shard writes identical bytes, and WriteSnapshotFile's
+/// atomic rename makes concurrent writers safe); the router loads it to
+/// validate its endpoint topology against what the shards actually serve
+/// before taking traffic onto a generation.
+struct ShardManifest {
+  /// Generation counter of the hot-swap path (0 = the boot generation).
+  uint64_t generation = 0;
+  uint32_t shard_count = 1;
+  /// Pipeline::store_key() of the full store (0 = unknown provenance).
+  uint64_t store_fingerprint = 0;
+  /// Pipeline::ShardStoreKey per shard index; size == shard_count.
+  std::vector<uint64_t> shard_store_keys;
+};
+
+/// UWS2 snapshot (SnapshotKind::kShardManifest) round trip. Load fails
+/// closed: a zero shard count, a key list whose length disagrees with
+/// shard_count, truncation, and checksum mismatch all reject the file.
+Status SaveShardManifest(const ShardManifest& manifest,
+                         const std::string& path);
+StatusOr<ShardManifest> LoadShardManifest(const std::string& path);
+
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_IO_SHARD_MANIFEST_H_

@@ -66,6 +66,7 @@ enum class SnapshotKind : uint32_t {
   kInvertedIndex = 4,
   kEntityStore = 5,
   kAnnIndex = 6,
+  kShardManifest = 7,
 };
 
 /// CRC32 (IEEE 802.3 polynomial, reflected) of `data`, continuing from

@@ -1,13 +1,7 @@
 #include "serve/admin.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 
 #include "ann/ivf_index.h"
 #include "common/logging.h"
@@ -50,68 +44,21 @@ const char* ReasonPhrase(int status) {
 
 }  // namespace
 
-AdminServer::AdminServer(ExpansionService& service) : service_(service) {}
+AdminServer::AdminServer(ServiceHost& host)
+    : host_(host),
+      listener_("serve.admin", [this](int fd) { HandleConnection(fd); }) {}
+
+AdminServer::AdminServer(ExpansionService& service)
+    : owned_host_(std::make_unique<ServiceHost>()),
+      host_(*owned_host_),
+      listener_("serve.admin", [this](int fd) { HandleConnection(fd); }) {
+  owned_host_->Install(ServiceHost::Borrow(service));
+}
 
 AdminServer::~AdminServer() { Shutdown(); }
 
 Status AdminServer::Start(int port) {
-  UW_CHECK_EQ(listen_fd_, -1) << "Start called twice";
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status status =
-        Status::Internal(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) < 0) {
-    const Status status =
-        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  port_ = static_cast<int>(ntohs(addr.sin_port));
-  if (::listen(listen_fd_, /*backlog=*/16) < 0) {
-    const Status status =
-        Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::Ok();
-}
-
-void AdminServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      if (stopping_.load(std::memory_order_acquire)) return;
-      UW_LOG(Warning) << "admin accept: " << std::strerror(errno);
-      return;
-    }
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
-  }
+  return listener_.Start(port, /*backlog=*/16);
 }
 
 AdminServer::HttpReply AdminServer::Handle(const std::string& path) const {
@@ -120,10 +67,15 @@ AdminServer::HttpReply AdminServer::Handle(const std::string& path) const {
     reply.body = obs::ExportPrometheus(obs::SnapshotMetrics());
     return reply;
   }
+  // Status routes pin the current generation so a concurrent hot swap
+  // cannot yank the service out from under the field reads.
+  const std::shared_ptr<ServiceHost::Generation> generation = host_.Current();
+  const ExpansionService* service =
+      generation != nullptr ? generation->service : nullptr;
   if (path == "/healthz") {
-    if (service_.draining()) {
+    if (service == nullptr || service->draining()) {
       reply.status = 503;
-      reply.body = "draining\n";
+      reply.body = service == nullptr ? "no generation\n" : "draining\n";
     } else {
       reply.body = "ok\n";
     }
@@ -131,21 +83,34 @@ AdminServer::HttpReply AdminServer::Handle(const std::string& path) const {
   }
   if (path == "/statusz") {
     const obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+    const ServeConfig config =
+        service != nullptr ? service->config() : ServeConfig{};
+    const ShardSpec shard =
+        service != nullptr ? service->shard_spec() : ShardSpec{};
     reply.content_type = "application/json";
     reply.body = "{\"draining\":";
-    reply.body += service_.draining() ? "1" : "0";
+    reply.body += (service == nullptr || service->draining()) ? "1" : "0";
     reply.body += ",\"queue_depth\":";
-    reply.body += std::to_string(service_.queue_depth());
+    reply.body += std::to_string(service != nullptr ? service->queue_depth()
+                                                    : 0);
     reply.body += ",\"inflight\":";
-    reply.body += std::to_string(service_.inflight());
+    reply.body +=
+        std::to_string(service != nullptr ? service->inflight() : 0);
+    reply.body += ",\"generation\":";
+    reply.body +=
+        std::to_string(generation != nullptr ? generation->id : 0);
+    reply.body += ",\"shard_index\":";
+    reply.body += std::to_string(shard.index);
+    reply.body += ",\"shard_count\":";
+    reply.body += std::to_string(shard.count);
     reply.body += ",\"max_queue\":";
-    reply.body += std::to_string(service_.config().max_queue);
+    reply.body += std::to_string(config.max_queue);
     reply.body += ",\"max_batch\":";
-    reply.body += std::to_string(service_.config().max_batch);
+    reply.body += std::to_string(config.max_batch);
     reply.body += ",\"trace_sample\":";
-    reply.body += std::to_string(service_.config().trace_sample);
+    reply.body += std::to_string(config.trace_sample);
     reply.body += ",\"slow_query_ms\":";
-    reply.body += std::to_string(service_.config().slow_query_ms);
+    reply.body += std::to_string(config.slow_query_ms);
     reply.body += ",\"slow_log_recorded\":";
     reply.body += std::to_string(slow_log.total_recorded());
     reply.body += ",\"slow_log_capacity\":";
@@ -192,7 +157,8 @@ AdminServer::HttpReply AdminServer::Handle(const std::string& path) const {
 
 void AdminServer::HandleConnection(int fd) {
   // One request per connection (HTTP/1.0 close semantics): read what the
-  // client sent — the request line is all we route on — answer, close.
+  // client sent — the request line is all we route on — answer, done.
+  // The fd is owned by the listener, which closes it when we return.
   char buffer[4096];
   const ssize_t got = ::recv(fd, buffer, sizeof(buffer) - 1, 0);
   if (got > 0) {
@@ -210,26 +176,9 @@ void AdminServer::HandleConnection(int fd) {
     out += reply.body;
     (void)WriteAll(fd, out.data(), out.size());
   }
-  ::close(fd);
 }
 
-void AdminServer::Shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    stopping_.store(true, std::memory_order_release);
-    if (listen_fd_ >= 0) {
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      ::close(listen_fd_);
-    }
-    if (accept_thread_.joinable()) accept_thread_.join();
-    std::vector<std::thread> threads;
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      threads.swap(conn_threads_);
-    }
-    for (std::thread& thread : threads) thread.join();
-    listen_fd_ = -1;
-  });
-}
+void AdminServer::Shutdown() { listener_.Shutdown(); }
 
 }  // namespace serve
 }  // namespace ultrawiki

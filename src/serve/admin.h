@@ -1,42 +1,53 @@
 #ifndef ULTRAWIKI_SERVE_ADMIN_H_
 #define ULTRAWIKI_SERVE_ADMIN_H_
 
-#include <atomic>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/status.h"
-#include "serve/service.h"
+#include "serve/service_host.h"
+#include "serve/tcp_listener.h"
 
 namespace ultrawiki {
 namespace serve {
 
-/// Live telemetry sidecar for uw_serve: a second listener (bound by
-/// `UW_ADMIN_PORT`) speaking just enough HTTP/1.0 for curl and a
-/// Prometheus scraper, so the serving process can be inspected mid-load
-/// without touching the request plane. Routes:
+/// Live telemetry sidecar for uw_serve and the shard servers: a second
+/// listener (bound by `UW_ADMIN_PORT`) speaking just enough HTTP/1.0 for
+/// curl, a Prometheus scraper, and the cluster router's health poller, so
+/// the serving process can be inspected mid-load without touching the
+/// request plane. Routes:
 ///
 ///   /metrics  Prometheus text exposition of every registered metric,
 ///             including the sliding-window serving percentiles
 ///             (uw_serve_latency_us_1m quantile series).
 ///   /healthz  "ok" while serving, 503 "draining" once drain started.
 ///   /statusz  one-line JSON: draining flag, queue depth, in-flight
-///             count, accepted/slow-trace totals, slow-log capacity.
+///             count, serving generation, shard scope, config knobs,
+///             slow-log totals. The router's health poller keys its
+///             replica load-balancing off the draining / queue_depth /
+///             inflight fields.
 ///   /slow     the slow-query log as Chrome trace-event JSON — save and
 ///             load into chrome://tracing or Perfetto.
 ///   /slowz    the same traces as plain structured JSON for scripts.
 ///
-/// One short-lived handler thread per connection (mirrors TcpServer;
-/// admin traffic is a human or a scraper, not a fleet). Responses are
-/// built from lock-free metric snapshots and the mutex-guarded slow-log
-/// ring, so scraping under full serving load is safe — asserted by the
-/// concurrent-scrape test under TSan.
+/// One short-lived handler thread per connection (TcpListener; admin
+/// traffic is a human, a scraper, or the router's poller — not a fleet).
+/// Responses are built from lock-free metric snapshots and the
+/// mutex-guarded slow-log ring, so scraping under full serving load is
+/// safe — asserted by the concurrent-scrape test under TSan. Status
+/// fields read the *current* generation, so a hot swap is visible on the
+/// next scrape.
 class AdminServer {
  public:
+  /// `host` must outlive the admin server (the uw_serve / shard path:
+  /// status follows the installed generation across hot swaps).
+  explicit AdminServer(ServiceHost& host);
+
+  /// Convenience for single-service setups (tests, benches): wraps
+  /// `service` in an internally-owned single-generation ServiceHost.
   /// `service` must outlive the admin server.
   explicit AdminServer(ExpansionService& service);
+
   ~AdminServer();
 
   AdminServer(const AdminServer&) = delete;
@@ -47,7 +58,7 @@ class AdminServer {
   Status Start(int port);
 
   /// The bound port (after a successful Start).
-  int port() const { return port_; }
+  int port() const { return listener_.port(); }
 
   /// Stops accepting, joins the handlers; idempotent.
   void Shutdown();
@@ -62,18 +73,12 @@ class AdminServer {
   HttpReply Handle(const std::string& path) const;
 
  private:
-  void AcceptLoop();
   void HandleConnection(int fd);
 
-  ExpansionService& service_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-
-  std::mutex conn_mutex_;  // guards conn_threads_
-  std::vector<std::thread> conn_threads_;
-  std::once_flag shutdown_once_;
+  /// Set only by the ExpansionService convenience constructor.
+  std::unique_ptr<ServiceHost> owned_host_;
+  ServiceHost& host_;
+  TcpListener listener_;
 };
 
 }  // namespace serve

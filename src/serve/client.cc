@@ -130,6 +130,87 @@ StatusOr<std::vector<EntityId>> ServeClient::ExpandQuery(
   return RoundTrip(std::move(request));
 }
 
+StatusOr<Frame> ServeClient::FrameRoundTrip(const std::string& encoded,
+                                            FrameKind expected) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Status status = WriteAll(fd_, encoded.data(), encoded.size());
+  if (!status.ok()) return status;
+  StatusOr<Frame> frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (frame->kind != expected) {
+    return Status::Internal("expected frame kind " +
+                            std::to_string(static_cast<int>(expected)) +
+                            ", got " +
+                            std::to_string(static_cast<int>(frame->kind)));
+  }
+  return frame;
+}
+
+StatusOr<std::vector<ShardScoredEntity>> ServeClient::ScatterRetrieve(
+    const Query& query, uint64_t size) {
+  WireShardRetrieveRequest request;
+  request.request_id = next_request_id_++;
+  request.size = size;
+  request.query = query;
+  StatusOr<Frame> frame = FrameRoundTrip(
+      EncodeShardRetrieveRequestFrame(request,
+                                      MakeFrameOptions(request.request_id)),
+      FrameKind::kShardRetrieveResponse);
+  if (!frame.ok()) return frame.status();
+  WireShardRetrieveResponse response;
+  Status status =
+      DecodeShardRetrieveResponsePayload(frame->payload, &response);
+  if (!status.ok()) return status;
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response id mismatch");
+  }
+  if (response.code != 0) return response.ToStatus();
+  return std::move(response.entities);
+}
+
+StatusOr<ShardScores> ServeClient::ScatterScore(
+    const Query& query, const std::vector<EntityId>& ids) {
+  WireShardScoreRequest request;
+  request.request_id = next_request_id_++;
+  request.ids = ids;
+  request.query = query;
+  StatusOr<Frame> frame = FrameRoundTrip(
+      EncodeShardScoreRequestFrame(request,
+                                   MakeFrameOptions(request.request_id)),
+      FrameKind::kShardScoreResponse);
+  if (!frame.ok()) return frame.status();
+  WireShardScoreResponse response;
+  Status status = DecodeShardScoreResponsePayload(frame->payload, &response);
+  if (!status.ok()) return status;
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response id mismatch");
+  }
+  if (response.code != 0) return response.ToStatus();
+  if (response.scores.pos.size() != ids.size()) {
+    return Status::Internal("score count mismatch");
+  }
+  return std::move(response.scores);
+}
+
+StatusOr<Query> ServeClient::QueryLookup(uint32_t query_index) {
+  WireQueryLookupRequest request;
+  request.request_id = next_request_id_++;
+  request.query_index = query_index;
+  StatusOr<Frame> frame = FrameRoundTrip(
+      EncodeQueryLookupRequestFrame(request,
+                                    MakeFrameOptions(request.request_id)),
+      FrameKind::kQueryLookupResponse);
+  if (!frame.ok()) return frame.status();
+  WireQueryLookupResponse response;
+  Status status = DecodeQueryLookupResponsePayload(frame->payload, &response);
+  if (!status.ok()) return status;
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response id mismatch");
+  }
+  if (response.code != 0) return response.ToStatus();
+  return std::move(response.query);
+}
+
 StatusOr<std::vector<EntityId>> ServeClient::RoundTrip(WireRequest request) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   request.request_id = next_request_id_++;

@@ -44,6 +44,21 @@ class ServeClient {
                                               const Query& query, int k,
                                               int timeout_ms = 0);
 
+  /// Scatter plane (cluster serving): the recall stage of the connected
+  /// shard — its top-`size` candidate-slice entities by positive-seed
+  /// centroid score, with global positions for the router-side merge.
+  StatusOr<std::vector<ShardScoredEntity>> ScatterRetrieve(const Query& query,
+                                                           uint64_t size);
+
+  /// Scatter plane: pos/neg seed-centroid scores for explicit ids (the
+  /// router's rerank phase).
+  StatusOr<ShardScores> ScatterScore(const Query& query,
+                                     const std::vector<EntityId>& ids);
+
+  /// Resolves a dataset query index against the server's resident
+  /// dataset (the router serves by-index requests through this).
+  StatusOr<Query> QueryLookup(uint32_t query_index);
+
   /// Closes the connection early (destructor does this too).
   void Close();
 
@@ -65,6 +80,10 @@ class ServeClient {
 
  private:
   StatusOr<std::vector<EntityId>> RoundTrip(WireRequest request);
+  /// Sends an already-encoded frame and reads back one frame of
+  /// `expected` kind (shared by every scatter-plane call).
+  StatusOr<Frame> FrameRoundTrip(const std::string& encoded,
+                                 FrameKind expected);
   FrameOptions MakeFrameOptions(uint64_t request_id);
 
   int fd_ = -1;

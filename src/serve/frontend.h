@@ -1,0 +1,38 @@
+#ifndef ULTRAWIKI_SERVE_FRONTEND_H_
+#define ULTRAWIKI_SERVE_FRONTEND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace ultrawiki {
+namespace serve {
+
+/// What a TCP front-end (serve/server.h) serves: the request plane
+/// (Expand + by-index resolution) and the scatter plane the cluster
+/// router fans out over. Implemented by ServiceHost (single process or
+/// shard: forwards to the current ExpansionService generation) and by
+/// ClusterRouter (scatter-gathers over shard processes). All methods are
+/// called concurrently from handler threads and must be thread-safe.
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+
+  virtual ExpandResult Expand(ExpandRequest request) = 0;
+  virtual StatusOr<Query> QueryByIndex(uint32_t index) = 0;
+  virtual StatusOr<std::vector<ShardScoredEntity>> ScatterRetrieve(
+      const Query& query, size_t size) = 0;
+  virtual StatusOr<ShardScores> ScatterScore(
+      const Query& query, const std::vector<EntityId>& ids) = 0;
+  /// Graceful-drain hook, run by TcpServer::Shutdown after every handler
+  /// has exited. Must be idempotent.
+  virtual void Drain() = 0;
+};
+
+}  // namespace serve
+}  // namespace ultrawiki
+
+#endif  // ULTRAWIKI_SERVE_FRONTEND_H_

@@ -60,7 +60,26 @@ std::string FramePayload(FrameKind kind, std::string_view payload,
 
 bool KnownFrameKind(uint32_t kind) {
   return kind >= static_cast<uint32_t>(FrameKind::kExpandRequest) &&
-         kind <= static_cast<uint32_t>(FrameKind::kPong);
+         kind <= static_cast<uint32_t>(FrameKind::kQueryLookupResponse);
+}
+
+void PutQuery(SnapshotWriter& writer, const Query& query) {
+  writer.PutI32(query.ultra_class);
+  writer.PutI32Vec(query.pos_seeds);
+  writer.PutI32Vec(query.neg_seeds);
+}
+
+void ReadQuery(SnapshotReader& reader, Query* query) {
+  reader.ReadI32(&query->ultra_class);
+  reader.ReadI32Vec(&query->pos_seeds);
+  reader.ReadI32Vec(&query->neg_seeds);
+}
+
+void CheckStatusCode(SnapshotReader& reader, uint32_t code) {
+  if (reader.ok() &&
+      code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    reader.Corrupt("status code out of range");
+  }
 }
 
 }  // namespace
@@ -94,6 +113,74 @@ std::string EncodeControlFrame(FrameKind kind, const FrameOptions& options) {
   return FramePayload(kind, {}, options);
 }
 
+std::string EncodeShardRetrieveRequestFrame(
+    const WireShardRetrieveRequest& request, const FrameOptions& options) {
+  SnapshotWriter writer;
+  writer.PutU64(request.request_id);
+  writer.PutU64(request.size);
+  PutQuery(writer, request.query);
+  return FramePayload(FrameKind::kShardRetrieveRequest, writer.payload(),
+                      options);
+}
+
+std::string EncodeShardRetrieveResponseFrame(
+    const WireShardRetrieveResponse& response, const FrameOptions& options) {
+  SnapshotWriter writer;
+  writer.PutU64(response.request_id);
+  writer.PutU32(response.code);
+  writer.PutString(response.message);
+  writer.PutU64(response.entities.size());
+  for (const ShardScoredEntity& entity : response.entities) {
+    writer.PutF32(entity.score);
+    writer.PutU64(entity.position);
+    writer.PutI32(entity.id);
+  }
+  return FramePayload(FrameKind::kShardRetrieveResponse, writer.payload(),
+                      options);
+}
+
+std::string EncodeShardScoreRequestFrame(const WireShardScoreRequest& request,
+                                         const FrameOptions& options) {
+  SnapshotWriter writer;
+  writer.PutU64(request.request_id);
+  writer.PutI32Vec(request.ids);
+  PutQuery(writer, request.query);
+  return FramePayload(FrameKind::kShardScoreRequest, writer.payload(),
+                      options);
+}
+
+std::string EncodeShardScoreResponseFrame(
+    const WireShardScoreResponse& response, const FrameOptions& options) {
+  SnapshotWriter writer;
+  writer.PutU64(response.request_id);
+  writer.PutU32(response.code);
+  writer.PutString(response.message);
+  writer.PutFloatVec(response.scores.pos);
+  writer.PutFloatVec(response.scores.neg);
+  return FramePayload(FrameKind::kShardScoreResponse, writer.payload(),
+                      options);
+}
+
+std::string EncodeQueryLookupRequestFrame(
+    const WireQueryLookupRequest& request, const FrameOptions& options) {
+  SnapshotWriter writer;
+  writer.PutU64(request.request_id);
+  writer.PutU32(request.query_index);
+  return FramePayload(FrameKind::kQueryLookupRequest, writer.payload(),
+                      options);
+}
+
+std::string EncodeQueryLookupResponseFrame(
+    const WireQueryLookupResponse& response, const FrameOptions& options) {
+  SnapshotWriter writer;
+  writer.PutU64(response.request_id);
+  writer.PutU32(response.code);
+  writer.PutString(response.message);
+  PutQuery(writer, response.query);
+  return FramePayload(FrameKind::kQueryLookupResponse, writer.payload(),
+                      options);
+}
+
 Status DecodeRequestPayload(std::string_view payload, WireRequest* request) {
   SnapshotReader reader(payload);
   uint32_t by_index = 0;
@@ -124,6 +211,88 @@ Status DecodeResponsePayload(std::string_view payload,
       response->code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
     reader.Corrupt("status code out of range");
   }
+  return reader.Finish();
+}
+
+Status DecodeShardRetrieveRequestPayload(std::string_view payload,
+                                         WireShardRetrieveRequest* request) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&request->request_id);
+  reader.ReadU64(&request->size);
+  ReadQuery(reader, &request->query);
+  if (reader.ok() && request->size > kMaxFramePayload) {
+    reader.Corrupt("retrieve size implausibly large");
+  }
+  return reader.Finish();
+}
+
+Status DecodeShardRetrieveResponsePayload(
+    std::string_view payload, WireShardRetrieveResponse* response) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&response->request_id);
+  reader.ReadU32(&response->code);
+  reader.ReadString(&response->message);
+  uint64_t count = 0;
+  reader.ReadU64(&count);
+  // Each entity is 16 encoded bytes; cap the count against the remaining
+  // payload before any allocation, same discipline as ReadI32Vec.
+  if (reader.ok() && count * 16 > reader.remaining()) {
+    reader.Corrupt("entity count exceeds payload");
+  }
+  response->entities.clear();
+  if (reader.ok()) {
+    response->entities.resize(static_cast<size_t>(count));
+    for (ShardScoredEntity& entity : response->entities) {
+      reader.ReadF32(&entity.score);
+      reader.ReadU64(&entity.position);
+      reader.ReadI32(&entity.id);
+    }
+  }
+  CheckStatusCode(reader, response->code);
+  return reader.Finish();
+}
+
+Status DecodeShardScoreRequestPayload(std::string_view payload,
+                                      WireShardScoreRequest* request) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&request->request_id);
+  reader.ReadI32Vec(&request->ids);
+  ReadQuery(reader, &request->query);
+  return reader.Finish();
+}
+
+Status DecodeShardScoreResponsePayload(std::string_view payload,
+                                       WireShardScoreResponse* response) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&response->request_id);
+  reader.ReadU32(&response->code);
+  reader.ReadString(&response->message);
+  reader.ReadFloatVec(&response->scores.pos);
+  reader.ReadFloatVec(&response->scores.neg);
+  if (reader.ok() &&
+      response->scores.pos.size() != response->scores.neg.size()) {
+    reader.Corrupt("pos/neg score lengths differ");
+  }
+  CheckStatusCode(reader, response->code);
+  return reader.Finish();
+}
+
+Status DecodeQueryLookupRequestPayload(std::string_view payload,
+                                       WireQueryLookupRequest* request) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&request->request_id);
+  reader.ReadU32(&request->query_index);
+  return reader.Finish();
+}
+
+Status DecodeQueryLookupResponsePayload(std::string_view payload,
+                                        WireQueryLookupResponse* response) {
+  SnapshotReader reader(payload);
+  reader.ReadU64(&response->request_id);
+  reader.ReadU32(&response->code);
+  reader.ReadString(&response->message);
+  ReadQuery(reader, &response->query);
+  CheckStatusCode(reader, response->code);
   return reader.Finish();
 }
 

@@ -64,6 +64,15 @@ enum class FrameKind : uint32_t {
   kExpandResponse = 2,
   kPing = 3,
   kPong = 4,
+  // --- Scatter plane (cluster serving, serve/router.h). Shard servers
+  // answer these alongside the request plane; the router never needs a
+  // second port or protocol. ---
+  kShardRetrieveRequest = 5,
+  kShardRetrieveResponse = 6,
+  kShardScoreRequest = 7,
+  kShardScoreResponse = 8,
+  kQueryLookupRequest = 9,
+  kQueryLookupResponse = 10,
 };
 
 /// One query over the wire. Either `by_index` (resolve against the
@@ -92,6 +101,81 @@ struct WireResponse {
   }
 };
 
+/// One candidate scored by a shard's recall stage: the exact full-scan
+/// centroid score, the candidate's *global* position in the dataset
+/// candidate list (the RanksBefore tie-break, so a router-side TopKStream
+/// merge reproduces the unsharded order bit for bit), and its entity id.
+/// Scores travel as IEEE-754 bit patterns (PutF32), so the merge sees the
+/// same floats the shard computed.
+struct ShardScoredEntity {
+  float score = 0.0f;
+  uint64_t position = 0;
+  EntityId id = kInvalidEntityId;
+};
+
+/// Per-candidate positive/negative seed-centroid scores for the router's
+/// rerank phase; `pos[i]` and `neg[i]` score the i-th requested id.
+struct ShardScores {
+  std::vector<float> pos;
+  std::vector<float> neg;
+};
+
+/// Scatter recall request: top-`size` of the shard's candidate slice by
+/// positive-seed centroid score, seeds excluded.
+struct WireShardRetrieveRequest {
+  uint64_t request_id = 0;
+  uint64_t size = 0;
+  Query query;
+};
+
+struct WireShardRetrieveResponse {
+  uint64_t request_id = 0;
+  uint32_t code = 0;  // StatusCode
+  std::string message;
+  std::vector<ShardScoredEntity> entities;
+
+  Status ToStatus() const {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+};
+
+/// Scatter score request: pos/neg seed-centroid scores for explicit ids
+/// (the rerank phase sends each shard the merged-list ids it owns).
+struct WireShardScoreRequest {
+  uint64_t request_id = 0;
+  std::vector<EntityId> ids;
+  Query query;
+};
+
+struct WireShardScoreResponse {
+  uint64_t request_id = 0;
+  uint32_t code = 0;  // StatusCode
+  std::string message;
+  ShardScores scores;
+
+  Status ToStatus() const {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+};
+
+/// Resolves a dataset query index to its full Query so the router can
+/// serve by-index requests without a resident pipeline.
+struct WireQueryLookupRequest {
+  uint64_t request_id = 0;
+  uint32_t query_index = 0;
+};
+
+struct WireQueryLookupResponse {
+  uint64_t request_id = 0;
+  uint32_t code = 0;  // StatusCode
+  std::string message;
+  Query query;
+
+  Status ToStatus() const {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+};
+
 /// Header-level framing knobs: the wire version to emit and, for v2, the
 /// trace context carried in the header extension. The defaults frame a
 /// current-version request with no trace context.
@@ -109,11 +193,37 @@ std::string EncodeResponseFrame(const WireResponse& response,
 /// Payload-free control frames (ping/pong).
 std::string EncodeControlFrame(FrameKind kind,
                                const FrameOptions& options = {});
+/// Scatter-plane frames (same framing discipline, distinct kinds).
+std::string EncodeShardRetrieveRequestFrame(
+    const WireShardRetrieveRequest& request, const FrameOptions& options = {});
+std::string EncodeShardRetrieveResponseFrame(
+    const WireShardRetrieveResponse& response,
+    const FrameOptions& options = {});
+std::string EncodeShardScoreRequestFrame(const WireShardScoreRequest& request,
+                                         const FrameOptions& options = {});
+std::string EncodeShardScoreResponseFrame(
+    const WireShardScoreResponse& response, const FrameOptions& options = {});
+std::string EncodeQueryLookupRequestFrame(
+    const WireQueryLookupRequest& request, const FrameOptions& options = {});
+std::string EncodeQueryLookupResponseFrame(
+    const WireQueryLookupResponse& response, const FrameOptions& options = {});
 
 /// Decodes a payload previously carried by a verified frame.
 Status DecodeRequestPayload(std::string_view payload, WireRequest* request);
 Status DecodeResponsePayload(std::string_view payload,
                              WireResponse* response);
+Status DecodeShardRetrieveRequestPayload(std::string_view payload,
+                                         WireShardRetrieveRequest* request);
+Status DecodeShardRetrieveResponsePayload(std::string_view payload,
+                                          WireShardRetrieveResponse* response);
+Status DecodeShardScoreRequestPayload(std::string_view payload,
+                                      WireShardScoreRequest* request);
+Status DecodeShardScoreResponsePayload(std::string_view payload,
+                                       WireShardScoreResponse* response);
+Status DecodeQueryLookupRequestPayload(std::string_view payload,
+                                       WireQueryLookupRequest* request);
+Status DecodeQueryLookupResponsePayload(std::string_view payload,
+                                        WireQueryLookupResponse* response);
 
 /// A verified frame read off a socket: kind + raw payload bytes, plus the
 /// header version it arrived in and (for v2) its trace context. A v1

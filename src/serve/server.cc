@@ -1,24 +1,17 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "serve/protocol.h"
+#include "serve/service_host.h"
 
 namespace ultrawiki {
 namespace serve {
 namespace {
 
 struct NetMetrics {
-  obs::Counter& connections = obs::GetCounter("serve.net.connections");
   obs::Counter& requests = obs::GetCounter("serve.net.requests");
   obs::Counter& protocol_errors =
       obs::GetCounter("serve.net.protocol_errors");
@@ -31,79 +24,29 @@ NetMetrics& Metrics() {
 
 }  // namespace
 
-TcpServer::TcpServer(ExpansionService& service) : service_(service) {
+TcpServer::TcpServer(Frontend& frontend)
+    : frontend_(frontend),
+      listener_("serve.net", [this](int fd) { HandleConnection(fd); }) {
   Metrics();
+}
+
+TcpServer::TcpServer(ExpansionService& service)
+    : owned_host_(std::make_unique<ServiceHost>()),
+      frontend_(*owned_host_),
+      listener_("serve.net", [this](int fd) { HandleConnection(fd); }) {
+  Metrics();
+  owned_host_->Install(ServiceHost::Borrow(service));
 }
 
 TcpServer::~TcpServer() { Shutdown(); }
 
 Status TcpServer::Start(int port) {
-  UW_CHECK_EQ(listen_fd_, -1) << "Start called twice";
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  const int enable = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status status =
-        Status::Internal(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) < 0) {
-    const Status status =
-        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  port_ = static_cast<int>(ntohs(addr.sin_port));
-  if (::listen(listen_fd_, /*backlog=*/128) < 0) {
-    const Status status =
-        Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::Ok();
-}
-
-void TcpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Shutdown closed the listener out from under us.
-      if (stopping_.load(std::memory_order_acquire)) return;
-      UW_LOG(Warning) << "accept: " << std::strerror(errno);
-      return;
-    }
-    const int enable = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    Metrics().connections.Increment();
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
-  }
+  return listener_.Start(port, /*backlog=*/128);
 }
 
 void TcpServer::HandleConnection(int fd) {
+  // The fd is owned by the listener: it read-shuts it on Shutdown and
+  // deregisters + closes it when this handler returns.
   while (true) {
     StatusOr<Frame> frame = ReadFrame(fd);
     if (!frame.ok()) {
@@ -115,99 +58,165 @@ void TcpServer::HandleConnection(int fd) {
         Metrics().protocol_errors.Increment();
         UW_LOG(Warning) << "connection dropped: " << frame.status();
       }
-      break;
+      return;
     }
     // Respond in the version the request arrived in, so a legacy (v1)
     // client never sees a header extension it cannot parse.
     FrameOptions reply_options;
     reply_options.version = frame->version;
+
     if (frame->kind == FrameKind::kPing) {
       const std::string pong =
           EncodeControlFrame(FrameKind::kPong, reply_options);
-      if (!WriteAll(fd, pong.data(), pong.size()).ok()) break;
+      if (!WriteAll(fd, pong.data(), pong.size()).ok()) return;
       continue;
     }
-    if (frame->kind != FrameKind::kExpandRequest) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      Metrics().protocol_errors.Increment();
-      break;
-    }
-    WireRequest request;
-    const Status decoded = DecodeRequestPayload(frame->payload, &request);
-    if (!decoded.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      Metrics().protocol_errors.Increment();
-      UW_LOG(Warning) << "undecodable request: " << decoded;
-      break;
-    }
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    Metrics().requests.Increment();
 
-    WireResponse response;
-    response.request_id = request.request_id;
-    ExpandRequest expand;
-    expand.method = request.method;
-    expand.k = static_cast<int>(request.k);
-    expand.timeout_ms =
-        request.timeout_ms > 0 ? static_cast<int>(request.timeout_ms) : -1;
-    // Trace context rides in the frame header, not the payload: a v1
-    // frame leaves both at their "absent" values.
-    expand.trace_id = frame->trace_id;
-    expand.force_trace = (frame->flags & kFrameFlagSample) != 0;
-    bool resolved = true;
-    if (request.by_index) {
-      const auto& queries = service_.pipeline().dataset().queries;
-      if (request.query_index >= queries.size()) {
-        response.code = static_cast<uint32_t>(StatusCode::kOutOfRange);
-        response.message = "query index " +
-                           std::to_string(request.query_index) +
-                           " out of range (have " +
-                           std::to_string(queries.size()) + ")";
-        resolved = false;
-      } else {
-        expand.query = queries[request.query_index];
+    if (frame->kind == FrameKind::kExpandRequest) {
+      WireRequest request;
+      const Status decoded = DecodeRequestPayload(frame->payload, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().protocol_errors.Increment();
+        UW_LOG(Warning) << "undecodable request: " << decoded;
+        return;
       }
-    } else {
-      expand.query = std::move(request.query);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().requests.Increment();
+
+      WireResponse response;
+      response.request_id = request.request_id;
+      ExpandRequest expand;
+      expand.method = request.method;
+      expand.k = static_cast<int>(request.k);
+      expand.timeout_ms =
+          request.timeout_ms > 0 ? static_cast<int>(request.timeout_ms) : -1;
+      // Trace context rides in the frame header, not the payload: a v1
+      // frame leaves both at their "absent" values.
+      expand.trace_id = frame->trace_id;
+      expand.force_trace = (frame->flags & kFrameFlagSample) != 0;
+      bool resolved = true;
+      if (request.by_index) {
+        StatusOr<Query> query = frontend_.QueryByIndex(request.query_index);
+        if (!query.ok()) {
+          response.code = static_cast<uint32_t>(query.status().code());
+          response.message = query.status().message();
+          resolved = false;
+        } else {
+          expand.query = std::move(*query);
+        }
+      } else {
+        expand.query = std::move(request.query);
+      }
+      if (resolved) {
+        // Blocking per connection keeps responses in request order; the
+        // service batches across connections, not within one.
+        ExpandResult result = frontend_.Expand(std::move(expand));
+        response.code = static_cast<uint32_t>(result.status.code());
+        response.message = result.status.message();
+        response.ranking = std::move(result.ranking);
+      }
+      const std::string encoded =
+          EncodeResponseFrame(response, reply_options);
+      if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) return;
+      continue;
     }
-    if (resolved) {
-      // Blocking per connection keeps responses in request order; the
-      // service batches across connections, not within one.
-      ExpandResult result = service_.ExpandSync(std::move(expand));
-      response.code = static_cast<uint32_t>(result.status.code());
-      response.message = result.status.message();
-      response.ranking = std::move(result.ranking);
+
+    if (frame->kind == FrameKind::kShardRetrieveRequest) {
+      WireShardRetrieveRequest request;
+      const Status decoded =
+          DecodeShardRetrieveRequestPayload(frame->payload, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().protocol_errors.Increment();
+        UW_LOG(Warning) << "undecodable shard retrieve: " << decoded;
+        return;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().requests.Increment();
+      WireShardRetrieveResponse response;
+      response.request_id = request.request_id;
+      StatusOr<std::vector<ShardScoredEntity>> entities =
+          frontend_.ScatterRetrieve(request.query,
+                                    static_cast<size_t>(request.size));
+      if (entities.ok()) {
+        response.entities = std::move(*entities);
+      } else {
+        response.code = static_cast<uint32_t>(entities.status().code());
+        response.message = entities.status().message();
+      }
+      const std::string encoded =
+          EncodeShardRetrieveResponseFrame(response, reply_options);
+      if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) return;
+      continue;
     }
-    const std::string encoded = EncodeResponseFrame(response, reply_options);
-    if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) break;
+
+    if (frame->kind == FrameKind::kShardScoreRequest) {
+      WireShardScoreRequest request;
+      const Status decoded =
+          DecodeShardScoreRequestPayload(frame->payload, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().protocol_errors.Increment();
+        UW_LOG(Warning) << "undecodable shard score: " << decoded;
+        return;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().requests.Increment();
+      WireShardScoreResponse response;
+      response.request_id = request.request_id;
+      StatusOr<ShardScores> scores =
+          frontend_.ScatterScore(request.query, request.ids);
+      if (scores.ok()) {
+        response.scores = std::move(*scores);
+      } else {
+        response.code = static_cast<uint32_t>(scores.status().code());
+        response.message = scores.status().message();
+      }
+      const std::string encoded =
+          EncodeShardScoreResponseFrame(response, reply_options);
+      if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) return;
+      continue;
+    }
+
+    if (frame->kind == FrameKind::kQueryLookupRequest) {
+      WireQueryLookupRequest request;
+      const Status decoded =
+          DecodeQueryLookupRequestPayload(frame->payload, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().protocol_errors.Increment();
+        UW_LOG(Warning) << "undecodable query lookup: " << decoded;
+        return;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().requests.Increment();
+      WireQueryLookupResponse response;
+      response.request_id = request.request_id;
+      StatusOr<Query> query = frontend_.QueryByIndex(request.query_index);
+      if (query.ok()) {
+        response.query = std::move(*query);
+      } else {
+        response.code = static_cast<uint32_t>(query.status().code());
+        response.message = query.status().message();
+      }
+      const std::string encoded =
+          EncodeQueryLookupResponseFrame(response, reply_options);
+      if (!WriteAll(fd, encoded.data(), encoded.size()).ok()) return;
+      continue;
+    }
+
+    // Response kinds (or future kinds) arriving at a server are a
+    // protocol violation.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().protocol_errors.Increment();
+    return;
   }
-  ::close(fd);
 }
 
 void TcpServer::Shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    stopping_.store(true, std::memory_order_release);
-    if (listen_fd_ >= 0) {
-      // Unblock accept(); the loop observes stopping_ and exits.
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      ::close(listen_fd_);
-    }
-    if (accept_thread_.joinable()) accept_thread_.join();
-    {
-      // Read-shut every open connection: blocked ReadFrame calls see EOF,
-      // handlers flush their in-flight response and exit.
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-    }
-    std::vector<std::thread> threads;
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      threads.swap(conn_threads_);
-    }
-    for (std::thread& thread : threads) thread.join();
-    service_.Drain();
-    listen_fd_ = -1;
-  });
+  listener_.Shutdown();
+  frontend_.Drain();
 }
 
 }  // namespace serve

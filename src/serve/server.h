@@ -3,32 +3,46 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
 
 #include "common/status.h"
-#include "serve/service.h"
+#include "serve/frontend.h"
+#include "serve/tcp_listener.h"
 
 namespace ultrawiki {
 namespace serve {
 
-/// TCP front-end over an ExpansionService: accepts connections on a
+class ServiceHost;
+
+/// TCP front-end over a Frontend: accepts connections on a
 /// loopback-reachable port and speaks the framed protocol of
-/// serve/protocol.h. One handler thread per connection; requests on a
-/// connection are served in order (clients that want concurrency open
-/// several connections — the micro-batcher coalesces across all of
-/// them).
+/// serve/protocol.h — the request plane (expand, ping) and the scatter
+/// plane (shard retrieve/score, query lookup) on one port. One handler
+/// thread per connection; requests on a connection are served in order
+/// (clients that want concurrency open several connections — the
+/// micro-batcher coalesces across all of them).
+///
+/// Connection lifecycle (accept-error survival, fd registry hygiene,
+/// handler reaping) lives in TcpListener.
 ///
 /// `Shutdown()` is the graceful-drain path: the listener closes (no new
 /// connections), open connections are read-shut so handlers finish their
 /// in-flight responses and exit, handler threads are joined, and the
-/// underlying service drains its queue. Safe to call from a signal-
-/// triggered control flow (not from inside the handler threads).
+/// frontend drains. Safe to call from a signal-triggered control flow
+/// (not from inside the handler threads).
 class TcpServer {
  public:
-  /// `service` must outlive the server.
+  /// `frontend` must outlive the server. This is the cluster-aware
+  /// entry point: pass a ServiceHost (single process or shard) or a
+  /// ClusterRouter.
+  explicit TcpServer(Frontend& frontend);
+
+  /// Convenience for the single-service setups (tests, benches):
+  /// wraps `service` in an internally-owned single-generation
+  /// ServiceHost. `service` must outlive the server; Shutdown() drains
+  /// it, exactly like the frontend path.
   explicit TcpServer(ExpansionService& service);
+
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -39,15 +53,15 @@ class TcpServer {
   Status Start(int port);
 
   /// The bound port (after a successful Start).
-  int port() const { return port_; }
+  int port() const { return listener_.port(); }
 
   /// Graceful drain; idempotent. Blocks until every handler has exited
-  /// and the service queue is empty.
+  /// and the frontend has drained.
   void Shutdown();
 
   /// Lifetime totals, readable after Shutdown.
   int64_t connections_accepted() const {
-    return connections_accepted_.load(std::memory_order_relaxed);
+    return listener_.connections_accepted();
   }
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
@@ -55,25 +69,22 @@ class TcpServer {
   int64_t protocol_errors() const {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
+  int64_t accept_errors() const { return listener_.accept_errors(); }
+
+  /// The underlying listener, for lifecycle assertions in tests
+  /// (open_connections, tracked_handler_threads, ReapFinishedHandlers).
+  TcpListener& listener() { return listener_; }
 
  private:
-  void AcceptLoop();
   void HandleConnection(int fd);
 
-  ExpansionService& service_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
+  /// Set only by the ExpansionService convenience constructor.
+  std::unique_ptr<ServiceHost> owned_host_;
+  Frontend& frontend_;
+  TcpListener listener_;
 
-  std::mutex conn_mutex_;  // guards conn_fds_ and conn_threads_
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
-
-  std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> requests_served_{0};
   std::atomic<int64_t> protocol_errors_{0};
-  std::once_flag shutdown_once_;
 };
 
 }  // namespace serve

@@ -1,25 +1,17 @@
 #include "serve/service.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "expand/expander.h"
+#include "math/topk.h"
 #include "obs/metrics.h"
 
 namespace ultrawiki {
 namespace serve {
 namespace {
-
-int EnvInt(const char* name, int fallback, int min_value) {
-  if (const char* env = std::getenv(name)) {
-    const int parsed = std::atoi(env);
-    if (parsed >= min_value) return parsed;
-    UW_LOG(Warning) << name << "=" << env << " out of range; using "
-                    << fallback;
-  }
-  return fallback;
-}
 
 /// Serving metrics (see README "Online expansion service"). Counters
 /// partition every submitted request into exactly one terminal outcome:
@@ -35,6 +27,11 @@ struct ServeMetrics {
   obs::Counter& batches = obs::GetCounter("serve.batches");
   obs::Counter& traced = obs::GetCounter("serve.traced");
   obs::Counter& slow_queries = obs::GetCounter("serve.slow_queries");
+  /// Scatter plane (cluster serving): shard-scoped recall and rerank
+  /// scoring calls, plus by-index query lookups.
+  obs::Counter& scatter_retrieves = obs::GetCounter("serve.scatter.retrieves");
+  obs::Counter& scatter_scores = obs::GetCounter("serve.scatter.scores");
+  obs::Counter& lookups = obs::GetCounter("serve.lookups");
   /// Completed requests whose expander degraded to best-so-far at the
   /// deadline (subset of `completed`, disjoint from `timeout`).
   obs::Counter& degraded = obs::GetCounter("serve.degraded");
@@ -171,7 +168,6 @@ std::future<ExpandResult> ExpansionService::Submit(ExpandRequest request) {
         request.trace_id != 0 ? request.trace_id : sequence;
     pending.trace = std::make_unique<obs::RequestTrace>(
         trace_id, request.method, pending.admitted);
-    Metrics().traced.Increment();
   }
   pending.request = std::move(request);
   std::future<ExpandResult> future = pending.promise.get_future();
@@ -225,8 +221,98 @@ void ExpansionService::FinishTrace(
       data.total_us >= static_cast<int64_t>(config_.slow_query_ms) * 1000;
   if (slow) Metrics().slow_queries.Increment();
   if (slow || pending.request.force_trace) {
+    // `traced` counts exactly the traces that are published. Counting at
+    // admission would also tally requests that were then shed (their
+    // speculative trace is dropped unrecorded) and speculative slow-query
+    // traces that never crossed the threshold.
+    Metrics().traced.Increment();
     obs::SlowQueryLog::Global().Record(std::move(data));
   }
+}
+
+Status ExpansionService::EnableSharding(const ShardSpec& spec) {
+  if (!spec.valid()) {
+    return Status::InvalidArgument(
+        "invalid shard spec: index " + std::to_string(spec.index) + " of " +
+        std::to_string(spec.count));
+  }
+  shard_spec_ = spec;
+  shard_store_.reset();
+  // A single-shard "cluster" serves scatter calls off the full store —
+  // the partition is the identity, so no derived store is needed.
+  if (spec.count > 1) {
+    shard_store_ = pipeline_.BuildShardStore(spec);
+    if (shard_store_ == nullptr) {
+      return Status::Internal("shard store construction failed");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ShardScoredEntity>> ExpansionService::ScatterRetrieve(
+    const Query& query, size_t size) const {
+  if (draining()) return Status::Unavailable("service draining");
+  Metrics().scatter_retrieves.Increment();
+  const EntityStore& store =
+      shard_store_ != nullptr ? *shard_store_ : pipeline_.store();
+  const std::vector<EntityId>& candidates = pipeline_.candidates();
+  const std::vector<EntityId> seeds = SortedSeedsOf(query);
+  // The shard's slice of the full scan: stride over the global candidate
+  // list (position p belongs to shard p % count), skip seeds, score the
+  // survivors with the exact centroid kernel, and keep the top `size` by
+  // RanksBefore over *global* positions. Same loop body as RetExpan's
+  // non-ANN InitialExpansion, restricted to this shard's positions — so
+  // the union of all shards' results is a superset of the global top
+  // `size`, score- and tie-break-identical.
+  std::vector<size_t> positions;
+  std::vector<EntityId> non_seed;
+  positions.reserve(candidates.size() / static_cast<size_t>(shard_spec_.count) +
+                    1);
+  non_seed.reserve(positions.capacity());
+  for (size_t p = static_cast<size_t>(shard_spec_.index);
+       p < candidates.size(); p += static_cast<size_t>(shard_spec_.count)) {
+    const EntityId id = candidates[p];
+    if (std::binary_search(seeds.begin(), seeds.end(), id)) continue;
+    positions.push_back(p);
+    non_seed.push_back(id);
+  }
+  const std::vector<float> scores =
+      store.SeedCentroidScores(query.pos_seeds, non_seed);
+  TopKStream stream(size);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    stream.Push(scores[i], positions[i]);
+  }
+  const std::vector<ScoredIndex> scored = stream.TakeSortedDescending();
+  std::vector<ShardScoredEntity> entities;
+  entities.reserve(scored.size());
+  for (const ScoredIndex& s : scored) {
+    entities.push_back(ShardScoredEntity{
+        s.score, static_cast<uint64_t>(s.index), candidates[s.index]});
+  }
+  return entities;
+}
+
+StatusOr<ShardScores> ExpansionService::ScatterScore(
+    const Query& query, const std::vector<EntityId>& ids) const {
+  if (draining()) return Status::Unavailable("service draining");
+  Metrics().scatter_scores.Increment();
+  const EntityStore& store =
+      shard_store_ != nullptr ? *shard_store_ : pipeline_.store();
+  ShardScores scores;
+  scores.pos = store.SeedCentroidScores(query.pos_seeds, ids);
+  scores.neg = store.SeedCentroidScores(query.neg_seeds, ids);
+  return scores;
+}
+
+StatusOr<Query> ExpansionService::QueryByIndex(uint32_t index) const {
+  const std::vector<Query>& queries = pipeline_.dataset().queries;
+  if (index >= queries.size()) {
+    return Status::OutOfRange("query index " + std::to_string(index) +
+                              " out of range (have " +
+                              std::to_string(queries.size()) + ")");
+  }
+  Metrics().lookups.Increment();
+  return queries[index];
 }
 
 void ExpansionService::Drain() {

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "expand/pipeline.h"
 #include "obs/request_trace.h"
+#include "serve/protocol.h"
 
 namespace ultrawiki {
 namespace serve {
@@ -128,6 +129,33 @@ class ExpansionService {
   /// Idempotent.
   void Drain();
 
+  // --- Shard role (cluster serving; see serve/router.h). ---
+
+  /// Scopes the scatter plane to one shard of the deterministic candidate
+  /// partition. With `count > 1` this builds (or loads from the artifact
+  /// cache) the shard's EntityStore; `count == 1` serves scatter calls
+  /// straight off the full store. Call before taking traffic — the shard
+  /// store swap is not synchronized against in-flight scatter calls.
+  Status EnableSharding(const ShardSpec& spec);
+
+  /// Scatter recall: the top-`size` candidates of this service's shard
+  /// slice by positive-seed centroid score, seeds excluded, carrying
+  /// *global* candidate positions so the router's TopKStream merge
+  /// reproduces the unsharded RanksBefore order bit for bit.
+  StatusOr<std::vector<ShardScoredEntity>> ScatterRetrieve(
+      const Query& query, size_t size) const;
+
+  /// Scatter rerank support: pos/neg seed-centroid scores for explicit
+  /// ids (scored on this shard's store; ids the store lacks score 0,
+  /// exactly as the full scan scores them).
+  StatusOr<ShardScores> ScatterScore(const Query& query,
+                                     const std::vector<EntityId>& ids) const;
+
+  /// Resolves a dataset query index (the wire `by_index` path).
+  StatusOr<Query> QueryByIndex(uint32_t index) const;
+
+  const ShardSpec& shard_spec() const { return shard_spec_; }
+
   const ServeConfig& config() const { return config_; }
   const Pipeline& pipeline() const { return pipeline_; }
   /// Requests currently waiting (excludes the executing batch).
@@ -160,6 +188,12 @@ class ExpansionService {
 
   Pipeline& pipeline_;
   const ServeConfig config_;
+
+  /// Scatter-plane scope. `shard_store_` is null when this service serves
+  /// the whole candidate list (count == 1); otherwise it holds the rows
+  /// of the shard's slice plus every query seed (expand/pipeline.h).
+  ShardSpec shard_spec_;
+  std::unique_ptr<EntityStore> shard_store_;
 
   mutable std::mutex mutex_;  // guards queue_ and draining_
   std::condition_variable scheduler_cv_;
